@@ -1,0 +1,45 @@
+"""A2: ablation of Block 2's ILUT(τ, p) parameters.
+
+Fill vs. convergence trade-off behind the paper's Block 2 defaults: more
+fill / tighter dropping → fewer iterations, heavier factors.
+"""
+
+from repro.cases.poisson2d import poisson2d_case
+from repro.core.driver import solve_case
+from repro.core.reporting import format_paper_table
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scaled_n
+
+PARAMS = [(1e-1, 3), (1e-2, 5), (1e-3, 10), (1e-4, 20)]
+
+
+def test_ablation_ilut_parameters(benchmark):
+    case = poisson2d_case(n=scaled_n(49))
+
+    def run():
+        cols = {}
+        for tol, fill in PARAMS:
+            out = solve_case(
+                case,
+                "block2",
+                nparts=8,
+                maxiter=500,
+                precond_params={"drop_tol": tol, "fill": fill},
+            )
+            cols[f"τ={tol:g},p={fill}"] = {
+                8: (out.iterations if out.converged else None,
+                    out.sim_time(LINUX_CLUSTER))
+            }
+        return cols
+
+    cols = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "A2-ilut",
+        format_paper_table(f"{case.title} — Block 2 ILUT ablation, P=8", [8], cols),
+    )
+
+    iters = [cols[f"τ={t:g},p={p}"][8][0] for t, p in PARAMS]
+    assert iters[-1] is not None
+    converged = [i for i in iters if i is not None]
+    assert converged == sorted(converged, reverse=True) or min(converged) == converged[-1]

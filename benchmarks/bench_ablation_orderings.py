@@ -1,0 +1,59 @@
+"""A7 (extension): factorization-quality knobs — RCM ordering and MILU.
+
+Incomplete factorizations are ordering- and variant-sensitive; SPARSKIT-era
+practice offers two classical levers the paper's Block preconditioners could
+use: a bandwidth-reducing RCM reordering (better fill capture at fixed p) and
+the rowsum-preserving modified ILU (Gustafsson: O(h⁻¹) conditioning on
+elliptic problems).  This bench quantifies both against the paper's defaults.
+"""
+
+from repro.cases.poisson2d import poisson2d_case
+from repro.core.driver import solve_case
+from repro.core.reporting import format_paper_table
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scaled_n
+
+P = 8
+
+
+def test_ablation_orderings_and_milu(benchmark):
+    case = poisson2d_case(n=scaled_n(49))
+
+    def cell(precond, params):
+        out = solve_case(case, precond, nparts=P, maxiter=500, precond_params=params)
+        return (out.iterations if out.converged else None, out.sim_time(LINUX_CLUSTER))
+
+    def run():
+        return {
+            "Block 2": {P: cell("block2", None)},
+            "Block 2 RCM": {P: cell("block2", {"ordering": "rcm"})},
+            "Block 1": {P: cell("block1", None)},
+        }
+
+    cols = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # MILU vs ILU is a serial-factorization property; measure it directly
+    import numpy as np
+
+    from repro.factor.ilu0 import ilu0
+    from repro.krylov.cg import cg
+
+    a, rhs = case.matrix, case.rhs
+    milu_iters = cg(lambda v: a @ v, rhs, apply_m=ilu0(a, modified=True).solve,
+                    rtol=1e-6, maxiter=500).iterations
+    ilu_iters = cg(lambda v: a @ v, rhs, apply_m=ilu0(a).solve,
+                   rtol=1e-6, maxiter=500).iterations
+
+    table = format_paper_table(
+        f"{case.title} — ordering/variant ablation, P={P}", [P], cols
+    )
+    table += (
+        f"\n\nGlobal CG, ILU(0) vs MILU(0) (Gustafsson's rowsum modification):"
+        f"\n  ILU(0):  {ilu_iters} iterations"
+        f"\n  MILU(0): {milu_iters} iterations"
+    )
+    emit("A7-orderings", table)
+
+    assert milu_iters < ilu_iters
+    assert cols["Block 2 RCM"][P][0] is not None

@@ -1,0 +1,46 @@
+"""A3: ablation of the additive Schwarz overlap width.
+
+The paper fixes ~5% overlap; the classical theory says more overlap → fewer
+iterations at higher per-iteration communication cost.
+"""
+
+from repro.cases.poisson2d import poisson2d_case
+from repro.core.driver import solve_case
+from repro.core.reporting import format_paper_table
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scaled_n
+
+OVERLAPS = [0.02, 0.05, 0.12, 0.25]
+
+
+def test_ablation_overlap(benchmark):
+    case = poisson2d_case(n=scaled_n(65))
+
+    def run():
+        cols = {}
+        for ov in OVERLAPS:
+            out = solve_case(
+                case,
+                "as",
+                nparts=16,
+                maxiter=600,
+                precond_params={"overlap_frac": ov},
+            )
+            cols[f"δ={ov:.0%}"] = {
+                16: (out.iterations if out.converged else None,
+                     out.sim_time(LINUX_CLUSTER))
+            }
+        return cols
+
+    cols = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "A3-overlap",
+        format_paper_table(
+            f"{case.title} — additive Schwarz overlap ablation, P=16", [16], cols
+        ),
+    )
+
+    iters = [cols[f"δ={ov:.0%}"][16][0] for ov in OVERLAPS]
+    assert all(i is not None for i in iters)
+    assert iters[-1] < iters[0]  # more overlap converges faster

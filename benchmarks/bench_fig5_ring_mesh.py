@@ -1,0 +1,38 @@
+"""F5: the quarter-ring domain and grid of Test Case 6 (paper Fig. 5).
+
+Regenerates the figure's content as mesh statistics and a boundary census
+(Γ1, Γ2, and the stress arcs), plus the curvilinear-structure invariants.
+"""
+
+import numpy as np
+
+from repro.mesh.ring import quarter_ring
+
+from common import emit, scaled_n
+
+
+def test_fig5_ring_mesh(benchmark):
+    n_theta, n_r = scaled_n(97), scaled_n(33)
+
+    def run():
+        return quarter_ring(n_theta, n_r)
+
+    mesh = benchmark.pedantic(run, rounds=1, iterations=1)
+    r = np.hypot(mesh.points[:, 0], mesh.points[:, 1])
+
+    lines = [
+        "Quarter-ring curvilinear grid (Fig. 5), inner r=1, outer r=2",
+        f"  grid:        {n_theta} x {n_r} points ({mesh.num_points} total, "
+        f"{2 * mesh.num_points} displacement unknowns)",
+        f"  triangles:   {mesh.num_elements}",
+        f"  gamma1 (x=0, u1=0):  {len(mesh.boundary_set('gamma1'))} points",
+        f"  gamma2 (y=0, u2=0):  {len(mesh.boundary_set('gamma2'))} points",
+        f"  stress arcs:         {len(mesh.boundary_set('stress'))} points",
+        f"  radius range:        [{r.min():.3f}, {r.max():.3f}]",
+    ]
+    emit("F5-ring-mesh", "\n".join(lines))
+
+    assert r.min() >= 1.0 - 1e-12 and r.max() <= 2.0 + 1e-12
+    assert len(mesh.boundary_set("gamma1")) == n_r
+    assert len(mesh.boundary_set("gamma2")) == n_r
+    assert len(mesh.boundary_set("stress")) == 2 * n_theta

@@ -1,0 +1,89 @@
+"""Micro-benchmarks of the hot kernels (real pytest-benchmark timing).
+
+The guides' rule: no optimization without measuring.  These time the kernels
+every preconditioner application is built from — level-scheduled triangular
+solves, distributed matvec, ILU factorizations, ghost exchange — with
+multiple rounds so regressions in the vectorized implementations are visible.
+Unlike the table benches (single-shot, simulated-time outputs), these measure
+real wall time of the kernels themselves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cases.poisson2d import poisson2d_case
+from repro.comm.communicator import Communicator
+from repro.distributed.matrix import distribute_matrix
+from repro.distributed.partition_map import PartitionMap
+from repro.factor.ilu0 import ilu0
+from repro.factor.ilut import ilut
+
+from common import scaled_n
+
+
+@pytest.fixture(scope="module")
+def system():
+    case = poisson2d_case(n=scaled_n(81))
+    mem = case.membership(4, seed=0)
+    pm = PartitionMap(case.coupling_graph, mem, num_ranks=4)
+    dmat = distribute_matrix(case.matrix, pm)
+    return case, pm, dmat
+
+
+def test_kernel_triangular_solve(benchmark, system):
+    case, _, _ = system
+    fac = ilu0(case.matrix)
+    rng = np.random.default_rng(0)
+    b = rng.random(case.num_dofs)
+    x = benchmark(fac.solve, b)
+    assert np.all(np.isfinite(x))
+
+
+def test_kernel_distributed_matvec(benchmark, system):
+    case, pm, dmat = system
+    comm = Communicator(4)
+    rng = np.random.default_rng(1)
+    x = pm.to_distributed(rng.random(case.num_dofs))
+    y = benchmark(lambda: dmat.matvec(comm, x))
+    assert np.all(np.isfinite(y))
+
+
+def test_kernel_ghost_exchange(benchmark, system):
+    case, pm, _ = system
+    comm = Communicator(4)
+    rng = np.random.default_rng(2)
+    owned = [rng.random(sd.n_owned) for sd in pm.subdomains]
+    ghosts = [np.zeros(len(sd.ghost)) for sd in pm.subdomains]
+
+    benchmark(lambda: pm.pattern.exchange(comm, owned, ghosts))
+
+
+def test_kernel_ilu0_factorization(benchmark, system):
+    case, pm, dmat = system
+    a_own = dmat.owned_square[0]
+    fac = benchmark(lambda: ilu0(a_own))
+    assert fac.nnz > 0
+
+
+def test_kernel_ilut_factorization(benchmark, system):
+    case, pm, dmat = system
+    a_own = dmat.owned_square[0]
+    fac = benchmark(lambda: ilut(a_own, 1e-3, 10))
+    assert fac.nnz > 0
+
+
+def test_kernel_fe_assembly(benchmark):
+    from repro.fem.assembly import assemble_stiffness
+    from repro.mesh.grid2d import structured_rectangle
+
+    mesh = structured_rectangle(scaled_n(81), scaled_n(81))
+    k = benchmark(lambda: assemble_stiffness(mesh))
+    assert k.nnz > 0
+
+
+def test_kernel_partitioner(benchmark, system):
+    case, _, _ = system
+    from repro.graph.partitioner import partition_graph
+
+    mem = benchmark(lambda: partition_graph(case.node_graph, 8, seed=0))
+    assert len(np.unique(mem)) == 8

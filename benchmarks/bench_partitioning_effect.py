@@ -1,0 +1,39 @@
+"""T7-partition: effect of the subdomain shape (paper Sec. 5.1).
+
+Test Case 2 at P=16 with the general graph partitioner vs. the simple box
+partitioning.  Paper claims: "the change in iteration counts is hardly
+noticeable", but box partitions are better balanced so the wall-clock times
+are slightly better.
+"""
+
+from repro.cases.poisson3d import poisson3d_case
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scaled_n
+
+PRECONDS = ["schur1", "schur2", "block1", "block2"]
+P = 16
+
+
+def test_table_partitioning_effect(benchmark):
+    case = poisson3d_case(n=scaled_n(13))
+
+    def run():
+        general = run_sweep(case, PRECONDS, [P], scheme="general", maxiter=300)
+        box = run_sweep(case, PRECONDS, [P], scheme="box", maxiter=300)
+        return general, box
+
+    general, box = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "T7-partition",
+        general.table(LINUX_CLUSTER) + "\n\n" + box.table(LINUX_CLUSTER),
+    )
+
+    for name in PRECONDS:
+        g = general.get(name, P)
+        b = box.get(name, P)
+        # iterations barely change
+        assert abs(g.iterations - b.iterations) <= max(6, 0.5 * g.iterations), name
+        # box partitioning balances the per-rank work at least as well
+        assert b.solve_ledger.load_imbalance <= g.solve_ledger.load_imbalance + 0.05

@@ -1,0 +1,56 @@
+"""E1 (extension): fixed-size speedup curve with the cache threshold effect.
+
+Paper Sec. 4.3 discusses how a fixed global problem size normally favors
+small P (communication overhead grows relatively), "however, an opposite
+effect may occur if P exceeds a threshold such that the subdomain problems
+become small enough to be handled efficiently by the cache".  This bench
+regenerates that discussion quantitatively: speedup vs P for Block 2 on the
+plain cluster model and on the cache-aware variant, showing the boost once
+the largest subdomain's working set fits in the modeled 256 KB L2.
+"""
+
+import numpy as np
+
+from repro.cases.poisson2d import poisson2d_case
+from repro.core.driver import solve_case
+from repro.perfmodel.machine import LINUX_CLUSTER, LINUX_CLUSTER_CACHED
+
+from common import emit, scaled_n
+
+P_VALUES = [1, 2, 4, 8, 16, 32]
+
+
+def test_speedup_curve_with_cache_threshold(benchmark):
+    case = poisson2d_case(n=scaled_n(65))
+
+    def run():
+        return {p: solve_case(case, "block2", nparts=p, maxiter=500) for p in P_VALUES}
+
+    outs = benchmark.pedantic(run, rounds=1, iterations=1)
+    t1_plain = outs[1].sim_time(LINUX_CLUSTER)
+    t1_cache = outs[1].sim_time(LINUX_CLUSTER_CACHED)
+
+    lines = [f"{case.title} — Block 2 fixed-size speedup (Sec. 4.3 discussion)",
+             f"{'P':>4}{'plain t[s]':>12}{'speedup':>9}{'cached t[s]':>13}"
+             f"{'speedup':>9}{'fits L2':>9}"]
+    fits = {}
+    for p in P_VALUES:
+        o = outs[p]
+        tp = o.sim_time(LINUX_CLUSTER)
+        tc = o.sim_time(LINUX_CLUSTER_CACHED)
+        ws = float(np.max(o.solve_ledger.working_set_bytes))
+        fits[p] = ws <= LINUX_CLUSTER_CACHED.cache_bytes
+        lines.append(
+            f"{p:>4}{tp:>12.3f}{t1_plain / tp:>9.2f}{tc:>13.3f}"
+            f"{t1_cache / tc:>9.2f}{str(fits[p]):>9}"
+        )
+    emit("E1-speedup-cache", "\n".join(lines))
+
+    # the cache threshold is crossed somewhere in the sweep, and from then on
+    # the cached machine's speedup exceeds the plain machine's
+    assert not fits[1]
+    assert fits[P_VALUES[-1]]
+    crossing = next(p for p in P_VALUES if fits[p])
+    sp_plain = t1_plain / outs[crossing].sim_time(LINUX_CLUSTER)
+    sp_cache = t1_cache / outs[crossing].sim_time(LINUX_CLUSTER_CACHED)
+    assert sp_cache > sp_plain

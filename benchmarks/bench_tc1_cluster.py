@@ -1,0 +1,31 @@
+"""T1-cluster: Test Case 1 (Poisson 2D) on the Linux-cluster model.
+
+Paper claims to reproduce (Sec. 5, "Results for test case 1"):
+Schur 1 best overall efficiency; Schur 2 slightly faster & more stable
+convergence; Block 1 slow convergence but the best per-iteration scaling.
+"""
+
+from repro.cases.poisson2d import poisson2d_case
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scaled_n
+
+PRECONDS = ["schur1", "schur2", "block1", "block2"]
+P_VALUES = [2, 4, 8, 16]
+
+
+def test_table_tc1_cluster(benchmark):
+    case = poisson2d_case(n=scaled_n(65))
+
+    def run():
+        return run_sweep(case, PRECONDS, P_VALUES, maxiter=500)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("T1-cluster", sweep.table(LINUX_CLUSTER))
+
+    # paper-shape checks
+    s1 = [sweep.get("schur1", p) for p in P_VALUES]
+    b1 = [sweep.get("block1", p) for p in P_VALUES]
+    assert all(o.converged for o in s1)
+    assert all(o.iterations < b.iterations for o, b in zip(s1, b1))

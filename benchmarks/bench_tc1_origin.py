@@ -1,0 +1,37 @@
+"""T1-origin: Test Case 1, Schur 1 vs Block 2 on the Origin 3800 model.
+
+Paper claims: Schur 1 iteration growth is moderate; Block 2 requires many
+iterations for large P.  The paper also reports its Origin wall-clock numbers
+were polluted by heavy machine load — the loaded machine variant shows that
+effect deterministically.
+"""
+
+from repro.cases.poisson2d import poisson2d_case
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import ORIGIN_3800, ORIGIN_3800_LOADED
+
+from common import emit, scaled_n
+
+PRECONDS = ["schur1", "block2"]
+P_VALUES = [4, 8, 16, 32]
+
+
+def test_table_tc1_origin(benchmark):
+    case = poisson2d_case(n=scaled_n(65))
+
+    def run():
+        return run_sweep(case, PRECONDS, P_VALUES, maxiter=500)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "T1-origin",
+        sweep.table(ORIGIN_3800)
+        + "\n\nWith the paper's reported heavy load on the Origin 3800:\n"
+        + sweep.table(ORIGIN_3800_LOADED),
+    )
+
+    s1 = [sweep.get("schur1", p).iterations for p in P_VALUES]
+    b2 = [sweep.get("block2", p).iterations for p in P_VALUES]
+    # Schur 1 growth moderate vs Block 2 growth with P
+    assert s1[-1] - s1[0] <= b2[-1] - b2[0]
+    assert b2[-1] > b2[0]

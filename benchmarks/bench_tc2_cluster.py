@@ -1,0 +1,31 @@
+"""T2-cluster: Test Case 2 (Poisson 3D cube) on the Linux-cluster model.
+
+Paper claims: all four preconditioners converge quite fast; Schur 1 and
+Schur 2 show very stable counts; Block 2 has the best overall efficiency and
+Block 1 also beats both Schur variants on this test case.
+"""
+
+from repro.cases.poisson3d import poisson3d_case
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scaled_n
+
+PRECONDS = ["schur1", "schur2", "block1", "block2"]
+P_VALUES = [2, 4, 8, 16]
+
+
+def test_table_tc2_cluster(benchmark):
+    case = poisson3d_case(n=scaled_n(13))
+
+    def run():
+        return run_sweep(case, PRECONDS, P_VALUES, maxiter=300)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("T2-cluster", sweep.table(LINUX_CLUSTER))
+
+    for name in PRECONDS:
+        outs = [sweep.get(name, p) for p in P_VALUES]
+        assert all(o.converged for o in outs), name
+    s2 = [sweep.get("schur2", p).iterations for p in P_VALUES]
+    assert max(s2) - min(s2) <= 6  # very stable counts

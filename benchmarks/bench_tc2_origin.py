@@ -1,0 +1,27 @@
+"""T2-origin: Test Case 2, Schur 2 vs Block 2 on the Origin 3800 model.
+
+Paper claims: Schur 2 iteration counts remain stable; Block 2 growth is
+moderate.
+"""
+
+from repro.cases.poisson3d import poisson3d_case
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import ORIGIN_3800
+
+from common import emit, scaled_n
+
+PRECONDS = ["schur2", "block2"]
+P_VALUES = [4, 8, 16, 32]
+
+
+def test_table_tc2_origin(benchmark):
+    case = poisson3d_case(n=scaled_n(13))
+
+    def run():
+        return run_sweep(case, PRECONDS, P_VALUES, maxiter=300)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("T2-origin", sweep.table(ORIGIN_3800))
+
+    s2 = [sweep.get("schur2", p).iterations for p in P_VALUES]
+    assert max(s2) - min(s2) <= 8  # stable with P

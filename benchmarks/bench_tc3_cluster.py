@@ -1,0 +1,30 @@
+"""T3-cluster: Test Case 3 (Poisson, unstructured grid) on the cluster model.
+
+Paper claim: "The Schur complement enhanced preconditioners again show their
+advantage for this test case."
+"""
+
+from repro.cases.poisson_unstructured import poisson_unstructured_case
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scale
+
+PRECONDS = ["schur1", "schur2", "block1", "block2"]
+P_VALUES = [2, 4, 8, 16]
+
+
+def test_table_tc3_cluster(benchmark):
+    case = poisson_unstructured_case(target_h=0.018 / scale())
+
+    def run():
+        return run_sweep(case, PRECONDS, P_VALUES, maxiter=500)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("T3-cluster", sweep.table(LINUX_CLUSTER))
+
+    # Schur advantage: fewer iterations than either block variant at every P
+    for p in P_VALUES:
+        s_best = min(sweep.get("schur1", p).iterations, sweep.get("schur2", p).iterations)
+        b_best = min(sweep.get("block1", p).iterations, sweep.get("block2", p).iterations)
+        assert s_best < b_best

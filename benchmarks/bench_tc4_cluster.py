@@ -1,0 +1,36 @@
+"""T4-cluster: Test Case 4 (heat conduction, one implicit step).
+
+Paper claims: all preconditioners produce quite stable iteration counts on
+this 3-D parabolic case; Block 2 seems to have the best overall efficiency.
+"""
+
+from repro.cases.heat3d import heat3d_case
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scaled_n
+
+PRECONDS = ["schur1", "schur2", "block1", "block2"]
+P_VALUES = [2, 4, 8, 16]
+
+
+def test_table_tc4_cluster(benchmark):
+    case = heat3d_case(n=scaled_n(13))
+
+    def run():
+        return run_sweep(case, PRECONDS, P_VALUES, maxiter=300)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("T4-cluster", sweep.table(LINUX_CLUSTER))
+
+    for name in PRECONDS:
+        iters = [sweep.get(name, p).iterations for p in P_VALUES]
+        assert max(iters) - min(iters) <= 10, name  # stable counts
+    # Block 2 best (or tied-best) simulated efficiency among the four
+    best = min(
+        PRECONDS,
+        key=lambda name: min(
+            sweep.get(name, p).sim_time(LINUX_CLUSTER) for p in P_VALUES
+        ),
+    )
+    assert best in ("block2", "block1")

@@ -1,0 +1,30 @@
+"""T5-cluster: Test Case 5 (convection-dominated convection-diffusion).
+
+Paper claim: "the Schur 1 preconditioner is a clear winner in the overall
+computational efficiency."
+"""
+
+from repro.cases.convection2d import convection2d_case
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scaled_n
+
+PRECONDS = ["schur1", "schur2", "block1", "block2"]
+P_VALUES = [2, 4, 8, 16]
+
+
+def test_table_tc5_cluster(benchmark):
+    case = convection2d_case(n=scaled_n(65))
+
+    def run():
+        return run_sweep(case, PRECONDS, P_VALUES, maxiter=500)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("T5-cluster", sweep.table(LINUX_CLUSTER))
+
+    # Schur 1 converges everywhere with few iterations
+    s1 = [sweep.get("schur1", p) for p in P_VALUES]
+    assert all(o.converged for o in s1)
+    for p in P_VALUES:
+        assert sweep.get("schur1", p).iterations <= sweep.get("block1", p).iterations

@@ -1,0 +1,41 @@
+"""T6-cluster: Test Case 6 (linear elasticity, quarter ring).
+
+Paper claims: the toughest test case; Block 1 and Block 2 "have trouble
+producing satisfactory convergence" (the paper's table only lists Schur 1 and
+Schur 2); both Schur variants converge.  Non-converged cells render as "--".
+"""
+
+from repro.cases.elasticity_ring import elasticity_ring_case
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+from common import emit, scaled_n
+
+PRECONDS = ["schur1", "schur2", "block1", "block2"]
+P_VALUES = [2, 4, 8, 16]
+
+
+def test_table_tc6_cluster(benchmark):
+    case = elasticity_ring_case(n_theta=scaled_n(49), n_r=scaled_n(17))
+
+    def run():
+        # the budget reflects "satisfactory convergence": the Schur variants
+        # finish well inside it, the block variants generally do not.
+        # DESIGN.md §5: elasticity uses a heavier ILUT (p=30, τ=1e-4) — the
+        # grad-div coupling needs more fill than the scalar cases.
+        params = {
+            "schur1": {"fill": 30, "drop_tol": 1e-4},
+            "block2": {"fill": 30, "drop_tol": 1e-4},
+        }
+        return run_sweep(case, PRECONDS, P_VALUES, maxiter=200, precond_params=params)
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit("T6-cluster", sweep.table(LINUX_CLUSTER))
+
+    for p in P_VALUES:
+        assert sweep.get("schur2", p).converged
+    # blocks struggle on at least part of the sweep
+    block_failures = sum(
+        not sweep.get(name, p).converged for name in ("block1", "block2") for p in P_VALUES
+    )
+    assert block_failures >= 2

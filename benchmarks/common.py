@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table/figure has one ``bench_*.py`` file; running
+
+    pytest benchmarks/ --benchmark-only
+
+regenerates them all.  Grid sizes default to laptop scale and grow toward
+paper scale with the ``REPRO_SCALE`` environment variable (e.g.
+``REPRO_SCALE=4 pytest benchmarks/bench_tc1_cluster.py``); see DESIGN.md §7
+for the size map.  Each bench writes its rendered table to
+``benchmarks/results/<id>.txt`` and echoes it to the benchmark log.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def scale() -> float:
+    """Problem-size multiplier from the REPRO_SCALE env var (default 1)."""
+    return float(os.environ.get("REPRO_SCALE", "1"))
+
+
+def scaled_n(base: int) -> int:
+    """Scale a per-side grid point count (area/volume scales accordingly)."""
+    return max(5, int(round(base * scale())))
+
+
+def emit(table_id: str, text: str) -> None:
+    """Persist and echo one reproduced table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{table_id}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def outcome_cell(outcome, machine, include_setup: bool = True):
+    """(iterations | None, seconds) cell for a table; None = not converged."""
+    itr = outcome.iterations if outcome.converged else None
+    return itr, outcome.sim_time(machine, include_setup=include_setup)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Why preconditioners work: spectral diagnostics.
+
+Estimates the condition number of the TC1 Poisson operator at several grid
+resolutions (verifying the paper's Sec. 1.2 remark that κ = O(h⁻²) and the
+iteration count scales like O(h⁻¹)), then shows how each preconditioner
+compresses the spectrum of M⁻¹A.
+
+Run:  python examples/condition_diagnostics.py
+"""
+
+import numpy as np
+
+from repro.factor.ilu0 import ilu0
+from repro.factor.ilut import ilut
+from repro.fem.assembly import assemble_stiffness
+from repro.fem.boundary import apply_dirichlet
+from repro.krylov.cg import cg
+from repro.krylov.spectra import condition_estimate, preconditioned_condition_estimate
+from repro.mesh.grid2d import structured_rectangle
+
+
+def poisson(n):
+    mesh = structured_rectangle(n, n)
+    a, rhs = apply_dirichlet(
+        assemble_stiffness(mesh), np.ones(mesh.num_points),
+        mesh.all_boundary_nodes(), 0.0,
+    )
+    return a, rhs
+
+
+def main() -> None:
+    print("Paper Sec. 1.2: κ(A) = O(h⁻²), CG iterations = O(h⁻¹)\n")
+    print(f"{'grid':>8} {'h':>8} {'kappa(A)':>10} {'CG iters':>9}")
+    for n in (9, 17, 33, 65):
+        a, rhs = poisson(n)
+        kappa = condition_estimate(lambda v: a @ v, a.shape[0], steps=60, seed=0)
+        iters = cg(lambda v: a @ v, rhs, rtol=1e-8, maxiter=2000).iterations
+        print(f"{n:>4}x{n:<3} {1 / (n - 1):>8.4f} {kappa:>10.1f} {iters:>9}")
+
+    print("\nSpectrum compression by preconditioning (65x65 grid):")
+    a, rhs = poisson(65)
+    n = a.shape[0]
+    rows = [("none", lambda r: r)]
+    rows.append(("ILU(0)", ilu0(a).solve))
+    rows.append(("MILU(0)", ilu0(a, modified=True).solve))
+    rows.append(("ILUT(1e-3,10)", ilut(a, 1e-3, 10).solve))
+    print(f"{'preconditioner':>15} {'kappa(M^-1 A)':>14} {'CG iters':>9}")
+    for name, apply_m in rows:
+        kappa = preconditioned_condition_estimate(
+            lambda v: a @ v, apply_m, n, steps=60, seed=0
+        )
+        iters = cg(lambda v: a @ v, rhs, apply_m=apply_m, rtol=1e-8,
+                   maxiter=2000).iterations
+        print(f"{name:>15} {kappa:>14.1f} {iters:>9}")
+    print("\nThe stronger the spectral compression, the fewer the iterations —")
+    print("and the more serial work each application costs: the trade-off the")
+    print("paper's parallel study is about.")
+
+
+if __name__ == "__main__":
+    main()

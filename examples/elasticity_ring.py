@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The paper's toughest case: linear elasticity on a quarter ring.
+
+Runs Test Case 6 under all four algebraic preconditioners with an iteration
+budget, reproducing the paper's headline failure mode — the simple block
+preconditioners stall while the Schur-complement-enhanced ones converge —
+and reports the computed displacement field's extremes.
+
+Run:  python examples/elasticity_ring.py
+"""
+
+import numpy as np
+
+from repro.cases.elasticity_ring import elasticity_ring_case
+from repro.core.driver import solve_case
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+
+def main() -> None:
+    case = elasticity_ring_case(n_theta=49, n_r=17, mu=1.0, lam=10.0)
+    print(f"{case.title}")
+    print(f"{case.mesh.num_points} grid points x 2 unknowns = {case.num_dofs} dofs\n")
+
+    budget = 200
+    print(f"FGMRES(20), tol 1e-6, iteration budget {budget}, P = 4\n")
+    print(f"{'preconditioner':>15} {'iterations':>11} {'cluster[s]':>11}")
+    # elasticity needs a heavier ILUT than the scalar cases (DESIGN.md §5)
+    params = {"schur1": {"fill": 30, "drop_tol": 1e-4}}
+    best = None
+    for name in ("block1", "block2", "schur1", "schur2"):
+        out = solve_case(
+            case, precond=name, nparts=4, maxiter=budget,
+            precond_params=params.get(name),
+        )
+        itr = str(out.iterations) if out.converged else "n.c."
+        print(f"{out.precond:>15} {itr:>11} {out.sim_time(LINUX_CLUSTER):>11.2f}")
+        if out.converged and (best is None or out.iterations < best[1]):
+            best = (out, out.iterations)
+
+    assert best is not None, "no preconditioner converged"
+    u = best[0].x_global
+    ux, uy = u[0::2], u[1::2]
+    mag = np.hypot(ux, uy)
+    k = int(np.argmax(mag))
+    p = case.mesh.points[k]
+    print(f"\ndisplacement extremes (from {best[0].precond}):")
+    print(f"  max |u| = {mag.max():.4f} at point ({p[0]:.3f}, {p[1]:.3f})")
+    print(f"  u_x range: [{ux.min():.4f}, {ux.max():.4f}]")
+    print(f"  u_y range: [{uy.min():.4f}, {uy.max():.4f}]")
+    print("\nThe grad-div coupling (λ/μ = 10) is what defeats the purely")
+    print("local block preconditioners — the paper's Sec. 5 conclusion.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Reproduce the paper's main evaluation tables in one run.
+
+A convenience driver over the benchmark harness: runs the four-preconditioner
+sweep for each of the six test cases at laptop scale and prints the
+paper-layout tables for the Linux-cluster machine model.  For the full set
+(Origin tables, figures, ablations) run ``pytest benchmarks/
+--benchmark-only``; for larger grids pass a scale factor.
+
+Run:  python examples/paper_tables.py [scale]
+"""
+
+import sys
+
+from repro.cases import (
+    convection2d_case,
+    elasticity_ring_case,
+    heat3d_case,
+    poisson2d_case,
+    poisson3d_case,
+    poisson_unstructured_case,
+)
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+PRECONDS = ["schur1", "schur2", "block1", "block2"]
+P_VALUES = [2, 4, 8, 16]
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    n2d = max(9, int(49 * scale))
+    n3d = max(5, int(11 * scale))
+
+    builders = [
+        ("Table: Test Case 1", lambda: poisson2d_case(n=n2d), {}),
+        ("Table: Test Case 2", lambda: poisson3d_case(n=n3d), {}),
+        ("Table: Test Case 3", lambda: poisson_unstructured_case(target_h=0.022 / scale), {}),
+        ("Table: Test Case 4", lambda: heat3d_case(n=n3d), {}),
+        ("Table: Test Case 5", lambda: convection2d_case(n=n2d), {}),
+        (
+            "Table: Test Case 6",
+            lambda: elasticity_ring_case(n_theta=max(13, int(37 * scale)), n_r=13),
+            {  # elasticity needs the heavier ILUT (DESIGN.md §5)
+                "schur1": {"fill": 30, "drop_tol": 1e-4},
+                "block2": {"fill": 30, "drop_tol": 1e-4},
+            },
+        ),
+    ]
+    for title, build, params in builders:
+        case = build()
+        sweep = run_sweep(case, PRECONDS, P_VALUES, maxiter=300,
+                          precond_params=params)
+        print(f"\n=== {title} ===")
+        print(sweep.table(LINUX_CLUSTER))
+    print("\n('--' marks runs that did not reach the 1e-6 reduction within the")
+    print(" iteration budget — the paper's 'not converged' cells.)")
+
+
+if __name__ == "__main__":
+    main()

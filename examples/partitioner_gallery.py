@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Grid partitioning gallery: the Metis-like partitioner vs. box partitioning.
+
+Partitions the unit-square grid with both of the paper's schemes, renders
+the subdomains as ASCII art, and prints the quality metrics that drive the
+Sec. 5.1 comparison: edge cut (communication volume), balance, and the
+interface-point census.
+
+Run:  python examples/partitioner_gallery.py
+"""
+
+import numpy as np
+
+from repro.distributed.partition_map import PartitionMap
+from repro.graph.adjacency import graph_from_elements
+from repro.graph.geometric import box_partition_2d
+from repro.graph.partitioner import edge_cut, partition_graph, partition_sizes
+from repro.mesh.grid2d import structured_rectangle
+
+
+def render(mem: np.ndarray, nx: int, ny: int, width: int = 52) -> str:
+    chars = "0123456789abcdef"
+    grid = mem.reshape(ny, nx)
+    ys = np.linspace(ny - 1, 0, 22).astype(int)
+    xs = np.linspace(0, nx - 1, width).astype(int)
+    return "\n".join("".join(chars[grid[j, i] % 16] for i in xs) for j in ys)
+
+
+def report(name: str, mem: np.ndarray, g, nparts: int) -> None:
+    pm = PartitionMap(g, mem, num_ranks=nparts)
+    census = pm.census()
+    sizes = partition_sizes(mem, nparts)
+    print(f"--- {name} ---")
+    print(render(mem, NX, NX))
+    print(f"  sizes:     min={sizes.min()} max={sizes.max()} "
+          f"(imbalance {sizes.max() * nparts / sizes.sum():.2f})")
+    print(f"  edge cut:  {edge_cut(g, mem):.0f}")
+    print(f"  interface points per rank: {census['interface']}")
+    print(f"  max neighbors: {max(len(n) for n in census['neighbors'])}\n")
+
+
+NX = 41
+
+def main() -> None:
+    nparts = 8
+    mesh = structured_rectangle(NX, NX)
+    g = graph_from_elements(mesh.num_points, mesh.elements)
+    print(f"unit square, {NX}x{NX} points, P = {nparts}\n")
+    report("general multilevel graph partitioner (Metis substitute)",
+           partition_graph(g, nparts, seed=0), g, nparts)
+    report("simple box partitioning (Sec. 5.1)",
+           box_partition_2d(NX, NX, nparts), g, nparts)
+    print("Sec. 5.1's finding: iteration counts barely differ between the")
+    print("two schemes, but the box scheme balances better and cuts less,")
+    print("giving slightly better wall-clock times on structured grids.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: solve one of the paper's test cases with every preconditioner.
+
+Builds Test Case 1 (Poisson on the unit square), partitions it over 8
+simulated processors with the multilevel graph partitioner, and runs
+FGMRES(20) under each of the paper's four parallel algebraic preconditioners,
+printing the iteration counts and simulated wall-clock times on both machine
+models.
+
+Run:  python examples/quickstart.py [grid_points_per_side]
+"""
+
+import sys
+
+from repro import LINUX_CLUSTER, ORIGIN_3800, poisson2d_case, solve_case
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 51
+    nparts = 8
+    case = poisson2d_case(n=n)
+    print(f"{case.title}: {case.num_dofs} unknowns, P = {nparts}\n")
+    print(f"{'preconditioner':>15} {'iters':>6} {'cluster[s]':>11} {'origin[s]':>10} "
+          f"{'max error':>10}")
+    for name in ("block1", "block2", "schur1", "schur2"):
+        out = solve_case(case, precond=name, nparts=nparts, maxiter=500)
+        status = f"{out.iterations:6d}" if out.converged else "  n.c."
+        print(
+            f"{out.precond:>15} {status} {out.sim_time(LINUX_CLUSTER):>11.3f} "
+            f"{out.sim_time(ORIGIN_3800):>10.3f} {out.error:>10.2e}"
+        )
+    print(
+        "\nSchur-enhanced preconditioners need far fewer FGMRES iterations;\n"
+        "the block preconditioners are cheaper per iteration (no inner\n"
+        "communication). Which wins overall is problem dependent — the\n"
+        "paper's central observation."
+    )
+
+
+if __name__ == "__main__":
+    main()

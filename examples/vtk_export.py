@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Export solutions, partitions and errors to VTK for ParaView/VisIt.
+
+Solves Test Case 3 (Poisson on the unstructured plate-with-hole grid) in
+parallel, then writes a single legacy-VTK file carrying the computed
+solution, the pointwise error against the exact solution, and the partition
+membership — the standard way to inspect a domain-decomposition run
+visually.  Also prints an ASCII convergence-history plot.
+
+Run:  python examples/vtk_export.py [output.vtk]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.cases.poisson_unstructured import poisson_unstructured_case
+from repro.core.driver import solve_case
+from repro.core.reporting import format_convergence_history
+from repro.mesh.vtkio import write_vtk
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "plate_with_hole.vtk"
+    nparts = 6
+    case = poisson_unstructured_case(target_h=0.025)
+    print(f"{case.title}: {case.num_dofs} unknowns, P = {nparts}")
+
+    out = solve_case(case, precond="schur2", nparts=nparts, maxiter=300)
+    assert out.converged
+    print(f"FGMRES converged in {out.iterations} iterations "
+          f"(max error {out.error:.2e})\n")
+    print(format_convergence_history(out.residuals,
+                                     title="residual history (log scale)"))
+
+    membership = case.membership(nparts, seed=0)
+    path = write_vtk(
+        out_path,
+        case.mesh,
+        point_data={
+            "solution": out.x_global,
+            "error": np.abs(out.x_global - case.exact),
+            "partition": membership.astype(np.float64),
+        },
+        title=case.title,
+    )
+    print(f"\nwrote {path} "
+          f"({case.mesh.num_points} points, {case.mesh.num_elements} triangles, "
+          f"3 point fields) — open in ParaView/VisIt")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""repro — parallel algebraic preconditioners for distributed sparse systems.
+
+A from-scratch reproduction of Cai & Sosonkina, *A Numerical Study of Some
+Parallel Algebraic Preconditioners* (IPPS 2003): distributed sparse linear
+systems via domain decomposition, block and Schur-complement parallel
+preconditioners (ILU(0), ILUT, ARMS), FGMRES(20), a Metis-like multilevel
+partitioner, P1 finite elements for the paper's six test cases, and a
+machine model reproducing the paper's two platforms.
+
+Quickstart::
+
+    from repro import poisson2d_case, solve_case, LINUX_CLUSTER
+
+    case = poisson2d_case(n=101)
+    out = solve_case(case, precond="schur1", nparts=8)
+    print(out.iterations, out.sim_time(LINUX_CLUSTER))
+"""
+
+from repro.cases import (
+    CASE_BUILDERS,
+    TestCase,
+    anisotropic2d_case,
+    convection2d_case,
+    elasticity_ring_case,
+    heat3d_case,
+    poisson2d_case,
+    poisson3d_case,
+    poisson_unstructured_case,
+)
+from repro.core import (
+    PRECONDITIONER_NAMES,
+    SolveOutcome,
+    SweepResult,
+    format_paper_table,
+    make_preconditioner,
+    run_sweep,
+    solve_case,
+)
+from repro.perfmodel import (
+    LINUX_CLUSTER,
+    LINUX_CLUSTER_CACHED,
+    ORIGIN_3800,
+    ORIGIN_3800_LOADED,
+    CostLedger,
+    Machine,
+    machine_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TestCase",
+    "CASE_BUILDERS",
+    "poisson2d_case",
+    "poisson3d_case",
+    "poisson_unstructured_case",
+    "heat3d_case",
+    "convection2d_case",
+    "elasticity_ring_case",
+    "anisotropic2d_case",
+    "PRECONDITIONER_NAMES",
+    "SolveOutcome",
+    "SweepResult",
+    "solve_case",
+    "run_sweep",
+    "make_preconditioner",
+    "format_paper_table",
+    "Machine",
+    "CostLedger",
+    "LINUX_CLUSTER",
+    "LINUX_CLUSTER_CACHED",
+    "ORIGIN_3800",
+    "ORIGIN_3800_LOADED",
+    "machine_by_name",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""The paper's suite of PDE test cases (Sec. 3).
+
+Each builder returns a :class:`TestCase` bundling the assembled linear
+system, the partitioning graphs, the paper-specified initial guess and, where
+the paper gives one, the exact solution.
+"""
+
+from repro.cases.base import TestCase
+from repro.cases.poisson2d import poisson2d_case
+from repro.cases.poisson3d import poisson3d_case
+from repro.cases.poisson_unstructured import poisson_unstructured_case
+from repro.cases.heat3d import heat3d_case
+from repro.cases.convection2d import convection2d_case
+from repro.cases.elasticity_ring import elasticity_ring_case
+from repro.cases.anisotropic2d import anisotropic2d_case
+from repro.cases.lshape_poisson import lshape_poisson_case
+
+CASE_BUILDERS = {
+    "tc1": poisson2d_case,
+    "tc2": poisson3d_case,
+    "tc3": poisson_unstructured_case,
+    "tc4": heat3d_case,
+    "tc5": convection2d_case,
+    "tc6": elasticity_ring_case,
+    "aniso": anisotropic2d_case,
+    "lshape": lshape_poisson_case,
+}
+
+__all__ = [
+    "TestCase",
+    "poisson2d_case",
+    "poisson3d_case",
+    "poisson_unstructured_case",
+    "heat3d_case",
+    "convection2d_case",
+    "elasticity_ring_case",
+    "anisotropic2d_case",
+    "lshape_poisson_case",
+    "CASE_BUILDERS",
+]

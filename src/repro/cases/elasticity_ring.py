@@ -1,0 +1,51 @@
+"""Test Case 6: linear elasticity in a quarter ring (paper Sec. 3.4).
+
+−μ Δu − (μ+λ) ∇(∇·u) = f on one quarter of a ring (inner radius 1, outer 2)
+with a curvilinear structured grid; u₁ = 0 on Γ₁ (the x = 0 symmetry plane),
+u₂ = 0 on Γ₂ (the y = 0 plane), stress prescribed elsewhere.  We take the
+prescribed stress to be zero (traction-free arcs) and drive the problem with
+a volume load; the paper does not specify f, so we use a uniform downward
+pull — the conclusions concern the solver, not the load.  Two unknowns per
+grid point, node-blocked numbering.  This is the paper's toughest case: the
+grad-div coupling makes simple block preconditioners struggle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cases.base import TestCase
+from repro.fem.boundary import apply_dirichlet, dirichlet_dofs_from_nodes
+from repro.fem.elasticity import assemble_elasticity, elasticity_load
+from repro.mesh.ring import quarter_ring
+
+
+def _volume_load(points: np.ndarray) -> np.ndarray:
+    f = np.zeros((len(points), 2))
+    f[:, 1] = -1.0  # uniform downward volume load
+    return f
+
+
+def elasticity_ring_case(
+    n_theta: int = 49, n_r: int = 17, mu: float = 1.0, lam: float = 10.0
+) -> TestCase:
+    """Build Test Case 6 (paper grid ≈ 97×33 points, 2 dofs each)."""
+    mesh = quarter_ring(n_theta, n_r)
+    raw = assemble_elasticity(mesh, mu=mu, lam=lam)
+    rhs = elasticity_load(mesh, _volume_load)
+    d1 = dirichlet_dofs_from_nodes(mesh.boundary_set("gamma1"), 2, component=0)
+    d2 = dirichlet_dofs_from_nodes(mesh.boundary_set("gamma2"), 2, component=1)
+    dofs = np.concatenate([d1, d2])
+    a, b = apply_dirichlet(raw, rhs, dofs, 0.0)
+    x0 = np.zeros(2 * mesh.num_points)
+    return TestCase(
+        key="tc6",
+        title="Linear elasticity, quarter ring (μ=%g, λ=%g)" % (mu, lam),
+        mesh=mesh,
+        matrix=a,
+        rhs=b,
+        raw_matrix=raw,
+        x0=x0,
+        exact=None,
+        dofs_per_node=2,
+    )

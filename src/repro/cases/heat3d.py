@@ -1,0 +1,43 @@
+"""Test Case 4: heat conduction in the 3D unit cube (paper Sec. 3.2).
+
+u_t = k ∇²u with k = 1, implicit Euler with Δt = 0.05, one time step:
+(M + Δt K) u¹ = M u⁰ with u⁰ = sin(πx) sin(πy) (as written in the paper —
+independent of z), u = 0 on the side x = 1 and ∂u/∂n = 0 on the rest of the
+boundary.  The initial condition doubles as the initial guess.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cases.base import TestCase
+from repro.fem.boundary import apply_dirichlet
+from repro.fem.timestepping import ImplicitEulerOperator
+from repro.mesh.grid3d import structured_box
+
+
+def _u0(points: np.ndarray) -> np.ndarray:
+    return np.sin(np.pi * points[:, 0]) * np.sin(np.pi * points[:, 1])
+
+
+def heat3d_case(n: int = 21, dt: float = 0.05, conductivity: float = 1.0) -> TestCase:
+    """Build Test Case 4 on an ``n³`` grid (paper: n = 101, Δt = 0.05)."""
+    mesh = structured_box(n, n, n)
+    op = ImplicitEulerOperator(mesh, dt=dt, conductivity=conductivity)
+    u0 = _u0(mesh.points)
+    rhs = op.rhs(u0)
+    dirichlet = mesh.boundary_set("right")  # u = 0 on x = 1
+    a, b = apply_dirichlet(op.matrix, rhs, dirichlet, 0.0)
+    # homogeneous Neumann elsewhere is the natural condition: nothing to do
+    x0 = u0.copy()
+    x0[dirichlet] = 0.0  # (u0 already vanishes at x = 1)
+    return TestCase(
+        key="tc4",
+        title="Heat conduction, 3D unit cube (one implicit step)",
+        mesh=mesh,
+        matrix=a,
+        rhs=b,
+        raw_matrix=op.matrix,
+        x0=x0,
+        exact=None,
+    )

@@ -1,0 +1,39 @@
+"""Extension case: Poisson on the L-shaped domain.
+
+The re-entrant corner at (1/2, 1/2) produces an r^{2/3}-type solution
+singularity — reduced regularity that no amount of smooth-problem tuning
+sees.  Together with the anisotropic case it completes the
+problem-dependence sweep: smooth structured (tc1/tc2), unstructured (tc3),
+parabolic (tc4), convective (tc5), vector-valued (tc6), anisotropic (aniso),
+and singular (lshape).
+
+−∇²u = 1 with u = 0 on the whole boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cases.base import TestCase
+from repro.fem.assembly import assemble_load, assemble_stiffness
+from repro.fem.boundary import apply_dirichlet
+from repro.mesh.lshape import l_shape
+
+
+def lshape_poisson_case(n: int = 33) -> TestCase:
+    """Build the L-shape Poisson case (``n`` points per half-side)."""
+    mesh = l_shape(n)
+    raw = assemble_stiffness(mesh)
+    rhs = assemble_load(mesh, lambda p: np.ones(len(p)))
+    bnodes = mesh.all_boundary_nodes()
+    a, b = apply_dirichlet(raw, rhs, bnodes, 0.0)
+    return TestCase(
+        key="lshape",
+        title="Poisson, L-shaped domain (re-entrant corner)",
+        mesh=mesh,
+        matrix=a,
+        rhs=b,
+        raw_matrix=raw,
+        x0=np.zeros(mesh.num_points),
+        exact=None,
+    )

@@ -1,0 +1,134 @@
+"""Command-line interface: ``python -m repro``.
+
+Runs any of the paper's test cases under any preconditioner, or a full
+paper-style sweep, from the shell::
+
+    python -m repro solve --case tc1 --precond schur1 --nparts 8
+    python -m repro sweep --case tc2 --preconds schur1,block2 --p 2,4,8,16
+    python -m repro info
+
+Sizes default to laptop scale; ``--size`` overrides the case's resolution
+parameter (grid points per side, or 1/h for tc3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.cases import CASE_BUILDERS
+from repro.core.driver import PRECONDITIONER_NAMES, solve_case
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import machine_by_name
+
+
+def _build_case(key: str, size: int | None):
+    try:
+        builder = CASE_BUILDERS[key]
+    except KeyError:
+        raise SystemExit(f"unknown case {key!r}; pick from {sorted(CASE_BUILDERS)}")
+    if size is None:
+        return builder()
+    if key == "tc3":
+        return builder(target_h=1.0 / size)
+    if key == "tc6":
+        return builder(n_theta=size, n_r=max(3, size // 3))
+    return builder(n=size)
+
+
+def _parse_int_list(text: str) -> list[int]:
+    try:
+        return [int(t) for t in text.split(",") if t]
+    except ValueError:
+        raise SystemExit(f"expected a comma-separated integer list, got {text!r}")
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel algebraic preconditioners (Cai & Sosonkina, IPPS 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run one case under one preconditioner")
+    solve.add_argument("--case", default="tc1", help=f"one of {sorted(CASE_BUILDERS)}")
+    solve.add_argument("--precond", default="schur1",
+                       help=f"one of {PRECONDITIONER_NAMES}")
+    solve.add_argument("--nparts", type=int, default=4)
+    solve.add_argument("--size", type=int, default=None, help="resolution override")
+    solve.add_argument("--seed", type=int, default=0, help="partitioning seed")
+    solve.add_argument("--scheme", choices=("general", "box", "spectral"), default="general")
+    solve.add_argument("--machine", default="linux-cluster")
+    solve.add_argument("--rtol", type=float, default=1e-6)
+    solve.add_argument("--maxiter", type=int, default=500)
+
+    sweep = sub.add_parser("sweep", help="run a paper-style table")
+    sweep.add_argument("--case", default="tc1")
+    sweep.add_argument("--preconds", default="schur1,schur2,block1,block2",
+                       help="comma-separated preconditioner names")
+    sweep.add_argument("--p", default="2,4,8,16", help="comma-separated P values")
+    sweep.add_argument("--size", type=int, default=None)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--scheme", choices=("general", "box", "spectral"), default="general")
+    sweep.add_argument("--machine", default="linux-cluster")
+    sweep.add_argument("--maxiter", type=int, default=500)
+
+    sub.add_parser("info", help="list available cases, preconditioners, machines")
+    return parser
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    case = _build_case(args.case, args.size)
+    machine = machine_by_name(args.machine)
+    out = solve_case(
+        case,
+        precond=args.precond,
+        nparts=args.nparts,
+        seed=args.seed,
+        scheme=args.scheme,
+        rtol=args.rtol,
+        maxiter=args.maxiter,
+    )
+    print(f"{case.title}: {case.num_dofs} unknowns, P={args.nparts}, "
+          f"{out.precond}, {args.scheme} partitioning")
+    status = "converged" if out.converged else "NOT CONVERGED"
+    print(f"  {status} in {out.iterations} FGMRES(20) iterations "
+          f"(reduction {out.residuals[-1] / out.residuals[0]:.2e})")
+    print(f"  simulated time on {machine.name}: {out.sim_time(machine):.3f}s "
+          f"(setup {machine.time(out.setup_ledger):.3f}s)")
+    if out.error is not None:
+        print(f"  max error vs exact solution: {out.error:.3e}")
+    return 0 if out.converged else 1
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    case = _build_case(args.case, args.size)
+    machine = machine_by_name(args.machine)
+    sweep = run_sweep(
+        case,
+        [name for name in args.preconds.split(",") if name],
+        _parse_int_list(args.p),
+        seed=args.seed,
+        scheme=args.scheme,
+        maxiter=args.maxiter,
+    )
+    print(sweep.table(machine))
+    return 0
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    from repro.perfmodel.machine import _MACHINES
+
+    print("cases:          ", ", ".join(sorted(CASE_BUILDERS)))
+    print("preconditioners:", ", ".join(PRECONDITIONER_NAMES))
+    print("machines:       ", ", ".join(sorted(_MACHINES)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = make_parser().parse_args(argv)
+    return {"solve": cmd_solve, "sweep": cmd_sweep, "info": cmd_info}[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""Simulated message-passing layer.
+
+The library executes the distributed algorithms' exact data flow inside one
+process: each "processor" owns a slice of every distributed object, ghost
+exchanges copy real data between slices, and every message and collective is
+recorded in the :class:`~repro.perfmodel.CostLedger` so the machine models can
+price the run.  The API mirrors the MPI idioms of the mpi4py guide
+(point-to-point exchanges derived from a communication pattern, plus
+allreduce/allgather collectives).
+"""
+
+from repro.comm.communicator import Communicator
+from repro.comm.pattern import CommunicationPattern, ExchangeSpec
+from repro.comm.collectives import allgather_concat, allreduce_sum
+
+__all__ = [
+    "Communicator",
+    "CommunicationPattern",
+    "ExchangeSpec",
+    "allreduce_sum",
+    "allgather_concat",
+]

@@ -1,0 +1,31 @@
+"""Collective operations with cost accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+
+
+def allreduce_sum(comm: Communicator, local_values) -> float:
+    """Global sum of one scalar contribution per rank (MPI_Allreduce).
+
+    ``local_values`` is a length-``size`` sequence of per-rank partial values.
+    """
+    vals = np.asarray(local_values, dtype=np.float64)
+    if vals.shape != (comm.size,):
+        raise ValueError(f"expected {comm.size} partial values, got {vals.shape}")
+    comm.ledger.add_allreduce(nbytes=8)
+    return float(vals.sum())
+
+
+def allgather_concat(comm: Communicator, locals_: list[np.ndarray]) -> np.ndarray:
+    """Concatenate per-rank arrays on every rank (MPI_Allgatherv).
+
+    Charged as an allreduce of the total payload (ring/bruck-style cost).
+    """
+    if len(locals_) != comm.size:
+        raise ValueError(f"expected {comm.size} local arrays")
+    total_bytes = 8 * sum(len(a) for a in locals_)
+    comm.ledger.add_allreduce(nbytes=total_bytes)
+    return np.concatenate(locals_) if locals_ else np.empty(0)

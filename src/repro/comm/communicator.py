@@ -1,0 +1,29 @@
+"""The simulated communicator: rank bookkeeping plus cost accounting."""
+
+from __future__ import annotations
+
+from repro.perfmodel.costs import CostLedger
+
+
+class Communicator:
+    """A communicator over ``size`` simulated processors.
+
+    Holds the :class:`CostLedger` that all distributed operations charge.
+    ``reset_ledger`` starts a fresh accounting period (e.g. to separate the
+    preconditioner setup phase from the solve phase).
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("communicator size must be >= 1")
+        self.size = size
+        self.ledger = CostLedger(size)
+
+    def reset_ledger(self) -> CostLedger:
+        """Replace the ledger with a fresh one; returns the old ledger."""
+        old = self.ledger
+        self.ledger = CostLedger(self.size)
+        return old
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Communicator(size={self.size})"

@@ -1,0 +1,29 @@
+"""High-level driver: partition → distribute → precondition → solve → report."""
+
+from repro.core.driver import (
+    PRECONDITIONER_NAMES,
+    SolveOutcome,
+    make_preconditioner,
+    solve_case,
+)
+from repro.core.experiment import SweepResult, run_sweep
+from repro.core.reporting import (
+    format_convergence_history,
+    format_efficiency_table,
+    format_paper_table,
+)
+from repro.core.transient import StepRecord, TransientHeatSolver
+
+__all__ = [
+    "StepRecord",
+    "TransientHeatSolver",
+    "PRECONDITIONER_NAMES",
+    "SolveOutcome",
+    "make_preconditioner",
+    "solve_case",
+    "SweepResult",
+    "run_sweep",
+    "format_paper_table",
+    "format_convergence_history",
+    "format_efficiency_table",
+]

@@ -1,0 +1,80 @@
+"""Experiment sweeps: one paper table = one sweep over (preconditioner, P)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.cases.base import TestCase
+from repro.core.driver import SolveOutcome, solve_case
+from repro.core.reporting import format_paper_table
+from repro.perfmodel.machine import LINUX_CLUSTER, Machine
+
+
+@dataclass
+class SweepResult:
+    """All outcomes of one table's sweep."""
+
+    case_key: str
+    case_title: str
+    scheme: str
+    p_values: list[int]
+    preconds: list[str]
+    outcomes: dict[tuple[str, int], SolveOutcome] = field(default_factory=dict)
+
+    def get(self, precond: str, p: int) -> SolveOutcome | None:
+        return self.outcomes.get((precond, p))
+
+    def table(self, machine: Machine = LINUX_CLUSTER, include_setup: bool = True) -> str:
+        """Render this sweep as a paper-style table on ``machine``."""
+        columns: dict[str, dict[int, tuple[int | None, float | None]]] = {}
+        for name in self.preconds:
+            col: dict[int, tuple[int | None, float | None]] = {}
+            for p in self.p_values:
+                out = self.get(name, p)
+                if out is None:
+                    continue
+                itr = out.iterations if out.converged else None
+                col[p] = (itr, out.sim_time(machine, include_setup=include_setup))
+            display = self.outcomes.get((name, self.p_values[0]))
+            label = display.precond if display is not None else name
+            columns[label] = col
+        title = f"{self.case_title} — machine: {machine.name} — {self.scheme} partitioning"
+        return format_paper_table(title, self.p_values, columns)
+
+
+def run_sweep(
+    case: TestCase,
+    preconds: Sequence[str],
+    p_values: Sequence[int],
+    seed: int = 0,
+    scheme: str = "general",
+    maxiter: int = 500,
+    precond_params: dict[str, dict] | None = None,
+) -> SweepResult:
+    """Run one paper table: every preconditioner at every processor count.
+
+    ``precond_params`` maps preconditioner short names to keyword overrides.
+    """
+    precond_params = precond_params or {}
+    result = SweepResult(
+        case_key=case.key,
+        case_title=case.title,
+        scheme=scheme,
+        p_values=list(p_values),
+        preconds=list(preconds),
+    )
+    for p in p_values:
+        for name in preconds:
+            outcome = solve_case(
+                case,
+                precond=name,
+                nparts=p,
+                seed=seed,
+                scheme=scheme,
+                maxiter=maxiter,
+                precond_params=precond_params.get(name),
+                keep_solution=False,
+            )
+            result.outcomes[(name, p)] = outcome
+    return result

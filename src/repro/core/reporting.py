@@ -1,0 +1,108 @@
+"""Paper-style result tables.
+
+Each evaluation table in the paper lists, for a fixed test case and machine,
+FGMRES iteration counts and wall-clock seconds per preconditioner as P
+varies.  ``format_paper_table`` renders exactly that layout.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+
+def format_paper_table(
+    title: str,
+    p_values: Sequence[int],
+    columns: Mapping[str, Mapping[int, tuple[int | None, float | None]]],
+    time_format: str = "{:.2f}",
+) -> str:
+    """Render an iterations/time table.
+
+    ``columns[name][p]`` is an ``(iterations, seconds)`` pair; ``None``
+    entries render as "--" (the paper's "not converged" marker renders as
+    "n.c." when iterations is the string "n.c.").
+    """
+    names = list(columns)
+    width = 15
+    lines = [title]
+    header1 = "  P  " + "".join(f"{name:^{width}}" for name in names)
+    header2 = "     " + "".join(f"{'#itr':>7}{'time':>8}" for _ in names)
+    lines.append(header1)
+    lines.append(header2)
+    for p in p_values:
+        row = f"{p:4d} "
+        for name in names:
+            entry = columns[name].get(p)
+            if entry is None:
+                row += f"{'--':>7}{'--':>8}"
+                continue
+            itr, t = entry
+            itr_s = "--" if itr is None else str(itr)
+            t_s = "--" if t is None else time_format.format(t)
+            row += f"{itr_s:>7}{t_s:>8}"
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def format_convergence_history(
+    residuals: Sequence[float],
+    title: str = "convergence history",
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """ASCII semilog plot of a residual history (iterations vs log10 ‖r‖).
+
+    The terminal-native equivalent of the convergence plots solver papers
+    show; used by examples and for quick diagnosis of stagnation/restart
+    artifacts.
+    """
+    rs = [max(float(r), 1e-300) for r in residuals]
+    if len(rs) < 2:
+        return f"{title}\n(history too short to plot)"
+    logs = [math.log10(r) for r in rs]
+    lo, hi = min(logs), max(logs)
+    if hi - lo < 1e-12:
+        hi = lo + 1.0
+    # map iteration index to column, log-residual to row
+    cols = [round(i * (width - 1) / (len(logs) - 1)) for i in range(len(logs))]
+    grid = [[" "] * width for _ in range(height)]
+    for c, lg in zip(cols, logs):
+        r_row = round((hi - lg) / (hi - lo) * (height - 1))
+        grid[r_row][c] = "*"
+    lines = [title]
+    for k, row in enumerate(grid):
+        label = hi - k * (hi - lo) / (height - 1)
+        lines.append(f"10^{label:+6.1f} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(" " * 11 + f"0{'iterations':^{width - 12}}{len(rs) - 1}")
+    return "\n".join(lines)
+
+
+def format_efficiency_table(
+    title: str,
+    p_values: Sequence[int],
+    times: Mapping[str, Mapping[int, float]],
+    base_p: int | None = None,
+) -> str:
+    """Relative speedup/efficiency table: S(P) = T(P₀)·P₀/T(P)... rendered as
+    speedup relative to the smallest measured P (the standard fixed-size
+    presentation when a serial run is impractical)."""
+    names = list(times)
+    p0 = base_p if base_p is not None else min(p_values)
+    lines = [title]
+    lines.append("  P  " + "".join(f"{n:^22}" for n in names))
+    lines.append("     " + "".join(f"{'time':>8}{'speedup':>8}{'eff':>6}" for _ in names))
+    for p in p_values:
+        row = f"{p:4d} "
+        for name in names:
+            t = times[name].get(p)
+            t0 = times[name].get(p0)
+            if t is None or t0 is None or t <= 0:
+                row += f"{'--':>8}{'--':>8}{'--':>6}"
+                continue
+            speedup = t0 / t * 1.0
+            eff = speedup * p0 / p
+            row += f"{t:>8.3f}{speedup:>8.2f}{eff:>6.2f}"
+        lines.append(row)
+    return "\n".join(lines)

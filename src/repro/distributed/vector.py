@@ -1,0 +1,62 @@
+"""Distributed vectors (thin wrapper over the layout + raw array idiom)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.comm.collectives import allreduce_sum
+from repro.comm.communicator import Communicator
+from repro.distributed.partition_map import PartitionMap
+
+
+class DistributedVector:
+    """A vector in distributed ordering with communication-aware reductions.
+
+    Most of the library works on raw numpy arrays in distributed ordering
+    (views are free; updates are fused numpy ops); this class packages that
+    idiom for the public API and the examples.
+    """
+
+    def __init__(self, pm: PartitionMap, data: np.ndarray | None = None) -> None:
+        self.pm = pm
+        n = pm.layout.total
+        if data is None:
+            data = np.zeros(n)
+        data = np.asarray(data, dtype=np.float64)
+        if data.shape != (n,):
+            raise ValueError(f"data must have shape ({n},)")
+        self.data = data
+
+    @classmethod
+    def from_global(cls, pm: PartitionMap, x_global: np.ndarray) -> "DistributedVector":
+        return cls(pm, pm.to_distributed(x_global))
+
+    def to_global(self) -> np.ndarray:
+        return self.pm.to_global(self.data)
+
+    def local(self, rank: int) -> np.ndarray:
+        """Rank's owned block (a writable view)."""
+        return self.pm.layout.local(self.data, rank)
+
+    def dot(self, other: "DistributedVector", comm: Communicator) -> float:
+        """Global inner product: per-rank partial dots + one allreduce."""
+        if other.pm is not self.pm:
+            raise ValueError("vectors belong to different partition maps")
+        partials = [
+            float(np.dot(self.local(r), other.local(r)))
+            for r in range(self.pm.num_ranks)
+        ]
+        comm.ledger.add_phase(2.0 * self.pm.layout.sizes)
+        return allreduce_sum(comm, partials)
+
+    def norm(self, comm: Communicator) -> float:
+        return float(np.sqrt(self.dot(self, comm)))
+
+    def copy(self) -> "DistributedVector":
+        return DistributedVector(self.pm, self.data.copy())
+
+    def axpy(self, alpha: float, x: "DistributedVector") -> None:
+        """``self += alpha * x`` (local operation, no communication)."""
+        if x.pm is not self.pm:
+            raise ValueError("vectors belong to different partition maps")
+        self.data += alpha * x.data

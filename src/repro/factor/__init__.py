@@ -1,0 +1,27 @@
+"""Incomplete and small dense factorizations.
+
+The paper's preconditioners are assembled from these pieces: ILU(0) and
+ILUT(τ,p) subdomain factorizations, the trailing Schur blocks (L_S, U_S)
+extracted from an ILU of the [internal; interface]-ordered local matrix, the
+two-level ARMS solver, and plain dense LU (Gaussian elimination) for coarse
+grids and ARMS's small group blocks.
+"""
+
+from repro.factor.base import ILUFactorization
+from repro.factor.ilu0 import ilu0
+from repro.factor.ilut import ilut
+from repro.factor.schur_extract import SchurBlocks, extract_schur_blocks
+from repro.factor.dense import DenseLU, dense_lu
+from repro.factor.arms import ArmsFactorization, arms_factor
+
+__all__ = [
+    "ILUFactorization",
+    "ilu0",
+    "ilut",
+    "SchurBlocks",
+    "extract_schur_blocks",
+    "DenseLU",
+    "dense_lu",
+    "ArmsFactorization",
+    "arms_factor",
+]

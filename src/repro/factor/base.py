@@ -1,0 +1,51 @@
+"""Common container for incomplete LU factorizations."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.triangular import TriangularFactor
+from repro.utils.validation import ensure_csr
+
+
+class ILUFactorization:
+    """An (incomplete) LU factorization A ≈ L U.
+
+    ``l_strict`` holds the strictly lower triangle of L (unit diagonal
+    implicit); ``u_upper`` holds U including its diagonal.  Solves use the
+    level-scheduled vectorized kernels of :mod:`repro.sparse.triangular`.
+    """
+
+    def __init__(self, l_strict: sp.csr_matrix, u_upper: sp.csr_matrix) -> None:
+        self.l_strict = ensure_csr(l_strict)
+        self.u_upper = ensure_csr(u_upper)
+        n = self.l_strict.shape[0]
+        if self.l_strict.shape != (n, n) or self.u_upper.shape != (n, n):
+            raise ValueError("L and U must be square and the same size")
+        self.n = n
+        u_strict = sp.triu(self.u_upper, k=1, format="csr")
+        diag = self.u_upper.diagonal()
+        self.L = TriangularFactor(self.l_strict, None, lower=True)
+        self.U = TriangularFactor(ensure_csr(u_strict), diag, lower=False)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Apply (LU)^{-1}: forward then backward substitution."""
+        return self.U.solve(self.L.solve(b))
+
+    def solve_flops(self) -> float:
+        """Flop count of one forward+backward solve (for the perf model)."""
+        return float(self.L.flops() + self.U.flops())
+
+    @property
+    def nnz(self) -> int:
+        return self.l_strict.nnz + self.u_upper.nnz
+
+    def fill_factor(self, a: sp.csr_matrix) -> float:
+        """nnz(L+U) / nnz(A) — the classical memory-cost metric."""
+        return (self.nnz + self.n) / max(a.nnz, 1)
+
+    def as_product(self) -> sp.csr_matrix:
+        """Explicit L @ U (testing aid; O(n·nnz), small matrices only)."""
+        eye = sp.eye(self.n, format="csr")
+        return ensure_csr((self.l_strict + eye) @ self.u_upper)

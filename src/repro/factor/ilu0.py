@@ -1,0 +1,84 @@
+"""Zero fill-in incomplete LU — ILU(0).
+
+The IKJ row variant restricted to the sparsity pattern of A (Saad, Alg.
+10.4): eliminating row i against each earlier row k named by its own lower
+pattern, updating only positions already present in row i.  Block 1 uses one
+ILU(0) per subdomain; Schur 2 uses a distributed ILU(0) on the expanded Schur
+system.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.factor.base import ILUFactorization
+from repro.utils.validation import check_square, ensure_csr
+
+_PIVOT_FLOOR = 1e-12
+
+
+def ilu0(a: sp.csr_matrix, modified: bool = False) -> ILUFactorization:
+    """Compute the ILU(0) factorization of ``a``.
+
+    Rows must have a stored diagonal (always true for FE matrices after
+    boundary treatment).  A pivot that collapses below ``1e-12`` times the
+    row norm is replaced by a sign-preserving floor — the usual safeguard
+    against breakdown on indefinite rows.
+
+    ``modified=True`` gives MILU(0): every update that falls outside the
+    pattern is subtracted from the row's diagonal instead of being dropped,
+    so the factorization preserves row sums ((LU)·1 = A·1).  For elliptic
+    problems MILU's condition number is O(h⁻¹) vs ILU's O(h⁻²) — the
+    classical Gustafsson result (ablation bench A7).
+    """
+    a = ensure_csr(a)
+    check_square(a, "a")
+    n = a.shape[0]
+    indptr, indices = a.indptr, a.indices
+    data = a.data.copy()
+
+    # position of each column within each row, and of the diagonal
+    colpos: list[dict[int, int]] = []
+    diag_pos = np.empty(n, dtype=np.int64)
+    for i in range(n):
+        lo, hi = indptr[i], indptr[i + 1]
+        d = {int(indices[p]): int(p) for p in range(lo, hi)}
+        colpos.append(d)
+        if i not in d:
+            raise ValueError(f"row {i} has no stored diagonal entry")
+        diag_pos[i] = d[i]
+
+    for i in range(n):
+        lo, hi = indptr[i], indptr[i + 1]
+        row_cols = indices[lo:hi]
+        rownorm = float(np.abs(data[lo:hi]).max()) or 1.0
+        dropped = 0.0
+        for p in range(lo, hi):
+            k = int(indices[p])
+            if k >= i:
+                break
+            piv = data[diag_pos[k]]
+            lik = data[p] / piv
+            data[p] = lik
+            if lik == 0.0:
+                continue
+            # update row i against U-part of row k, restricted to pattern(i)
+            khi = indptr[k + 1]
+            for q in range(diag_pos[k] + 1, khi):
+                j = int(indices[q])
+                pos = colpos[i].get(j)
+                if pos is not None:
+                    data[pos] -= lik * data[q]
+                elif modified:
+                    dropped += lik * data[q]
+        dp = diag_pos[i]
+        if modified:
+            data[dp] -= dropped
+        if abs(data[dp]) < _PIVOT_FLOOR * rownorm:
+            data[dp] = _PIVOT_FLOOR * rownorm if data[dp] >= 0 else -_PIVOT_FLOOR * rownorm
+
+    lu = sp.csr_matrix((data, indices.copy(), indptr.copy()), shape=a.shape)
+    l_strict = sp.tril(lu, k=-1, format="csr")
+    u_upper = sp.triu(lu, k=0, format="csr")
+    return ILUFactorization(l_strict, u_upper)

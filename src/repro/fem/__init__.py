@@ -1,0 +1,49 @@
+"""Finite-element discretization (P1 triangles and tetrahedra).
+
+Provides the discrete operators the paper's test suite needs: Laplacian
+stiffness, mass matrices, convection with streamline-upwind weighting, and
+plane elasticity in the Navier (μ, λ) form of Eq. (15).
+"""
+
+from repro.fem.p1_triangle import triangle_geometry
+from repro.fem.p1_tet import tet_geometry
+from repro.fem.assembly import (
+    assemble_convection,
+    assemble_stiffness_tensor,
+    assemble_load,
+    assemble_mass,
+    assemble_stiffness,
+)
+from repro.fem.supg import assemble_streamline_diffusion, peclet_tau
+from repro.fem.elasticity import assemble_elasticity, elasticity_load
+from repro.fem.boundary import apply_dirichlet, dirichlet_dofs_from_nodes
+from repro.fem.timestepping import ImplicitEulerOperator
+from repro.fem.neumann import (
+    assemble_neumann_load,
+    assemble_traction_load,
+    boundary_edges_of_set,
+)
+from repro.fem.norms import error_norms, h1_seminorm, l2_norm
+
+__all__ = [
+    "triangle_geometry",
+    "tet_geometry",
+    "assemble_stiffness",
+    "assemble_stiffness_tensor",
+    "assemble_mass",
+    "assemble_convection",
+    "assemble_load",
+    "assemble_streamline_diffusion",
+    "peclet_tau",
+    "assemble_elasticity",
+    "elasticity_load",
+    "apply_dirichlet",
+    "dirichlet_dofs_from_nodes",
+    "ImplicitEulerOperator",
+    "assemble_neumann_load",
+    "assemble_traction_load",
+    "boundary_edges_of_set",
+    "l2_norm",
+    "h1_seminorm",
+    "error_norms",
+]

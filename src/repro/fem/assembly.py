@@ -1,0 +1,114 @@
+"""Global FE matrix and vector assembly.
+
+Element matrices are formed for *all* elements at once as ``(ne, k, k)``
+arrays and scattered into a COO triplet list in one shot — the vectorized
+assembly idiom.  The distributed variant (per-subdomain assembly without ever
+forming the global matrix, Sec. 1.1 of the paper) lives in
+:mod:`repro.distributed.assembly` and reuses these kernels on element subsets.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.p1_tet import tet_geometry
+from repro.fem.p1_triangle import triangle_geometry
+from repro.mesh.mesh import Mesh
+from repro.sparse.csr import csr_from_coo
+
+
+def _geometry(mesh: Mesh) -> tuple[np.ndarray, np.ndarray]:
+    return triangle_geometry(mesh) if mesh.dim == 2 else tet_geometry(mesh)
+
+
+def scatter_element_matrices(
+    mesh: Mesh, local: np.ndarray, num_dofs: int | None = None
+) -> sp.csr_matrix:
+    """Scatter ``(ne, k, k)`` element matrices into a global CSR matrix."""
+    elems = mesh.elements
+    ne, k = elems.shape
+    if local.shape != (ne, k, k):
+        raise ValueError(f"expected element matrices of shape {(ne, k, k)}")
+    n = num_dofs if num_dofs is not None else mesh.num_points
+    rows = np.repeat(elems, k, axis=1).ravel()
+    cols = np.tile(elems, (1, k)).ravel()
+    return csr_from_coo(rows, cols, local.ravel(), (n, n))
+
+
+def assemble_stiffness(mesh: Mesh, kappa: float = 1.0) -> sp.csr_matrix:
+    """Stiffness matrix of ``-kappa * Laplacian`` (P1 elements).
+
+    K[i,j] = kappa * ∫ ∇φ_i · ∇φ_j dx.
+    """
+    measure, grads = _geometry(mesh)
+    local = kappa * measure[:, None, None] * np.einsum("eid,ejd->eij", grads, grads)
+    return scatter_element_matrices(mesh, local)
+
+
+def assemble_stiffness_tensor(mesh: Mesh, tensor: np.ndarray) -> sp.csr_matrix:
+    """Stiffness matrix of ``-div(K grad u)`` for a constant SPD tensor K.
+
+    K[i,j] = ∫ ∇φ_i · K ∇φ_j dx.  Used for anisotropic-diffusion studies
+    (problem-dependence ablations); ``assemble_stiffness`` is the K = κI
+    special case.
+    """
+    tensor = np.asarray(tensor, dtype=np.float64)
+    d = mesh.dim
+    if tensor.shape != (d, d):
+        raise ValueError(f"tensor must be ({d}, {d})")
+    if not np.allclose(tensor, tensor.T):
+        raise ValueError("diffusion tensor must be symmetric")
+    measure, grads = _geometry(mesh)
+    kg = np.einsum("xd,ejd->ejx", tensor, grads)  # K ∇φ_j per element
+    local = measure[:, None, None] * np.einsum("eid,ejd->eij", grads, kg)
+    return scatter_element_matrices(mesh, local)
+
+
+def assemble_mass(mesh: Mesh) -> sp.csr_matrix:
+    """Consistent mass matrix M[i,j] = ∫ φ_i φ_j dx.
+
+    Exact for P1: M_e = measure/((k)(k+1)) * (1 + δ_ij), with k+1 local basis
+    functions (k = spatial dimension + ... concretely: triangles measure/12 *
+    (1+δ), tets measure/20 * (1+δ)).
+    """
+    measure, grads = _geometry(mesh)
+    k = mesh.elements.shape[1]
+    denom = {3: 12.0, 4: 20.0}[k]
+    base = (np.ones((k, k)) + np.eye(k)) / denom
+    local = measure[:, None, None] * base[None, :, :]
+    return scatter_element_matrices(mesh, local)
+
+
+def assemble_convection(mesh: Mesh, velocity: np.ndarray) -> sp.csr_matrix:
+    """Convection matrix C[i,j] = ∫ φ_i (v · ∇φ_j) dx for constant velocity ``v``.
+
+    Uses the exact P1 integral ∫ φ_i = measure / k on each element.
+    """
+    velocity = np.asarray(velocity, dtype=np.float64)
+    if velocity.shape != (mesh.dim,):
+        raise ValueError(f"velocity must have shape ({mesh.dim},)")
+    measure, grads = _geometry(mesh)
+    k = mesh.elements.shape[1]
+    vg = grads @ velocity  # (ne, k): v · ∇φ_j on each element
+    local = (measure / k)[:, None, None] * vg[:, None, :] * np.ones((1, k, 1))
+    return scatter_element_matrices(mesh, local)
+
+
+def assemble_load(mesh: Mesh, f: Callable[[np.ndarray], np.ndarray]) -> np.ndarray:
+    """Load vector b[i] = ∫ f φ_i dx by one-point (centroid) quadrature.
+
+    ``f`` maps an ``(m, dim)`` array of points to ``(m,)`` values.
+    """
+    measure, _ = _geometry(mesh)
+    k = mesh.elements.shape[1]
+    centroids = mesh.points[mesh.elements].mean(axis=1)
+    fvals = np.asarray(f(centroids), dtype=np.float64)
+    if fvals.shape != (mesh.num_elements,):
+        raise ValueError("f must return one value per evaluation point")
+    contrib = (measure * fvals / k)[:, None].repeat(k, axis=1)
+    b = np.zeros(mesh.num_points)
+    np.add.at(b, mesh.elements.ravel(), contrib.ravel())
+    return b

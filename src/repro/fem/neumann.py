@@ -1,0 +1,86 @@
+"""Neumann (flux / traction) boundary integrals.
+
+The paper's test cases use only homogeneous natural conditions, which need no
+assembly — but a complete FEM substrate must support prescribed flux
+(scalar problems: ∫_Γ g φ_i ds) and prescribed traction (elasticity:
+∫_Γ t·φ_i ds), e.g. to load the quarter ring through its arcs instead of a
+volume force.  P1 edge integration with midpoint-exact rules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+
+def _edge_geometry(mesh: Mesh, edges: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """(lengths, midpoints) of boundary edges given as an (ne, 2) index array."""
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError("edges must be an (n, 2) vertex-index array")
+    p0 = mesh.points[edges[:, 0]]
+    p1 = mesh.points[edges[:, 1]]
+    lengths = np.linalg.norm(p1 - p0, axis=1)
+    mids = 0.5 * (p0 + p1)
+    return lengths, mids
+
+
+def assemble_neumann_load(
+    mesh: Mesh,
+    edges: np.ndarray,
+    g: Callable[[np.ndarray], np.ndarray],
+) -> np.ndarray:
+    """Scalar flux load b[i] += ∫_Γ g φ_i ds over the given boundary edges.
+
+    Exact for edgewise-constant g (midpoint rule; each endpoint receives half
+    the edge integral — the P1 trapezoid weights).
+    """
+    if mesh.dim != 2:
+        raise ValueError("assemble_neumann_load supports 2-D meshes")
+    lengths, mids = _edge_geometry(mesh, edges)
+    gvals = np.asarray(g(mids), dtype=np.float64)
+    if gvals.shape != (len(edges),):
+        raise ValueError("g must return one value per edge midpoint")
+    contrib = 0.5 * lengths * gvals
+    b = np.zeros(mesh.num_points)
+    np.add.at(b, np.asarray(edges)[:, 0], contrib)
+    np.add.at(b, np.asarray(edges)[:, 1], contrib)
+    return b
+
+
+def assemble_traction_load(
+    mesh: Mesh,
+    edges: np.ndarray,
+    traction: Callable[[np.ndarray], np.ndarray],
+) -> np.ndarray:
+    """Elasticity traction load b[dof] += ∫_Γ t·φ ds (node-blocked dofs).
+
+    ``traction`` maps edge midpoints (m, 2) to traction vectors (m, 2).
+    """
+    if mesh.dim != 2:
+        raise ValueError("assemble_traction_load supports 2-D meshes")
+    lengths, mids = _edge_geometry(mesh, edges)
+    tvals = np.asarray(traction(mids), dtype=np.float64)
+    if tvals.shape != (len(edges), 2):
+        raise ValueError("traction must return an (n_edges, 2) array")
+    contrib = 0.5 * lengths[:, None] * tvals
+    b = np.zeros(2 * mesh.num_points)
+    e = np.asarray(edges, dtype=np.int64)
+    for c in range(2):
+        np.add.at(b, 2 * e[:, 0] + c, contrib[:, c])
+        np.add.at(b, 2 * e[:, 1] + c, contrib[:, c])
+    return b
+
+
+def boundary_edges_of_set(mesh: Mesh, nodes: np.ndarray) -> np.ndarray:
+    """Boundary edges whose both endpoints lie in ``nodes``."""
+    from repro.mesh.mesh import boundary_edges_2d
+
+    edges = boundary_edges_2d(mesh)
+    mask = np.zeros(mesh.num_points, dtype=bool)
+    mask[np.asarray(nodes, dtype=np.int64)] = True
+    keep = mask[edges[:, 0]] & mask[edges[:, 1]]
+    return edges[keep]

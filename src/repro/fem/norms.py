@@ -1,0 +1,46 @@
+"""Discrete error norms.
+
+Max-norm errors are convenient but mesh-dependent; convergence studies
+report the L² and H¹ (energy) norms, computed exactly for P1 fields through
+the mass and stiffness matrices:
+
+    ‖v‖²_L² = vᵀ M v,        |v|²_H¹ = vᵀ K v.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.assembly import assemble_mass, assemble_stiffness
+from repro.mesh.mesh import Mesh
+
+
+def l2_norm(mesh: Mesh, v: np.ndarray, mass: sp.csr_matrix | None = None) -> float:
+    """L² norm of the P1 field with nodal values ``v``."""
+    v = np.asarray(v, dtype=np.float64)
+    if v.shape != (mesh.num_points,):
+        raise ValueError("one nodal value per mesh point required")
+    m = mass if mass is not None else assemble_mass(mesh)
+    return float(np.sqrt(max(v @ (m @ v), 0.0)))
+
+
+def h1_seminorm(mesh: Mesh, v: np.ndarray, stiffness: sp.csr_matrix | None = None) -> float:
+    """H¹ seminorm (energy norm) of the P1 field ``v``."""
+    v = np.asarray(v, dtype=np.float64)
+    if v.shape != (mesh.num_points,):
+        raise ValueError("one nodal value per mesh point required")
+    k = stiffness if stiffness is not None else assemble_stiffness(mesh)
+    return float(np.sqrt(max(v @ (k @ v), 0.0)))
+
+
+def error_norms(
+    mesh: Mesh, computed: np.ndarray, exact: np.ndarray
+) -> dict[str, float]:
+    """max / L² / H¹ errors of ``computed`` against nodal ``exact`` values."""
+    e = np.asarray(computed, dtype=np.float64) - np.asarray(exact, dtype=np.float64)
+    return {
+        "max": float(np.abs(e).max()),
+        "l2": l2_norm(mesh, e),
+        "h1": h1_seminorm(mesh, e),
+    }

@@ -1,0 +1,34 @@
+"""P1 (linear) tetrahedron element geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+
+def tet_geometry(mesh: Mesh) -> tuple[np.ndarray, np.ndarray]:
+    """Volumes and basis gradients of every tetrahedron.
+
+    Returns
+    -------
+    volumes:
+        ``(ne,)`` tetrahedron volumes.
+    grads:
+        ``(ne, 4, 3)`` constant gradients of the four barycentric basis
+        functions on each tetrahedron.
+    """
+    if mesh.dim != 3:
+        raise ValueError("tet_geometry requires a 3-D mesh")
+    p = mesh.points[mesh.elements]  # (ne, 4, 3)
+    d = p[:, 1:] - p[:, :1]  # (ne, 3, 3): edge vectors from vertex 0
+    det = np.linalg.det(d)
+    if np.any(det == 0.0):
+        raise ValueError("mesh contains degenerate (zero-volume) tetrahedra")
+    volumes = np.abs(det) / 6.0
+    # rows of inv(d) are the gradients of λ1, λ2, λ3
+    inv = np.linalg.inv(d)  # (ne, 3, 3); batched compiled kernel
+    g123 = np.transpose(inv, (0, 2, 1))
+    g0 = -g123.sum(axis=1, keepdims=True)
+    grads = np.concatenate([g0, g123], axis=1)
+    return volumes, grads

@@ -1,0 +1,47 @@
+"""Graph algorithms: adjacency construction, multilevel partitioning
+(our Metis substitute), geometric box partitioning, coloring, and the
+group-independent sets used by ARMS."""
+
+from repro.graph.adjacency import Graph, graph_from_matrix, graph_from_elements
+from repro.graph.coarsen import CoarseLevel, heavy_edge_matching, coarsen_graph
+from repro.graph.partitioner import partition_graph, edge_cut, partition_sizes
+from repro.graph.refine import refine_bisection, boundary_vertices
+from repro.graph.geometric import (
+    box_partition_2d,
+    box_partition_3d,
+    factor_processor_count,
+)
+from repro.graph.independent_sets import (
+    GroupIndependentSets,
+    find_group_independent_sets,
+    verify_group_independence,
+)
+from repro.graph.coloring import greedy_coloring
+from repro.graph.spectral import fiedler_vector, spectral_bisect, spectral_partition
+from repro.graph.rcm import bandwidth, reverse_cuthill_mckee
+
+__all__ = [
+    "Graph",
+    "graph_from_matrix",
+    "graph_from_elements",
+    "CoarseLevel",
+    "heavy_edge_matching",
+    "coarsen_graph",
+    "partition_graph",
+    "edge_cut",
+    "partition_sizes",
+    "refine_bisection",
+    "boundary_vertices",
+    "box_partition_2d",
+    "box_partition_3d",
+    "factor_processor_count",
+    "GroupIndependentSets",
+    "find_group_independent_sets",
+    "verify_group_independence",
+    "greedy_coloring",
+    "fiedler_vector",
+    "spectral_bisect",
+    "spectral_partition",
+    "reverse_cuthill_mckee",
+    "bandwidth",
+]

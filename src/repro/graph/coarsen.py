@@ -1,0 +1,87 @@
+"""Graph coarsening by heavy-edge matching.
+
+The first phase of a multilevel partitioner (Karypis & Kumar's Metis scheme):
+repeatedly contract a matching that prefers heavy edges, so that the coarse
+graph preserves the cut structure of the fine graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graph.adjacency import Graph
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class CoarseLevel:
+    """One level of the coarsening hierarchy.
+
+    ``fine_to_coarse[v]`` gives the coarse vertex that fine vertex ``v`` was
+    contracted into.
+    """
+
+    graph: Graph
+    fine_to_coarse: np.ndarray
+
+
+def heavy_edge_matching(graph: Graph, rng: np.random.Generator) -> np.ndarray:
+    """Compute a heavy-edge matching.
+
+    Visits vertices in random order; each unmatched vertex is matched with its
+    unmatched neighbor of largest edge weight (ties broken by first
+    occurrence).  Returns ``match`` with ``match[v]`` = partner (or ``v``
+    itself if unmatched).
+    """
+    n = graph.num_vertices
+    match = np.full(n, -1, dtype=np.int64)
+    order = rng.permutation(n)
+    for v in order:
+        if match[v] >= 0:
+            continue
+        nbrs = graph.neighbors(v)
+        ews = graph.edge_weights_of(v)
+        best, best_w = v, -np.inf
+        for u, w in zip(nbrs, ews):
+            if match[u] < 0 and u != v and w > best_w:
+                best, best_w = u, w
+        match[v] = best
+        match[best] = v if best != v else best
+    return match
+
+
+def coarsen_graph(graph: Graph, rng: np.random.Generator | int | None = None) -> CoarseLevel:
+    """Contract a heavy-edge matching, producing the next-coarser graph.
+
+    Edge weights between coarse vertices are the sums of the fine edge weights
+    crossing them; vertex weights accumulate so balance is preserved.
+    """
+    rng = make_rng(rng)
+    n = graph.num_vertices
+    match = heavy_edge_matching(graph, rng)
+
+    fine_to_coarse = np.full(n, -1, dtype=np.int64)
+    next_id = 0
+    for v in range(n):
+        if fine_to_coarse[v] >= 0:
+            continue
+        u = match[v]
+        fine_to_coarse[v] = next_id
+        if u != v:
+            fine_to_coarse[u] = next_id
+        next_id += 1
+
+    m = next_id
+    rows = np.repeat(fine_to_coarse, np.diff(graph.indptr))
+    cols = fine_to_coarse[graph.indices]
+    keep = rows != cols  # drop self-loops created by contraction
+    a = sp.coo_matrix(
+        (graph.edge_weights[keep], (rows[keep], cols[keep])), shape=(m, m)
+    ).tocsr()
+    a.sum_duplicates()
+    vweights = np.bincount(fine_to_coarse, weights=graph.vertex_weights, minlength=m)
+    coarse = Graph(a.indptr.astype(np.int64), a.indices.astype(np.int64), a.data, vweights)
+    return CoarseLevel(graph=coarse, fine_to_coarse=fine_to_coarse)

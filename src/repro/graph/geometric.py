@@ -1,0 +1,67 @@
+"""Simple geometric ("box") partitioning of structured grids.
+
+Section 5.1 of the paper compares the general (Metis) partitioner against a
+simple scheme producing subdomains shaped as small rectangles/boxes.  These
+routines implement that scheme: the index space of a structured grid is cut
+into an approximately-cubical processor grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def factor_processor_count(p: int, ndim: int) -> tuple[int, ...]:
+    """Factor ``p`` into ``ndim`` factors as close to equal as possible.
+
+    E.g. ``factor_processor_count(16, 2) == (4, 4)`` and
+    ``factor_processor_count(8, 3) == (2, 2, 2)``.
+    """
+    if p < 1:
+        raise ValueError("p must be >= 1")
+    dims = [1] * ndim
+    remaining = p
+    # peel prime factors largest-first onto the currently-smallest dimension
+    factors = []
+    d = 2
+    while d * d <= remaining:
+        while remaining % d == 0:
+            factors.append(d)
+            remaining //= d
+        d += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for f in sorted(factors, reverse=True):
+        k = int(np.argmin(dims))
+        dims[k] *= f
+    return tuple(sorted(dims, reverse=True))
+
+
+def _slab(index: np.ndarray, n: int, cuts: int) -> np.ndarray:
+    """Assign each 1-D index in [0, n) to one of ``cuts`` even slabs."""
+    bounds = np.linspace(0, n, cuts + 1)
+    return np.clip(np.searchsorted(bounds, index, side="right") - 1, 0, cuts - 1)
+
+
+def box_partition_2d(nx: int, ny: int, p: int) -> np.ndarray:
+    """Partition an ``nx × ny`` grid (x fastest) into ``p`` rectangular boxes.
+
+    Returns a membership vector over the ``nx*ny`` lexicographically-numbered
+    grid points.
+    """
+    px, py = factor_processor_count(p, 2)
+    ix = np.arange(nx * ny) % nx
+    iy = np.arange(nx * ny) // nx
+    return (_slab(iy, ny, py) * px + _slab(ix, nx, px)).astype(np.int64)
+
+
+def box_partition_3d(nx: int, ny: int, nz: int, p: int) -> np.ndarray:
+    """Partition an ``nx × ny × nz`` grid (x fastest, z slowest) into ``p`` boxes."""
+    px, py, pz = factor_processor_count(p, 3)
+    idx = np.arange(nx * ny * nz)
+    ix = idx % nx
+    iy = (idx // nx) % ny
+    iz = idx // (nx * ny)
+    return (
+        (_slab(iz, nz, pz) * py + _slab(iy, ny, py)) * px + _slab(ix, nx, px)
+    ).astype(np.int64)

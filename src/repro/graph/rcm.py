@@ -1,0 +1,90 @@
+"""Reverse Cuthill–McKee ordering.
+
+Bandwidth-reducing orderings improve incomplete factorizations: fill is
+captured closer to the diagonal, so a fixed-fill ILUT keeps more of the true
+factors.  RCM is the classic choice and a standard pARMS/SPARSKIT option; the
+block preconditioners expose it as ``ordering="rcm"`` (ablation bench A7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+
+
+def _pseudo_peripheral(graph: Graph, start: int) -> int:
+    """A few BFS sweeps toward an eccentric vertex (George–Liu heuristic)."""
+    current = start
+    last_ecc = -1
+    for _ in range(4):
+        levels = _bfs_levels(graph, current)
+        ecc = int(levels.max())
+        if ecc <= last_ecc:
+            break
+        last_ecc = ecc
+        far = np.flatnonzero(levels == ecc)
+        # pick the minimum-degree vertex in the last level
+        current = int(min(far, key=graph.degree))
+    return current
+
+
+def _bfs_levels(graph: Graph, root: int) -> np.ndarray:
+    n = graph.num_vertices
+    levels = np.full(n, -1, dtype=np.int64)
+    levels[root] = 0
+    frontier = [root]
+    d = 0
+    while frontier:
+        d += 1
+        nxt = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if levels[u] < 0:
+                    levels[u] = d
+                    nxt.append(int(u))
+        frontier = nxt
+    return levels
+
+
+def reverse_cuthill_mckee(graph: Graph) -> np.ndarray:
+    """RCM permutation (new index → old index), all components covered."""
+    n = graph.num_vertices
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    degrees = np.asarray([graph.degree(v) for v in range(n)])
+    while len(order) < n:
+        remaining = np.flatnonzero(~visited)
+        seed = int(remaining[np.argmin(degrees[remaining])])
+        root = _pseudo_peripheral(graph, seed)
+        if visited[root]:
+            root = seed
+        visited[root] = True
+        queue = [root]
+        order.append(root)
+        head = len(order) - 1
+        while head < len(order):
+            v = order[head]
+            head += 1
+            nbrs = [int(u) for u in graph.neighbors(v) if not visited[u]]
+            nbrs.sort(key=lambda u: degrees[u])
+            for u in nbrs:
+                visited[u] = True
+                order.append(u)
+    return np.asarray(order[::-1], dtype=np.int64)
+
+
+def bandwidth(graph: Graph, perm: np.ndarray | None = None) -> int:
+    """Maximum |i - j| over edges, optionally under a permutation."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    pos = np.empty(n, dtype=np.int64)
+    if perm is None:
+        pos[:] = np.arange(n)
+    else:
+        pos[np.asarray(perm)] = np.arange(n)
+    rows = np.repeat(np.arange(n), np.diff(graph.indptr))
+    if rows.size == 0:
+        return 0
+    return int(np.abs(pos[rows] - pos[graph.indices]).max())

@@ -1,0 +1,75 @@
+"""Boundary refinement of a bisection (Kernighan–Lin / FM style).
+
+After projecting a coarse bisection to a finer level, vertices near the cut
+are greedily moved across it when that reduces the cut without breaking the
+balance constraint.  This is the simplified single-vertex-move FM variant used
+inside multilevel partitioners.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.utils.rng import make_rng
+
+
+def boundary_vertices(graph: Graph, part: np.ndarray) -> np.ndarray:
+    """Vertices with at least one neighbor in a different part."""
+    out = []
+    for v in range(graph.num_vertices):
+        nbrs = graph.neighbors(v)
+        if nbrs.size and np.any(part[nbrs] != part[v]):
+            out.append(v)
+    return np.asarray(out, dtype=np.int64)
+
+
+def _move_gain(graph: Graph, part: np.ndarray, v: int) -> float:
+    """Cut reduction if vertex ``v`` switches sides (external - internal weight)."""
+    nbrs = graph.neighbors(v)
+    ews = graph.edge_weights_of(v)
+    same = part[nbrs] == part[v]
+    return float(ews[~same].sum() - ews[same].sum())
+
+
+def refine_bisection(
+    graph: Graph,
+    part: np.ndarray,
+    target_weight_0: float,
+    imbalance: float = 0.05,
+    max_passes: int = 8,
+    rng: np.random.Generator | int | None = None,
+) -> np.ndarray:
+    """Greedy boundary refinement of a 0/1 partition vector.
+
+    ``target_weight_0`` is the desired total vertex weight of side 0; moves
+    that would push side 0 outside ``target ± imbalance*total`` are rejected.
+    Passes repeat until no improving move was made.
+    """
+    rng = make_rng(rng)
+    part = part.copy()
+    vw = graph.vertex_weights
+    total = graph.total_vertex_weight()
+    w0 = float(vw[part == 0].sum())
+    lo = target_weight_0 - imbalance * total
+    hi = target_weight_0 + imbalance * total
+
+    for _ in range(max_passes):
+        improved = False
+        bverts = boundary_vertices(graph, part)
+        if bverts.size == 0:
+            break
+        rng.shuffle(bverts)
+        for v in bverts:
+            gain = _move_gain(graph, part, v)
+            if gain <= 0:
+                continue
+            new_w0 = w0 - vw[v] if part[v] == 0 else w0 + vw[v]
+            if not (lo <= new_w0 <= hi):
+                continue
+            part[v] ^= 1
+            w0 = new_w0
+            improved = True
+        if not improved:
+            break
+    return part

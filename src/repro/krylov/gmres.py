@@ -1,0 +1,47 @@
+"""Restarted GMRES(m) with a fixed right preconditioner.
+
+With a *fixed* preconditioner, FGMRES and right-preconditioned GMRES generate
+identical iterates (Saad, Sec. 9.4.1) — the only difference is that GMRES
+recomputes M^{-1} V y at the end of a cycle instead of storing Z.  Since the
+simulated-memory distinction is irrelevant here, ``gmres`` validates that the
+preconditioner is fixed (a plain callable) and delegates to the FGMRES
+kernel; it exists so call sites read like the paper ("a few GMRES iterations
+preconditioned by ILUT").
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.krylov.fgmres import fgmres
+from repro.krylov.monitors import ConvergenceMonitor, KrylovResult
+from repro.krylov.ops import KernelOps
+
+
+def gmres(
+    apply_a: Callable[[np.ndarray], np.ndarray],
+    b: np.ndarray,
+    apply_m: Callable[[np.ndarray], np.ndarray] | None = None,
+    x0: np.ndarray | None = None,
+    restart: int = 20,
+    rtol: float = 1e-6,
+    atol: float = 0.0,
+    maxiter: int = 1000,
+    ops: KernelOps | None = None,
+    monitor: ConvergenceMonitor | None = None,
+) -> KrylovResult:
+    """Solve ``A x = b`` with restarted, right-preconditioned GMRES(m)."""
+    return fgmres(
+        apply_a,
+        b,
+        apply_m=apply_m,
+        x0=x0,
+        restart=restart,
+        rtol=rtol,
+        atol=atol,
+        maxiter=maxiter,
+        ops=ops,
+        monitor=monitor,
+    )

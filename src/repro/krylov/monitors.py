@@ -1,0 +1,62 @@
+"""Convergence monitoring (Diffpack-style convergence monitors).
+
+The paper's criterion: the 2-norm of the residual reduced by 1e-6 relative to
+its initial value.  :class:`ConvergenceMonitor` owns that test and the
+residual history; :class:`KrylovResult` is what every solver returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class KrylovResult:
+    """Outcome of a Krylov solve."""
+
+    x: np.ndarray
+    iterations: int
+    converged: bool
+    residuals: list[float]
+
+    @property
+    def final_residual(self) -> float:
+        return self.residuals[-1] if self.residuals else float("nan")
+
+    @property
+    def reduction(self) -> float:
+        """Final/initial residual ratio."""
+        if len(self.residuals) < 1 or self.residuals[0] == 0.0:
+            return 0.0
+        return self.residuals[-1] / self.residuals[0]
+
+
+@dataclass
+class ConvergenceMonitor:
+    """Relative-reduction convergence test with history recording."""
+
+    rtol: float = 1e-6
+    atol: float = 0.0
+    residuals: list[float] = field(default_factory=list)
+    _threshold: float | None = None
+
+    def start(self, r0_norm: float) -> bool:
+        """Record the initial residual; returns True if already converged."""
+        self.residuals = [r0_norm]
+        self._threshold = max(self.rtol * r0_norm, self.atol)
+        return r0_norm <= self.atol
+
+    @property
+    def threshold(self) -> float:
+        if self._threshold is None:
+            raise RuntimeError("monitor not started")
+        return self._threshold
+
+    def check(self, r_norm: float) -> bool:
+        """Record a residual norm; returns True on convergence."""
+        if self._threshold is None:
+            raise RuntimeError("monitor not started")
+        self.residuals.append(float(r_norm))
+        return r_norm <= self._threshold

@@ -1,0 +1,59 @@
+"""Kernel-operation providers for the Krylov solvers."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+
+class KernelOps(Protocol):
+    """The three kernels a Krylov method needs (paper Sec. 1)."""
+
+    def dot(self, x: np.ndarray, y: np.ndarray) -> float: ...
+
+    def norm(self, x: np.ndarray) -> float: ...
+
+    def charge_local_axpy(self, count: int = 1) -> None: ...
+
+
+class SerialOps:
+    """Plain numpy kernels with no cost accounting (serial runs, tests)."""
+
+    def dot(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float(np.dot(x, y))
+
+    def norm(self, x: np.ndarray) -> float:
+        return float(np.linalg.norm(x))
+
+    def charge_local_axpy(self, count: int = 1) -> None:
+        return None
+
+
+class CountingOps:
+    """Numpy kernels that tally their flops.
+
+    Used for the *local* inner solves of the Schur preconditioners: a
+    subdomain's inner GMRES involves no communication (its dots are local),
+    but its arithmetic must still be charged to that rank.  The accumulated
+    count is read off after the solve and fed into the phase ledger.
+    """
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.flops = 0.0
+
+    def add(self, flops: float) -> None:
+        """Charge extra work (operator or preconditioner applications)."""
+        self.flops += flops
+
+    def dot(self, x: np.ndarray, y: np.ndarray) -> float:
+        self.flops += 2.0 * len(x)
+        return float(np.dot(x, y))
+
+    def norm(self, x: np.ndarray) -> float:
+        self.flops += 2.0 * len(x)
+        return float(np.linalg.norm(x))
+
+    def charge_local_axpy(self, count: int = 1) -> None:
+        self.flops += 2.0 * count * self.n

@@ -1,0 +1,25 @@
+"""Computational grids: structured 2D/3D, unstructured 2D, curvilinear ring."""
+
+from repro.mesh.mesh import Mesh, boundary_edges_2d, boundary_faces_3d, triangle_quality
+from repro.mesh.grid2d import structured_rectangle
+from repro.mesh.grid3d import structured_box
+from repro.mesh.unstructured import plate_with_hole
+from repro.mesh.ring import quarter_ring
+from repro.mesh.lshape import l_shape
+from repro.mesh.refine import refine_uniform
+from repro.mesh.vtkio import read_vtk_points_cells, write_vtk
+
+__all__ = [
+    "l_shape",
+    "refine_uniform",
+    "write_vtk",
+    "read_vtk_points_cells",
+    "Mesh",
+    "boundary_edges_2d",
+    "boundary_faces_3d",
+    "triangle_quality",
+    "structured_rectangle",
+    "structured_box",
+    "plate_with_hole",
+    "quarter_ring",
+]

@@ -1,0 +1,77 @@
+"""Structured tetrahedral boxes.
+
+Test Cases 2 and 4 use the 3-D unit cube (101³ points in the paper).  Each
+grid cell is split into six tetrahedra (Kuhn/Freudenthal triangulation), which
+keeps the mesh conforming across cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+# The six tetrahedra of the Kuhn triangulation of the unit cube, as index
+# permutations of the cube's 8 corners (corner id bit pattern: x + 2y + 4z).
+_KUHN_TETS = np.asarray(
+    [
+        [0, 1, 3, 7],
+        [0, 1, 5, 7],
+        [0, 2, 3, 7],
+        [0, 2, 6, 7],
+        [0, 4, 5, 7],
+        [0, 4, 6, 7],
+    ],
+    dtype=np.int64,
+)
+
+
+def structured_box(
+    nx: int,
+    ny: int,
+    nz: int,
+    x0: float = 0.0,
+    x1: float = 1.0,
+    y0: float = 0.0,
+    y1: float = 1.0,
+    z0: float = 0.0,
+    z1: float = 1.0,
+) -> Mesh:
+    """Uniform tetrahedral box with ``nx × ny × nz`` points (x fastest, z slowest).
+
+    Boundary sets: ``left``/``right`` (x), ``front``/``back`` (y),
+    ``bottom``/``top`` (z).
+    """
+    if min(nx, ny, nz) < 2:
+        raise ValueError("need at least 2 points per direction")
+    xs = np.linspace(x0, x1, nx)
+    ys = np.linspace(y0, y1, ny)
+    zs = np.linspace(z0, z1, nz)
+    Z, Y, X = np.meshgrid(zs, ys, xs, indexing="ij")  # z slowest, x fastest
+    points = np.column_stack([X.ravel(), Y.ravel(), Z.ravel()])
+
+    ix, iy, iz = np.meshgrid(
+        np.arange(nx - 1), np.arange(ny - 1), np.arange(nz - 1), indexing="ij"
+    )
+    base = ((iz * ny + iy) * nx + ix).ravel()
+    # corner offsets for bit pattern x + 2y + 4z
+    offs = np.asarray(
+        [0, 1, nx, nx + 1, nx * ny, nx * ny + 1, nx * ny + nx, nx * ny + nx + 1],
+        dtype=np.int64,
+    )
+    corners = base[:, None] + offs[None, :]  # (ncells, 8)
+    elements = corners[:, _KUHN_TETS].reshape(-1, 4)
+
+    idx = np.arange(nx * ny * nz)
+    jx = idx % nx
+    jy = (idx // nx) % ny
+    jz = idx // (nx * ny)
+    boundary = {
+        "left": idx[jx == 0],
+        "right": idx[jx == nx - 1],
+        "front": idx[jy == 0],
+        "back": idx[jy == ny - 1],
+        "bottom": idx[jz == 0],
+        "top": idx[jz == nz - 1],
+    }
+    return Mesh(points, elements, boundary, structured_shape=(nx, ny, nz))

@@ -1,0 +1,77 @@
+"""L-shaped domain triangulation.
+
+The classic corner-singularity domain ([0,1]² minus the upper-right quadrant):
+the re-entrant corner at (1/2, 1/2) limits solution regularity, making it the
+standard stress test for error estimates and a natural extra domain for the
+partitioner (non-convex geometry produces nontrivial cuts).  Structured
+triangulation of the three sub-squares, conforming across their interfaces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+
+def l_shape(n: int) -> Mesh:
+    """L-shaped domain with lattice spacing 1/(2(n-1)) (n points per half-side).
+
+    Points: the full (2n-1)×(2n-1) lattice minus the open upper-right
+    quadrant.  Boundary sets: ``outer`` (the square-outline portions) and
+    ``reentrant`` (the two edges meeting at the re-entrant corner; the
+    corner point belongs to ``reentrant``).
+    """
+    if n < 2:
+        raise ValueError("need n >= 2 points per half-side")
+    m = 2 * n - 1  # lattice points per full side
+    h = 1.0 / (m - 1)
+    keep = np.zeros((m, m), dtype=bool)  # [iy, ix]
+    half = n - 1  # lattice index of x = y = 1/2
+    keep[:, :] = True
+    keep[half + 1 :, half + 1 :] = False  # remove open upper-right quadrant
+
+    ids = np.full((m, m), -1, dtype=np.int64)
+    count = 0
+    pts = []
+    for iy in range(m):
+        for ix in range(m):
+            if keep[iy, ix]:
+                ids[iy, ix] = count
+                pts.append((ix * h, iy * h))
+                count += 1
+    points = np.asarray(pts)
+
+    elements = []
+    for iy in range(m - 1):
+        for ix in range(m - 1):
+            corners = ids[iy, ix], ids[iy, ix + 1], ids[iy + 1, ix + 1], ids[iy + 1, ix]
+            if min(corners) < 0:
+                continue
+            v00, v10, v11, v01 = corners
+            elements.append((v00, v10, v11))
+            elements.append((v00, v11, v01))
+    elements = np.asarray(elements, dtype=np.int64)
+
+    # boundary classification straight from the lattice geometry
+    x, y = points[:, 0], points[:, 1]
+    eps = 1e-12
+    on_outer = (
+        (x < eps)
+        | (y < eps)
+        | (x > 1 - eps)
+        | (y > 1 - eps)
+        | ((np.abs(x - 0.5) < eps) & (y > 0.5 - eps))
+        | ((np.abs(y - 0.5) < eps) & (x > 0.5 - eps))
+    )
+    # split the two re-entrant edges out of the outline
+    reentrant = (
+        ((np.abs(x - 0.5) < eps) & (y > 0.5 - eps) & (y < 1 + eps))
+        | ((np.abs(y - 0.5) < eps) & (x > 0.5 - eps) & (x < 1 + eps))
+    )
+    idx = np.arange(len(points))
+    boundary = {
+        "outer": idx[on_outer & ~reentrant],
+        "reentrant": idx[reentrant],
+    }
+    return Mesh(points, elements, boundary)

@@ -1,0 +1,122 @@
+"""Generic mesh container and mesh-level utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Mesh:
+    """A simplicial mesh (triangles in 2D, tetrahedra in 3D).
+
+    Attributes
+    ----------
+    points:
+        ``(n, dim)`` vertex coordinates.
+    elements:
+        ``(ne, dim+1)`` vertex indices of each simplex.
+    boundary_sets:
+        Named sets of boundary vertex indices (e.g. ``"left"``, ``"hole"``,
+        ``"gamma1"``).  The union over all names is available as
+        :meth:`all_boundary_nodes`.
+    structured_shape:
+        For structured grids, the lattice dimensions ``(nx, ny[, nz])`` in
+        points (x fastest); ``None`` for unstructured meshes.  Geometric box
+        partitioning and the FFT Poisson solver require this.
+    """
+
+    points: np.ndarray
+    elements: np.ndarray
+    boundary_sets: dict[str, np.ndarray] = field(default_factory=dict)
+    structured_shape: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        self.points = np.asarray(self.points, dtype=np.float64)
+        self.elements = np.asarray(self.elements, dtype=np.int64)
+        if self.points.ndim != 2:
+            raise ValueError("points must be (n, dim)")
+        dim = self.points.shape[1]
+        if self.elements.ndim != 2 or self.elements.shape[1] != dim + 1:
+            raise ValueError(
+                f"elements must be (ne, {dim + 1}) for dim={dim}, "
+                f"got {self.elements.shape}"
+            )
+        if self.elements.size and (
+            self.elements.min() < 0 or self.elements.max() >= len(self.points)
+        ):
+            raise ValueError("element indices out of range")
+
+    @property
+    def dim(self) -> int:
+        return self.points.shape[1]
+
+    @property
+    def num_points(self) -> int:
+        return len(self.points)
+
+    @property
+    def num_elements(self) -> int:
+        return len(self.elements)
+
+    def all_boundary_nodes(self) -> np.ndarray:
+        """Sorted union of every named boundary set."""
+        if not self.boundary_sets:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(list(self.boundary_sets.values())))
+
+    def boundary_set(self, name: str) -> np.ndarray:
+        try:
+            return self.boundary_sets[name]
+        except KeyError:
+            raise KeyError(
+                f"no boundary set {name!r}; available: {sorted(self.boundary_sets)}"
+            ) from None
+
+
+def boundary_edges_2d(mesh: Mesh) -> np.ndarray:
+    """Edges of a triangle mesh belonging to exactly one triangle.
+
+    Returns an ``(nb, 2)`` array of vertex index pairs (sorted within a pair).
+    """
+    if mesh.dim != 2:
+        raise ValueError("boundary_edges_2d requires a 2-D mesh")
+    tri = mesh.elements
+    edges = np.vstack([tri[:, [0, 1]], tri[:, [1, 2]], tri[:, [2, 0]]])
+    edges = np.sort(edges, axis=1)
+    uniq, counts = np.unique(edges, axis=0, return_counts=True)
+    return uniq[counts == 1]
+
+
+def boundary_faces_3d(mesh: Mesh) -> np.ndarray:
+    """Triangular faces of a tet mesh belonging to exactly one tetrahedron."""
+    if mesh.dim != 3:
+        raise ValueError("boundary_faces_3d requires a 3-D mesh")
+    tet = mesh.elements
+    faces = np.vstack(
+        [tet[:, [0, 1, 2]], tet[:, [0, 1, 3]], tet[:, [0, 2, 3]], tet[:, [1, 2, 3]]]
+    )
+    faces = np.sort(faces, axis=1)
+    uniq, counts = np.unique(faces, axis=0, return_counts=True)
+    return uniq[counts == 1]
+
+
+def triangle_quality(mesh: Mesh) -> np.ndarray:
+    """Per-triangle quality in (0, 1]: normalized radius ratio.
+
+    q = 4*sqrt(3)*area / (sum of squared edge lengths); 1 for equilateral,
+    → 0 for degenerate slivers.  Used to sanity-check generated grids
+    (bench F3).
+    """
+    if mesh.dim != 2:
+        raise ValueError("triangle_quality requires a 2-D mesh")
+    p = mesh.points[mesh.elements]  # (ne, 3, 2)
+    e0 = p[:, 1] - p[:, 0]
+    e1 = p[:, 2] - p[:, 1]
+    e2 = p[:, 0] - p[:, 2]
+    area = 0.5 * np.abs(e0[:, 0] * (-e2[:, 1]) - e0[:, 1] * (-e2[:, 0]))
+    lensq = (e0**2).sum(1) + (e1**2).sum(1) + (e2**2).sum(1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        q = 4.0 * np.sqrt(3.0) * area / lensq
+    return np.nan_to_num(q)

@@ -1,0 +1,57 @@
+"""Uniform mesh refinement (2-D triangles).
+
+Regular "red" refinement: each triangle splits into four by connecting edge
+midpoints.  Convergence studies (and growing a coarse mesh toward the paper's
+grid sizes) use this; boundary sets are carried over, with midpoints of
+boundary edges joining the sets of both endpoints' common sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+
+def refine_uniform(mesh: Mesh) -> Mesh:
+    """One level of red refinement of a triangle mesh."""
+    if mesh.dim != 2:
+        raise ValueError("refine_uniform supports 2-D triangle meshes")
+    tri = mesh.elements
+    n = mesh.num_points
+
+    # unique edges and midpoint numbering
+    edges = np.vstack([tri[:, [0, 1]], tri[:, [1, 2]], tri[:, [2, 0]]])
+    edges = np.sort(edges, axis=1)
+    uniq, inverse = np.unique(edges, axis=0, return_inverse=True)
+    mid_ids = n + np.arange(len(uniq))
+    midpoints = 0.5 * (mesh.points[uniq[:, 0]] + mesh.points[uniq[:, 1]])
+    points = np.vstack([mesh.points, midpoints])
+
+    ne = len(tri)
+    m01 = mid_ids[inverse[:ne]]
+    m12 = mid_ids[inverse[ne : 2 * ne]]
+    m20 = mid_ids[inverse[2 * ne :]]
+    elements = np.vstack(
+        [
+            np.column_stack([tri[:, 0], m01, m20]),
+            np.column_stack([m01, tri[:, 1], m12]),
+            np.column_stack([m20, m12, tri[:, 2]]),
+            np.column_stack([m01, m12, m20]),
+        ]
+    )
+
+    # boundary sets: a midpoint joins every set containing both edge endpoints
+    boundary: dict[str, np.ndarray] = {}
+    for name, nodes in mesh.boundary_sets.items():
+        in_set = np.zeros(n, dtype=bool)
+        in_set[nodes] = True
+        both = in_set[uniq[:, 0]] & in_set[uniq[:, 1]]
+        boundary[name] = np.concatenate([nodes, mid_ids[both]])
+
+    shape = None
+    if mesh.structured_shape is not None and len(mesh.structured_shape) == 2:
+        # red refinement of a structured grid stays structured only in point
+        # count terms; the numbering changes, so drop the structured tag
+        shape = None
+    return Mesh(points, elements, boundary, structured_shape=shape)

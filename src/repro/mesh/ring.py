@@ -1,0 +1,54 @@
+"""Curvilinear quarter-ring grid (Test Case 6, paper Fig. 5).
+
+The elasticity test case uses one quarter of a ring with inner radius 1 and
+outer radius 2, meshed with a curvilinear structured grid of triangular
+elements.  Boundary sets follow the paper's notation: ``gamma1`` is the edge
+at θ = π/2 (the x = 0 symmetry plane, where u₁ = 0) and ``gamma2`` the edge at
+θ = 0 (the y = 0 plane, where u₂ = 0); ``stress`` collects the inner and
+outer circular arcs where the stress vector is prescribed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+
+def quarter_ring(
+    n_theta: int,
+    n_r: int,
+    r_inner: float = 1.0,
+    r_outer: float = 2.0,
+) -> Mesh:
+    """Quarter ring with ``n_theta × n_r`` points (θ fastest).
+
+    θ runs from 0 (gamma2) to π/2 (gamma1); r from ``r_inner`` to ``r_outer``.
+    """
+    if n_theta < 2 or n_r < 2:
+        raise ValueError("need at least 2 points per direction")
+    if not 0 < r_inner < r_outer:
+        raise ValueError("require 0 < r_inner < r_outer")
+    thetas = np.linspace(0.0, np.pi / 2.0, n_theta)
+    radii = np.linspace(r_inner, r_outer, n_r)
+    R, T = np.meshgrid(radii, thetas, indexing="ij")  # r slow, theta fast
+    points = np.column_stack([(R * np.cos(T)).ravel(), (R * np.sin(T)).ravel()])
+
+    it, ir = np.meshgrid(np.arange(n_theta - 1), np.arange(n_r - 1), indexing="xy")
+    v00 = (ir * n_theta + it).ravel()
+    v10 = v00 + 1
+    v01 = v00 + n_theta
+    v11 = v01 + 1
+    elements = np.vstack(
+        [np.column_stack([v00, v10, v11]), np.column_stack([v00, v11, v01])]
+    )
+
+    idx = np.arange(n_theta * n_r)
+    jt = idx % n_theta
+    jr = idx // n_theta
+    boundary = {
+        "gamma2": idx[jt == 0],              # θ = 0: y = 0 plane, u2 = 0
+        "gamma1": idx[jt == n_theta - 1],    # θ = π/2: x = 0 plane, u1 = 0
+        "stress": idx[(jr == 0) | (jr == n_r - 1)],  # inner + outer arcs
+    }
+    return Mesh(points, elements, boundary, structured_shape=(n_theta, n_r))

@@ -1,0 +1,92 @@
+"""Legacy-VTK output of meshes, solution fields, and partitions.
+
+Writes ASCII legacy ``.vtk`` unstructured-grid files viewable in ParaView /
+VisIt: triangles (cell type 5) and tetrahedra (cell type 10), with any number
+of named point-data fields (solutions, partition membership, errors).  This
+is the practical hand-off format for users adopting the library on real
+simulations.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.mesh.mesh import Mesh
+
+_CELL_TYPES = {3: 5, 4: 10}  # triangle, tetrahedron
+
+
+def write_vtk(
+    path: str | Path,
+    mesh: Mesh,
+    point_data: dict[str, np.ndarray] | None = None,
+    title: str = "repro output",
+) -> Path:
+    """Write ``mesh`` (and optional nodal fields) as a legacy VTK file.
+
+    Scalar fields must have one value per mesh point; 2-vector fields (e.g.
+    elasticity displacements, shape ``(n, 2)``) are padded to 3-D vectors.
+    """
+    path = Path(path)
+    point_data = point_data or {}
+    n = mesh.num_points
+    for name, field in point_data.items():
+        field = np.asarray(field)
+        if field.shape[0] != n:
+            raise ValueError(f"field {name!r} has {field.shape[0]} values, need {n}")
+        if field.ndim > 2 or (field.ndim == 2 and field.shape[1] not in (2, 3)):
+            raise ValueError(f"field {name!r} must be scalar or 2/3-vector")
+
+    k = mesh.elements.shape[1]
+    cell_type = _CELL_TYPES[k]
+    pts3 = np.zeros((n, 3))
+    pts3[:, : mesh.dim] = mesh.points
+
+    lines = [
+        "# vtk DataFile Version 3.0",
+        title,
+        "ASCII",
+        "DATASET UNSTRUCTURED_GRID",
+        f"POINTS {n} double",
+    ]
+    lines.extend(" ".join(f"{c:.10g}" for c in p) for p in pts3)
+    ne = mesh.num_elements
+    lines.append(f"CELLS {ne} {ne * (k + 1)}")
+    lines.extend(f"{k} " + " ".join(str(int(v)) for v in e) for e in mesh.elements)
+    lines.append(f"CELL_TYPES {ne}")
+    lines.extend([str(cell_type)] * ne)
+
+    if point_data:
+        lines.append(f"POINT_DATA {n}")
+        for name, field in point_data.items():
+            field = np.asarray(field, dtype=np.float64)
+            safe = name.replace(" ", "_")
+            if field.ndim == 1:
+                lines.append(f"SCALARS {safe} double 1")
+                lines.append("LOOKUP_TABLE default")
+                lines.extend(f"{v:.10g}" for v in field)
+            else:
+                vec3 = np.zeros((n, 3))
+                vec3[:, : field.shape[1]] = field
+                lines.append(f"VECTORS {safe} double")
+                lines.extend(" ".join(f"{c:.10g}" for c in v) for v in vec3)
+
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_vtk_points_cells(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
+    """Minimal reader for round-trip testing: returns (points, elements)."""
+    tokens = Path(path).read_text().split()
+    i = tokens.index("POINTS")
+    n = int(tokens[i + 1])
+    pts = np.asarray(tokens[i + 3 : i + 3 + 3 * n], dtype=np.float64).reshape(n, 3)
+    j = tokens.index("CELLS")
+    ne = int(tokens[j + 1])
+    total = int(tokens[j + 2])
+    raw = np.asarray(tokens[j + 3 : j + 3 + total], dtype=np.int64)
+    k = int(raw[0])
+    cells = raw.reshape(ne, k + 1)[:, 1:]
+    return pts, cells

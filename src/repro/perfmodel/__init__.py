@@ -1,0 +1,28 @@
+"""Machine performance model.
+
+The paper reports wall-clock times on two machines we do not have (a Pentium
+III Linux cluster with fast Ethernet and an SGI Origin 3800).  Per DESIGN.md
+§2 we *simulate* them: every distributed operation records its per-rank work
+and communication into a :class:`CostLedger`; a :class:`Machine` converts the
+ledger into simulated parallel wall-clock seconds.
+"""
+
+from repro.perfmodel.costs import CostLedger
+from repro.perfmodel.machine import (
+    LINUX_CLUSTER,
+    LINUX_CLUSTER_CACHED,
+    ORIGIN_3800,
+    ORIGIN_3800_LOADED,
+    Machine,
+    machine_by_name,
+)
+
+__all__ = [
+    "CostLedger",
+    "Machine",
+    "LINUX_CLUSTER",
+    "LINUX_CLUSTER_CACHED",
+    "ORIGIN_3800",
+    "ORIGIN_3800_LOADED",
+    "machine_by_name",
+]

@@ -1,0 +1,98 @@
+"""Cost accounting for simulated parallel execution.
+
+Execution is modeled as a sequence of *phases* separated by synchronization
+points (the natural structure of a Krylov iteration: matvec → dots → ...).
+A phase's duration is governed by its slowest rank, so for each phase we
+accumulate the per-rank maxima of flops, message counts and message bytes:
+
+    T = Σ_phases max_r (flops_r/rate + msgs_r·latency + bytes_r/bandwidth)
+      ≤ Σ_phases [max_r flops_r / rate + max_r msgs_r · latency + ...]
+
+We store the right-hand side's machine-independent aggregates (``crit_*``)
+so one solve can be re-priced on any machine, plus grand totals for
+efficiency statistics.  Allreduce synchronizations (inner products) are
+counted separately since their cost depends on P logarithmically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class CostLedger:
+    """Accumulated per-solve cost model state for ``num_ranks`` processors."""
+
+    num_ranks: int
+    crit_flops: float = 0.0
+    crit_msgs: float = 0.0
+    crit_bytes: float = 0.0
+    allreduces: int = 0
+    allreduce_bytes: float = 0.0
+    total_flops: float = 0.0
+    total_msgs: float = 0.0
+    total_bytes: float = 0.0
+    phases: int = 0
+    per_rank_flops: np.ndarray = field(default=None)  # type: ignore[assignment]
+    #: per-rank resident working-set bytes (local matrix + factors + vectors);
+    #: optional — set by the driver so cache-aware machines (paper Sec. 4.3's
+    #: "subdomain fits in cache" threshold) can boost the flop rate
+    working_set_bytes: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        if self.num_ranks < 1:
+            raise ValueError("num_ranks must be >= 1")
+        if self.per_rank_flops is None:
+            self.per_rank_flops = np.zeros(self.num_ranks)
+
+    def add_phase(
+        self,
+        flops_per_rank: np.ndarray | float,
+        msgs_per_rank: np.ndarray | float = 0.0,
+        bytes_per_rank: np.ndarray | float = 0.0,
+    ) -> None:
+        """Record one bulk-synchronous phase.
+
+        Scalar arguments mean "the same on every rank".
+        """
+        f = np.broadcast_to(np.asarray(flops_per_rank, dtype=np.float64), (self.num_ranks,))
+        m = np.broadcast_to(np.asarray(msgs_per_rank, dtype=np.float64), (self.num_ranks,))
+        b = np.broadcast_to(np.asarray(bytes_per_rank, dtype=np.float64), (self.num_ranks,))
+        self.crit_flops += float(f.max())
+        self.crit_msgs += float(m.max())
+        self.crit_bytes += float(b.max())
+        self.total_flops += float(f.sum())
+        self.total_msgs += float(m.sum())
+        self.total_bytes += float(b.sum())
+        self.per_rank_flops = self.per_rank_flops + f
+        self.phases += 1
+
+    def add_allreduce(self, nbytes: int = 8) -> None:
+        """Record one allreduce synchronization (e.g. a global inner product)."""
+        self.allreduces += 1
+        self.allreduce_bytes += nbytes
+
+    def merge(self, other: "CostLedger") -> None:
+        """Fold another ledger (e.g. a setup phase) into this one."""
+        if other.num_ranks != self.num_ranks:
+            raise ValueError("cannot merge ledgers with different rank counts")
+        self.crit_flops += other.crit_flops
+        self.crit_msgs += other.crit_msgs
+        self.crit_bytes += other.crit_bytes
+        self.allreduces += other.allreduces
+        self.allreduce_bytes += other.allreduce_bytes
+        self.total_flops += other.total_flops
+        self.total_msgs += other.total_msgs
+        self.total_bytes += other.total_bytes
+        self.phases += other.phases
+        self.per_rank_flops = self.per_rank_flops + other.per_rank_flops
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean of accumulated per-rank flops (1.0 = perfectly balanced)."""
+        mean = self.per_rank_flops.mean()
+        if mean == 0.0:
+            return 1.0
+        return float(self.per_rank_flops.max() / mean)

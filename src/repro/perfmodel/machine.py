@@ -1,0 +1,131 @@
+"""Machine models for the paper's two platforms.
+
+Parameters are order-of-magnitude figures for the hardware classes the paper
+names (Sec. 4.2): a Pentium III 1 GHz cluster on 100 Mbit switched Ethernet,
+and an SGI Origin 3800 with 600 MHz R14000 processors and a low-latency NUMA
+interconnect.  The Origin model includes a *load factor*: the paper stresses
+its Origin timings were polluted by a heavily loaded machine, so benches can
+optionally reproduce that effect deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.perfmodel.costs import CostLedger
+
+
+@dataclass(frozen=True)
+class Machine:
+    """Latency/bandwidth/flop-rate cost model of a parallel computer."""
+
+    name: str
+    flop_rate: float  # sustained flop/s per processor on sparse kernels
+    latency: float  # point-to-point message latency, seconds
+    bandwidth: float  # point-to-point bandwidth, bytes/second
+    load_factor: float = 1.0  # >1 models a time-shared, heavily loaded system
+    #: cache modeling (paper Sec. 4.3): when the largest subdomain's working
+    #: set fits in ``cache_bytes``, sparse kernels run at ``cache_speedup``
+    #: times the sustained rate.  cache_bytes = 0 disables the effect.
+    cache_bytes: float = 0.0
+    cache_speedup: float = 1.0
+
+    def __post_init__(self) -> None:
+        if min(self.flop_rate, self.bandwidth) <= 0 or self.latency < 0:
+            raise ValueError("machine parameters must be positive")
+        if self.load_factor < 1.0:
+            raise ValueError("load_factor must be >= 1")
+        if self.cache_bytes < 0 or self.cache_speedup < 1.0:
+            raise ValueError("cache parameters must be nonnegative / >= 1")
+
+    def effective_flop_rate(self, ledger: CostLedger) -> float:
+        """Flop rate accounting for the subdomain-fits-in-cache boost."""
+        if (
+            self.cache_bytes > 0.0
+            and ledger.working_set_bytes is not None
+            and float(np.max(ledger.working_set_bytes)) <= self.cache_bytes
+        ):
+            return self.flop_rate * self.cache_speedup
+        return self.flop_rate
+
+    def allreduce_time(self, num_ranks: int, nbytes: float = 8.0) -> float:
+        """Recursive-doubling allreduce: ceil(log2 P) latency+transfer steps."""
+        if num_ranks <= 1:
+            return 0.0
+        steps = math.ceil(math.log2(num_ranks))
+        return steps * (self.latency + nbytes / self.bandwidth)
+
+    def time(self, ledger: CostLedger) -> float:
+        """Simulated parallel wall-clock seconds for a recorded solve."""
+        p = ledger.num_ranks
+        t = (
+            ledger.crit_flops / self.effective_flop_rate(ledger)
+            + ledger.crit_msgs * self.latency
+            + ledger.crit_bytes / self.bandwidth
+        )
+        if ledger.allreduces:
+            avg_bytes = ledger.allreduce_bytes / ledger.allreduces
+            t += ledger.allreduces * self.allreduce_time(p, avg_bytes)
+        return t * self.load_factor
+
+    def speedup(self, ledger: CostLedger, serial_flops: float | None = None) -> float:
+        """Speedup vs. a single processor of the same machine."""
+        serial = (serial_flops if serial_flops is not None else ledger.total_flops)
+        t_serial = serial / self.flop_rate
+        t_par = self.time(ledger)
+        return t_serial / t_par if t_par > 0 else float("inf")
+
+
+# Pentium III 1 GHz, 100 Mbit switched Ethernet (MPICH-class latency).
+LINUX_CLUSTER = Machine(
+    name="linux-cluster",
+    flop_rate=120e6,
+    latency=70e-6,
+    bandwidth=11e6,
+)
+
+# Same cluster with the Sec. 4.3 cache effect modeled: a Pentium III has a
+# 256 KB L2; once a subdomain's working set fits, sparse kernels stop being
+# memory-bound and speed up substantially.
+LINUX_CLUSTER_CACHED = Machine(
+    name="linux-cluster-cached",
+    flop_rate=120e6,
+    latency=70e-6,
+    bandwidth=11e6,
+    cache_bytes=256e3,
+    cache_speedup=2.5,
+)
+
+# SGI Origin 3800, 600 MHz R14000, NUMAlink interconnect.  load_factor models
+# the heavy time-sharing the paper reports on this machine.
+ORIGIN_3800 = Machine(
+    name="origin3800",
+    flop_rate=350e6,
+    latency=6e-6,
+    bandwidth=250e6,
+    load_factor=1.0,
+)
+
+ORIGIN_3800_LOADED = Machine(
+    name="origin3800-loaded",
+    flop_rate=350e6,
+    latency=6e-6,
+    bandwidth=250e6,
+    load_factor=6.0,
+)
+
+_MACHINES = {
+    m.name: m
+    for m in (LINUX_CLUSTER, LINUX_CLUSTER_CACHED, ORIGIN_3800, ORIGIN_3800_LOADED)
+}
+
+
+def machine_by_name(name: str) -> Machine:
+    """Look up one of the predefined machines."""
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        raise KeyError(f"unknown machine {name!r}; available: {sorted(_MACHINES)}") from None

@@ -1,0 +1,38 @@
+"""Parallel algebraic preconditioners (the paper's object of study).
+
+* :class:`BlockPreconditioner` — Block 1 / Block 2 / block-Krylov variants
+  (simple subdomain-wise solves, paper Sec. 2).
+* :class:`Schur1Preconditioner` — Schur-complement enhanced, ILUT trailing
+  blocks + inner GMRES (paper notation "Schur 1").
+* :class:`Schur2Preconditioner` — expanded Schur system with ARMS subdomain
+  solves and a distributed ILU(0) ("Schur 2").
+* :class:`AdditiveSchwarzPreconditioner` — the overlapping Schwarz
+  comparison of Sec. 5.2, with optional coarse grid corrections.
+"""
+
+from repro.precond.base import ParallelPreconditioner
+from repro.precond.identity import IdentityPreconditioner
+from repro.precond.block_jacobi import BlockPreconditioner, block1, block2, block_krylov
+from repro.precond.overlapping_block import OverlappingBlockPreconditioner
+from repro.precond.polynomial import ChebyshevPreconditioner
+from repro.precond.schur1 import Schur1Preconditioner
+from repro.precond.schur2 import Schur2Preconditioner
+from repro.precond.fft_poisson import FFTPoissonSolver
+from repro.precond.coarse import CoarseGridCorrection
+from repro.precond.schwarz import AdditiveSchwarzPreconditioner
+
+__all__ = [
+    "ParallelPreconditioner",
+    "IdentityPreconditioner",
+    "BlockPreconditioner",
+    "block1",
+    "block2",
+    "block_krylov",
+    "OverlappingBlockPreconditioner",
+    "ChebyshevPreconditioner",
+    "Schur1Preconditioner",
+    "Schur2Preconditioner",
+    "FFTPoissonSolver",
+    "CoarseGridCorrection",
+    "AdditiveSchwarzPreconditioner",
+]

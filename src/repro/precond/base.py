@@ -1,0 +1,43 @@
+"""Preconditioner interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.distributed.matrix import DistributedMatrix
+
+
+class ParallelPreconditioner(ABC):
+    """A parallel algebraic preconditioner bound to one distributed operator.
+
+    ``apply`` maps a distributed residual to a distributed correction,
+    charging its full parallel cost (per-rank flops, neighbor messages,
+    allreduces of any inner iterations) to the communicator's ledger.
+    Construction charges the setup phase (factorizations).
+    """
+
+    #: short identifier used in result tables ("Block 1", "Schur 2", ...)
+    name: str = "preconditioner"
+
+    def __init__(self, dmat: DistributedMatrix, comm: Communicator) -> None:
+        if comm.size != dmat.pm.num_ranks:
+            raise ValueError("communicator size does not match the partition")
+        self.dmat = dmat
+        self.comm = comm
+        self.pm = dmat.pm
+
+    @abstractmethod
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        """Return z ≈ M^{-1} r (distributed ordering)."""
+
+    def __call__(self, r: np.ndarray) -> np.ndarray:
+        return self.apply(r)
+
+    # -- shared helpers ------------------------------------------------------
+
+    def _charge_setup(self, flops_per_rank: np.ndarray) -> None:
+        """Charge a setup (factorization) phase."""
+        self.comm.ledger.add_phase(flops_per_rank)

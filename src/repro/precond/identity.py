@@ -1,0 +1,16 @@
+"""Identity preconditioner (unpreconditioned baseline)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.precond.base import ParallelPreconditioner
+
+
+class IdentityPreconditioner(ParallelPreconditioner):
+    """M = I; useful as the no-preconditioning baseline in ablations."""
+
+    name = "None"
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        return r.copy()

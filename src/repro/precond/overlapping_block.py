@@ -1,0 +1,126 @@
+"""Overlapping block preconditioner (algebraic overlap).
+
+Paper Sec. 1.1: the distributed data structure carries the *minimum* overlap
+needed for matvecs, but "an increased overlap may help to produce a better
+parallel preconditioner".  This preconditioner realizes that idea
+algebraically: each subdomain's owned index set is extended by ``overlap``
+levels of matrix-graph neighbors, the extended diagonal block is ILU-factored,
+and corrections are restricted back to owned points (the restricted-Schwarz
+convention, which avoids double counting).  ``overlap=0`` reduces exactly to
+Block 1/Block 2.
+
+Unlike the geometric additive Schwarz of Sec. 5.2, this works on *any* grid
+and any partition — it is the algebraic-overlap knob for bench A6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.comm.communicator import Communicator
+from repro.distributed.matrix import DistributedMatrix
+from repro.factor.ilu0 import ilu0
+from repro.factor.ilut import ilut
+from repro.precond.base import ParallelPreconditioner
+from repro.precond.block_jacobi import estimate_ilu_setup_flops
+from repro.utils.validation import ensure_csr
+
+
+def _expand_by_levels(
+    a_global: sp.csr_matrix, seed_ids: np.ndarray, levels: int
+) -> np.ndarray:
+    """Grow an index set by ``levels`` rings of matrix-graph neighbors."""
+    mask = np.zeros(a_global.shape[0], dtype=bool)
+    mask[seed_ids] = True
+    frontier = seed_ids
+    for _ in range(levels):
+        cols = []
+        for i in frontier:
+            lo, hi = a_global.indptr[i], a_global.indptr[i + 1]
+            cols.append(a_global.indices[lo:hi])
+        if not cols:
+            break
+        nxt = np.unique(np.concatenate(cols))
+        nxt = nxt[~mask[nxt]]
+        if nxt.size == 0:
+            break
+        mask[nxt] = True
+        frontier = nxt
+    return np.flatnonzero(mask)
+
+
+class OverlappingBlockPreconditioner(ParallelPreconditioner):
+    """Block Jacobi over algebraically-extended (overlapping) subdomains."""
+
+    def __init__(
+        self,
+        dmat: DistributedMatrix,
+        comm: Communicator,
+        a_global: sp.csr_matrix,
+        *,
+        overlap: int = 1,
+        variant: str = "ilut",
+        drop_tol: float = 1e-3,
+        fill: int = 10,
+    ) -> None:
+        """``a_global`` must be the same operator ``dmat`` distributes, in
+        global numbering (used only at setup to harvest overlap rows —
+        physically each rank would fetch those rows from its neighbors
+        once, which is charged as setup communication)."""
+        super().__init__(dmat, comm)
+        if overlap < 0:
+            raise ValueError("overlap must be >= 0")
+        if variant not in ("ilu0", "ilut"):
+            raise ValueError(f"unknown variant {variant!r}")
+        a_global = ensure_csr(a_global)
+        if a_global.shape[0] != self.pm.membership.shape[0]:
+            raise ValueError("a_global does not match the partition map")
+        self.overlap = overlap
+        self.name = f"Block O{overlap}"
+
+        self.ext_ids: list[np.ndarray] = []
+        self._own_pos: list[np.ndarray] = []
+        self.factors = []
+        setup = np.zeros(comm.size)
+        setup_bytes = np.zeros(comm.size)
+        for r, sd in enumerate(self.pm.subdomains):
+            grown = _expand_by_levels(a_global, sd.owned, overlap)
+            halo = np.setdiff1d(grown, sd.owned, assume_unique=False)
+            # local ordering [owned(internal; interface); halo] so overlap=0
+            # degenerates to exactly the Block 2 factorization (incomplete
+            # factorizations are ordering sensitive)
+            ext = np.concatenate([sd.owned, halo])
+            self.ext_ids.append(ext)
+            self._own_pos.append(np.arange(sd.n_owned))
+            block = ensure_csr(a_global[ext][:, ext])
+            fac = ilu0(block) if variant == "ilu0" else ilut(block, drop_tol, fill)
+            self.factors.append(fac)
+            setup[r] = estimate_ilu_setup_flops(fac)
+            # one-time neighbor fetch of the overlap rows
+            setup_bytes[r] = 16.0 * (block.nnz - dmat.owned_square[r].nnz)
+        self.comm.ledger.add_phase(setup, msgs_per_rank=2.0, bytes_per_rank=setup_bytes)
+
+        self._apply_flops = np.asarray([f.solve_flops() for f in self.factors])
+        # per-apply exchange: import residual values on the overlap region
+        self._bytes = np.asarray(
+            [8.0 * (len(ext) - sd.n_owned)
+             for ext, sd in zip(self.ext_ids, self.pm.subdomains)]
+        )
+        self._msgs = np.asarray(
+            [2.0 * max(1, len(self.pm.pattern.neighbors_of(r)))
+             for r in range(comm.size)]
+        )
+        self._global_n = a_global.shape[0]
+
+    def apply(self, r: np.ndarray) -> np.ndarray:
+        r_glob = self.pm.to_global(r)
+        z = np.empty_like(r)
+        for rank in range(self.comm.size):
+            correction = self.factors[rank].solve(r_glob[self.ext_ids[rank]])
+            # restricted scatter: keep only this rank's owned entries
+            self.pm.layout.local(z, rank)[:] = correction[self._own_pos[rank]]
+        self.comm.ledger.add_phase(
+            self._apply_flops, msgs_per_rank=self._msgs, bytes_per_rank=self._bytes
+        )
+        return z

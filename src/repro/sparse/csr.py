@@ -1,0 +1,93 @@
+"""CSR construction and access helpers.
+
+Thin, validated helpers around scipy CSR that the rest of the library uses so
+that assumptions (canonical form, float64 data, int index arrays) hold in one
+place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import ensure_csr
+
+
+def csr_from_coo(
+    rows: np.ndarray,
+    cols: np.ndarray,
+    vals: np.ndarray,
+    shape: tuple[int, int],
+) -> sp.csr_matrix:
+    """Assemble a canonical CSR matrix from COO triplets.
+
+    Duplicate entries are summed — this is the finite-element assembly
+    convention (element contributions accumulate).
+    """
+    a = sp.coo_matrix((np.asarray(vals, dtype=np.float64), (rows, cols)), shape=shape)
+    return ensure_csr(a.tocsr())
+
+
+def nnz_per_row(a: sp.csr_matrix) -> np.ndarray:
+    """Number of stored entries in each row."""
+    return np.diff(a.indptr)
+
+
+def csr_row(a: sp.csr_matrix, i: int) -> tuple[np.ndarray, np.ndarray]:
+    """Return (column indices, values) of row ``i`` as views into CSR storage."""
+    lo, hi = a.indptr[i], a.indptr[i + 1]
+    return a.indices[lo:hi], a.data[lo:hi]
+
+
+def is_sorted_csr(a: sp.csr_matrix) -> bool:
+    """True when every row's column indices are strictly increasing."""
+    for i in range(a.shape[0]):
+        cols = a.indices[a.indptr[i] : a.indptr[i + 1]]
+        if cols.size > 1 and np.any(np.diff(cols) <= 0):
+            return False
+    return True
+
+
+def diag_indices_csr(a: sp.csr_matrix) -> np.ndarray:
+    """Positions of the diagonal entries inside ``a.data``.
+
+    Raises ``ValueError`` if a structural diagonal entry is missing — ILU
+    factorizations require an explicitly stored diagonal.
+    """
+    a = ensure_csr(a)
+    n = a.shape[0]
+    pos = np.empty(n, dtype=np.int64)
+    indptr, indices = a.indptr, a.indices
+    for i in range(n):
+        lo, hi = indptr[i], indptr[i + 1]
+        j = np.searchsorted(indices[lo:hi], i)
+        if j == hi - lo or indices[lo + j] != i:
+            raise ValueError(f"row {i} has no stored diagonal entry")
+        pos[i] = lo + j
+    return pos
+
+
+def spmv(a: sp.csr_matrix, x: np.ndarray) -> np.ndarray:
+    """Sparse matrix-vector product ``a @ x`` (compiled scipy kernel)."""
+    return a @ x
+
+
+def drop_small(a: sp.csr_matrix, tol: float, keep_diagonal: bool = True) -> sp.csr_matrix:
+    """Drop entries with |a_ij| < tol * ||row i||_2 (row-relative dropping).
+
+    The diagonal is kept unconditionally by default (factorizations downstream
+    need it).  Used when forming approximate Schur complements.
+    """
+    a = ensure_csr(a).copy()
+    if tol <= 0:
+        return a
+    n_rows = a.shape[0]
+    rows = np.repeat(np.arange(n_rows), np.diff(a.indptr))
+    sq = a.data * a.data
+    rownorm = np.sqrt(np.bincount(rows, weights=sq, minlength=n_rows))
+    small = np.abs(a.data) < tol * rownorm[rows]
+    if keep_diagonal:
+        small &= rows != a.indices
+    a.data[small] = 0.0
+    a.eliminate_zeros()
+    return a

@@ -1,0 +1,35 @@
+"""Serialization of CSR matrices.
+
+Lets experiments cache assembled systems between bench runs (assembly of the
+larger grids dominates setup time).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import ensure_csr
+
+
+def save_csr_npz(path: str | Path, a: sp.csr_matrix) -> None:
+    """Save a CSR matrix to ``path`` in npz format."""
+    a = ensure_csr(a)
+    np.savez_compressed(
+        path,
+        indptr=a.indptr,
+        indices=a.indices,
+        data=a.data,
+        shape=np.asarray(a.shape, dtype=np.int64),
+    )
+
+
+def load_csr_npz(path: str | Path) -> sp.csr_matrix:
+    """Load a CSR matrix previously written by :func:`save_csr_npz`."""
+    with np.load(path) as z:
+        return sp.csr_matrix(
+            (z["data"], z["indices"], z["indptr"]),
+            shape=tuple(int(s) for s in z["shape"]),
+        )

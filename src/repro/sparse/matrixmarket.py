@@ -1,0 +1,67 @@
+"""Matrix Market (.mtx) I/O.
+
+The exchange format of the sparse-matrix world (and of pARMS's own test
+drivers).  Supports the ``matrix coordinate real general|symmetric`` flavor
+— enough to import SuiteSparse matrices and export our assembled systems for
+cross-validation against other solvers.  Implemented from scratch (no
+scipy.io dependency) with a round-trip guarantee.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import ensure_csr
+
+
+def save_matrix_market(path: str | Path, a: sp.spmatrix, comment: str = "") -> None:
+    """Write ``a`` as ``matrix coordinate real general`` (1-based indices)."""
+    a = ensure_csr(a).tocoo()
+    path = Path(path)
+    lines = ["%%MatrixMarket matrix coordinate real general"]
+    for c in comment.splitlines():
+        lines.append(f"% {c}")
+    lines.append(f"{a.shape[0]} {a.shape[1]} {a.nnz}")
+    lines.extend(
+        f"{i + 1} {j + 1} {v:.17g}" for i, j, v in zip(a.row, a.col, a.data)
+    )
+    path.write_text("\n".join(lines) + "\n")
+
+
+def load_matrix_market(path: str | Path) -> sp.csr_matrix:
+    """Read a ``matrix coordinate real`` file (general or symmetric)."""
+    text = Path(path).read_text().splitlines()
+    if not text:
+        raise ValueError("empty Matrix Market file")
+    header = text[0].strip().lower().split()
+    if len(header) < 5 or header[0] != "%%matrixmarket":
+        raise ValueError(f"not a Matrix Market header: {text[0]!r}")
+    _, obj, fmt, field, symmetry = header[:5]
+    if obj != "matrix" or fmt != "coordinate":
+        raise ValueError("only 'matrix coordinate' files are supported")
+    if field not in ("real", "integer"):
+        raise ValueError(f"unsupported field type {field!r}")
+    if symmetry not in ("general", "symmetric"):
+        raise ValueError(f"unsupported symmetry {symmetry!r}")
+
+    body = [ln for ln in text[1:] if ln.strip() and not ln.lstrip().startswith("%")]
+    m, n, nnz = (int(t) for t in body[0].split())
+    entries = body[1 : 1 + nnz]
+    if len(entries) != nnz:
+        raise ValueError(f"expected {nnz} entries, found {len(entries)}")
+    rows = np.empty(nnz, dtype=np.int64)
+    cols = np.empty(nnz, dtype=np.int64)
+    vals = np.empty(nnz)
+    for k, ln in enumerate(entries):
+        parts = ln.split()
+        rows[k] = int(parts[0]) - 1
+        cols[k] = int(parts[1]) - 1
+        vals[k] = float(parts[2]) if len(parts) > 2 else 1.0
+    a = sp.coo_matrix((vals, (rows, cols)), shape=(m, n))
+    if symmetry == "symmetric":
+        off = rows != cols
+        a = a + sp.coo_matrix((vals[off], (cols[off], rows[off])), shape=(m, n))
+    return ensure_csr(a.tocsr())

@@ -1,0 +1,36 @@
+"""Permutation utilities.
+
+Both Schur preconditioners rely on symmetric permutations: the [internal;
+interface] local ordering, and ARMS's [group-independent sets; interfaces]
+ordering.  A permutation ``p`` is stored as "new ordering lists old indices":
+row ``k`` of the permuted matrix is row ``p[k]`` of the original.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.validation import ensure_csr
+
+
+def inverse_permutation(p: np.ndarray) -> np.ndarray:
+    """Inverse of permutation ``p`` (``inv[p[k]] == k``)."""
+    p = np.asarray(p)
+    inv = np.empty_like(p)
+    inv[p] = np.arange(len(p), dtype=p.dtype)
+    return inv
+
+
+def apply_symmetric_permutation(a: sp.csr_matrix, p: np.ndarray) -> sp.csr_matrix:
+    """Return ``P A P^T`` for permutation vector ``p`` (new index -> old index)."""
+    a = ensure_csr(a)
+    p = np.asarray(p, dtype=np.int64)
+    if p.shape[0] != a.shape[0] or a.shape[0] != a.shape[1]:
+        raise ValueError("permutation length must equal matrix dimension")
+    return ensure_csr(a[p][:, p])
+
+
+def permute_vector(x: np.ndarray, p: np.ndarray) -> np.ndarray:
+    """Reorder ``x`` into the permuted numbering (entry k becomes x[p[k]])."""
+    return np.asarray(x)[np.asarray(p)]

@@ -1,0 +1,20 @@
+"""Small shared utilities: timers, validation helpers, deterministic RNG."""
+
+from repro.utils.timer import Timer, timed
+from repro.utils.validation import (
+    check_square,
+    check_vector,
+    ensure_csr,
+    require,
+)
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "Timer",
+    "timed",
+    "check_square",
+    "check_vector",
+    "ensure_csr",
+    "require",
+    "make_rng",
+]

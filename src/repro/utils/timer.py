@@ -1,0 +1,56 @@
+"""Wall-clock timing helpers.
+
+The paper reports wall-clock time of the preconditioned (F)GMRES solve; we keep
+real timings alongside the simulated machine-model timings so both can be
+reported.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    ``Timer`` accumulates elapsed seconds across repeated start/stop cycles,
+    so a single instance can measure the total cost of an operation that is
+    invoked many times (e.g. one preconditioner application per iteration).
+    """
+
+    elapsed: float = 0.0
+    _t0: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._t0 is not None:
+            raise RuntimeError("Timer already running")
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("Timer not running")
+        dt = time.perf_counter() - self._t0
+        self.elapsed += dt
+        self._t0 = None
+        return dt
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._t0 = None
+
+    @property
+    def running(self) -> bool:
+        return self._t0 is not None
+
+
+@contextmanager
+def timed(timer: Timer):
+    """Context manager charging the enclosed block to ``timer``."""
+    timer.start()
+    try:
+        yield timer
+    finally:
+        timer.stop()

@@ -1,0 +1,48 @@
+"""Input validation helpers used at public API boundaries.
+
+Internal hot loops skip validation (per the optimization guides, validation is
+kept at the edges so kernels stay branch-free), while every public entry point
+funnels through these checks so user errors fail loudly with a clear message.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError`` with ``message`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_square(a: sp.spmatrix, name: str = "matrix") -> None:
+    """Validate that ``a`` is a square 2-D sparse matrix."""
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {a.shape}")
+
+
+def check_vector(x: np.ndarray, n: int, name: str = "vector") -> np.ndarray:
+    """Validate that ``x`` is a 1-D float vector of length ``n``.
+
+    Returns a contiguous float64 view/copy so downstream kernels never need to
+    re-check dtype or layout.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got ndim={x.ndim}")
+    if x.shape[0] != n:
+        raise ValueError(f"{name} must have length {n}, got {x.shape[0]}")
+    return np.ascontiguousarray(x)
+
+
+def ensure_csr(a, name: str = "matrix") -> sp.csr_matrix:
+    """Convert ``a`` to canonical CSR (sorted indices, no duplicates)."""
+    if not sp.issparse(a):
+        raise TypeError(f"{name} must be a scipy sparse matrix, got {type(a)!r}")
+    a = a.tocsr()
+    if not a.has_sorted_indices:
+        a.sort_indices()
+    a.sum_duplicates()
+    return a

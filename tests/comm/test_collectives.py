@@ -1,0 +1,37 @@
+import numpy as np
+import pytest
+
+from repro.comm.collectives import allgather_concat, allreduce_sum
+from repro.comm.communicator import Communicator
+
+
+class TestAllreduceSum:
+    def test_sums_partials(self):
+        comm = Communicator(3)
+        assert allreduce_sum(comm, [1.0, 2.0, 3.5]) == 6.5
+
+    def test_charges_one_allreduce(self):
+        comm = Communicator(3)
+        allreduce_sum(comm, [0.0, 0.0, 0.0])
+        assert comm.ledger.allreduces == 1
+        assert comm.ledger.allreduce_bytes == 8
+
+    def test_wrong_count_raises(self):
+        with pytest.raises(ValueError):
+            allreduce_sum(Communicator(2), [1.0])
+
+
+class TestAllgatherConcat:
+    def test_concatenates_in_rank_order(self):
+        comm = Communicator(2)
+        out = allgather_concat(comm, [np.array([1.0]), np.array([2.0, 3.0])])
+        assert out.tolist() == [1.0, 2.0, 3.0]
+
+    def test_charges_payload_bytes(self):
+        comm = Communicator(2)
+        allgather_concat(comm, [np.zeros(3), np.zeros(5)])
+        assert comm.ledger.allreduce_bytes == 8 * 8
+
+    def test_wrong_count_raises(self):
+        with pytest.raises(ValueError):
+            allgather_concat(Communicator(3), [np.zeros(1)])

@@ -1,0 +1,22 @@
+import pytest
+
+from repro.comm.communicator import Communicator
+
+
+class TestCommunicator:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            Communicator(0)
+
+    def test_fresh_ledger(self):
+        c = Communicator(4)
+        assert c.ledger.num_ranks == 4
+        assert c.ledger.crit_flops == 0.0
+
+    def test_reset_ledger_returns_old(self):
+        c = Communicator(2)
+        c.ledger.add_phase(10.0)
+        old = c.reset_ledger()
+        assert old.crit_flops == 10.0
+        assert c.ledger.crit_flops == 0.0
+        assert c.ledger.num_ranks == 2

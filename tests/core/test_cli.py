@@ -1,0 +1,55 @@
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "tc1" in out and "schur1" in out and "linux-cluster" in out
+
+    def test_solve_tc1(self, capsys):
+        rc = main(["solve", "--case", "tc1", "--size", "17", "--precond",
+                   "schur1", "--nparts", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+        assert "max error" in out
+
+    def test_solve_returns_nonzero_on_failure(self, capsys):
+        # elasticity with Block 1 and a tiny budget: honest nonzero exit
+        rc = main(["solve", "--case", "tc6", "--size", "15", "--precond",
+                   "block1", "--maxiter", "10"])
+        assert rc == 1
+        assert "NOT CONVERGED" in capsys.readouterr().out
+
+    def test_sweep_renders_table(self, capsys):
+        rc = main(["sweep", "--case", "tc1", "--size", "17",
+                   "--preconds", "block1,schur1", "--p", "2,4", "--maxiter", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "#itr" in out and "Schur 1" in out
+
+    def test_unknown_case_exits(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--case", "tc9"])
+
+    def test_bad_p_list_exits(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--case", "tc1", "--p", "2,x"])
+
+    def test_box_scheme(self, capsys):
+        rc = main(["solve", "--case", "tc1", "--size", "17", "--scheme", "box",
+                   "--precond", "block2", "--nparts", "4"])
+        assert rc == 0
+
+    def test_machine_selection(self, capsys):
+        rc = main(["solve", "--case", "tc1", "--size", "17",
+                   "--machine", "origin3800", "--nparts", "2"])
+        assert rc == 0
+        assert "origin3800" in capsys.readouterr().out
+
+    def test_parser_help_structure(self):
+        parser = make_parser()
+        assert parser.prog == "repro"

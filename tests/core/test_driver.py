@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+
+from repro.core.driver import PRECONDITIONER_NAMES, make_preconditioner, solve_case
+from repro.perfmodel.machine import LINUX_CLUSTER, ORIGIN_3800
+
+
+class TestSolveCase:
+    @pytest.mark.parametrize("precond", ["block1", "block2", "schur1", "schur2"])
+    def test_all_algebraic_preconditioners_solve_tc1(self, tiny_case, precond):
+        out = solve_case(tiny_case, precond=precond, nparts=3, maxiter=300)
+        assert out.converged
+        assert out.error is not None and out.error < 1e-3
+        assert out.precond in ("Block 1", "Block 2", "Schur 1", "Schur 2")
+
+    def test_schwarz_preconditioners_solve_tc1(self, tiny_case):
+        for name in ("as", "as+cgc"):
+            out = solve_case(tiny_case, precond=name, nparts=4, maxiter=300)
+            assert out.converged, name
+
+    def test_ledgers_separated(self, tiny_case):
+        out = solve_case(tiny_case, precond="block2", nparts=3, maxiter=300)
+        assert out.setup_ledger.crit_flops > 0
+        assert out.solve_ledger.crit_flops > 0
+        assert out.setup_ledger.allreduces == 0
+
+    def test_sim_time_positive_and_machine_dependent(self, tiny_case):
+        out = solve_case(tiny_case, precond="schur1", nparts=3, maxiter=300)
+        t_cluster = out.sim_time(LINUX_CLUSTER)
+        t_origin = out.sim_time(ORIGIN_3800)
+        assert t_cluster > 0
+        assert t_origin < t_cluster  # faster machine
+
+    def test_time_per_iteration(self, tiny_case):
+        out = solve_case(tiny_case, precond="block1", nparts=3, maxiter=300)
+        assert out.time_per_iteration(LINUX_CLUSTER) > 0
+
+    def test_iterations_grow_with_parts_for_block1(self, tiny_case):
+        """More subdomains weaken the block preconditioner — the basic
+        scalability tension the paper studies."""
+        i2 = solve_case(tiny_case, precond="block1", nparts=2, maxiter=400).iterations
+        i8 = solve_case(tiny_case, precond="block1", nparts=8, maxiter=400).iterations
+        assert i8 >= i2
+
+    def test_seed_changes_outcome(self, tiny_case):
+        """The paper's observation: partitioning RNG affects iteration counts."""
+        outs = {solve_case(tiny_case, "block1", nparts=6, seed=s, maxiter=400).iterations
+                for s in range(4)}
+        assert len(outs) > 1
+
+    def test_box_scheme_supported(self, tiny_case):
+        out = solve_case(tiny_case, precond="block2", nparts=4, scheme="box", maxiter=300)
+        assert out.converged
+
+    def test_unknown_preconditioner_raises(self, tiny_case):
+        with pytest.raises(ValueError, match="unknown preconditioner"):
+            solve_case(tiny_case, precond="multigrid")
+
+    def test_none_preconditioner_baseline(self, tiny_case):
+        out = solve_case(tiny_case, precond="none", nparts=2, maxiter=500)
+        assert out.converged
+        pre = solve_case(tiny_case, precond="schur1", nparts=2, maxiter=500)
+        assert pre.iterations < out.iterations
+
+    def test_keep_solution_flag(self, tiny_case):
+        out = solve_case(tiny_case, precond="block1", nparts=2, keep_solution=False, maxiter=300)
+        assert out.x_global is None
+        assert out.error is not None  # computed before dropping
+
+    def test_registry_names_all_constructible(self, tiny_case):
+        from repro.comm.communicator import Communicator
+        from repro.distributed.matrix import distribute_matrix
+        from repro.distributed.partition_map import PartitionMap
+
+        mem = tiny_case.membership(2)
+        pm = PartitionMap(tiny_case.coupling_graph, mem, num_ranks=2)
+        dmat = distribute_matrix(tiny_case.matrix, pm)
+        for name in PRECONDITIONER_NAMES:
+            M = make_preconditioner(name, dmat, Communicator(2), tiny_case)
+            assert M is not None

@@ -1,0 +1,54 @@
+import pytest
+
+from repro.core.experiment import run_sweep
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+
+class TestRunSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, request):
+        from repro.cases.poisson2d import poisson2d_case
+
+        case = poisson2d_case(n=17)
+        return run_sweep(case, ["block1", "schur1"], [2, 4], maxiter=300)
+
+    def test_all_cells_present(self, sweep):
+        for name in ("block1", "schur1"):
+            for p in (2, 4):
+                assert sweep.get(name, p) is not None
+
+    def test_outcomes_converged(self, sweep):
+        assert all(o.converged for o in sweep.outcomes.values())
+
+    def test_table_renders_paper_layout(self, sweep):
+        text = sweep.table(LINUX_CLUSTER)
+        assert "Block 1" in text
+        assert "Schur 1" in text
+        assert "#itr" in text and "time" in text
+        lines = text.splitlines()
+        assert any(line.strip().startswith("2 ") for line in lines)
+        assert any(line.strip().startswith("4 ") for line in lines)
+
+    def test_missing_cell_renders_dashes(self, sweep):
+        sweep2 = type(sweep)(
+            case_key=sweep.case_key,
+            case_title=sweep.case_title,
+            scheme=sweep.scheme,
+            p_values=[2, 8],
+            preconds=["block1"],
+            outcomes={k: v for k, v in sweep.outcomes.items() if k[1] == 2},
+        )
+        assert "--" in sweep2.table(LINUX_CLUSTER)
+
+    def test_precond_params_forwarded(self):
+        from repro.cases.poisson2d import poisson2d_case
+
+        case = poisson2d_case(n=17)
+        sweep = run_sweep(
+            case,
+            ["schur1"],
+            [2],
+            maxiter=300,
+            precond_params={"schur1": {"global_iterations": 2}},
+        )
+        assert sweep.get("schur1", 2).converged

@@ -1,0 +1,29 @@
+from repro.core.reporting import format_paper_table
+
+
+class TestFormatPaperTable:
+    def test_basic_layout(self):
+        table = format_paper_table(
+            "Test table",
+            [2, 4],
+            {"Schur 1": {2: (10, 1.5), 4: (12, 0.9)}, "Block 2": {2: (40, 2.0), 4: (55, 1.4)}},
+        )
+        lines = table.splitlines()
+        assert lines[0] == "Test table"
+        assert "Schur 1" in lines[1] and "Block 2" in lines[1]
+        assert lines[2].count("#itr") == 2
+        assert "10" in lines[3] and "1.50" in lines[3]
+
+    def test_none_iterations_render_as_dashes(self):
+        table = format_paper_table("t", [2], {"Block 1": {2: (None, 3.0)}})
+        assert "--" in table
+        assert "3.00" in table
+
+    def test_missing_entry(self):
+        table = format_paper_table("t", [2, 4], {"X": {2: (5, 0.1)}})
+        row4 = [l for l in table.splitlines() if l.strip().startswith("4")][0]
+        assert "--" in row4
+
+    def test_custom_time_format(self):
+        table = format_paper_table("t", [2], {"X": {2: (5, 0.123456)}}, time_format="{:.4f}")
+        assert "0.1235" in table

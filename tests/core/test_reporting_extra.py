@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.core.reporting import format_convergence_history, format_efficiency_table
+
+
+class TestConvergenceHistory:
+    def test_renders_decreasing_staircase(self):
+        residuals = [10.0 ** (-k) for k in range(8)]
+        plot = format_convergence_history(residuals, title="decay")
+        lines = plot.splitlines()
+        assert lines[0] == "decay"
+        assert plot.count("*") >= 8 - 2  # most points visible (some overlap)
+        assert "iterations" in plot
+
+    def test_short_history(self):
+        assert "too short" in format_convergence_history([1.0])
+
+    def test_flat_history_does_not_crash(self):
+        plot = format_convergence_history([1.0, 1.0, 1.0])
+        assert "*" in plot
+
+    def test_zero_residual_clamped(self):
+        plot = format_convergence_history([1.0, 0.0])
+        assert "*" in plot
+
+    def test_real_solver_history_plots(self, tiny_case):
+        from repro.core.driver import solve_case
+
+        out = solve_case(tiny_case, "schur1", nparts=2, maxiter=100)
+        plot = format_convergence_history(out.residuals)
+        assert plot.count("*") >= 3
+
+
+class TestEfficiencyTable:
+    def test_speedup_relative_to_base(self):
+        times = {"X": {2: 4.0, 4: 2.0, 8: 1.0}}
+        table = format_efficiency_table("t", [2, 4, 8], times)
+        lines = table.splitlines()
+        row8 = [l for l in lines if l.strip().startswith("8")][0]
+        assert "4.00" in row8  # speedup 4 vs P=2
+        assert "1.00" in row8  # perfect efficiency (4 × 2/8)
+
+    def test_missing_cells(self):
+        table = format_efficiency_table("t", [2, 4], {"X": {2: 1.0}})
+        assert "--" in table
+
+    def test_explicit_base(self):
+        times = {"X": {4: 2.0, 8: 1.0}}
+        table = format_efficiency_table("t", [4, 8], times, base_p=4)
+        row8 = [l for l in table.splitlines() if l.strip().startswith("8")][0]
+        assert "2.00" in row8

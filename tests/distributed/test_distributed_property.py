@@ -1,0 +1,72 @@
+"""Property-based tests of the distributed-system invariants."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.communicator import Communicator
+from repro.distributed.matrix import distribute_matrix
+from repro.distributed.partition_map import PartitionMap
+from repro.graph.adjacency import graph_from_matrix
+
+
+@st.composite
+def partitioned_systems(draw):
+    """Random banded SPD-ish matrix + random membership over 1..4 ranks."""
+    n = draw(st.integers(min_value=4, max_value=60))
+    nranks = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    bw = draw(st.integers(min_value=1, max_value=3))
+    diags = [rng.random(n - abs(k)) for k in range(-bw, bw + 1)]
+    a = sp.diags(diags, list(range(-bw, bw + 1))).tocsr()
+    a = a + sp.diags(np.full(n, 2.0 * (2 * bw + 1)))
+    membership = rng.integers(0, nranks, n)
+    return a.tocsr(), membership.astype(np.int64), nranks, seed
+
+
+@given(partitioned_systems())
+@settings(max_examples=50, deadline=None)
+def test_distributed_matvec_always_matches_global(data):
+    a, membership, nranks, seed = data
+    pm = PartitionMap(graph_from_matrix(a), membership, num_ranks=nranks)
+    dmat = distribute_matrix(a, pm)
+    comm = Communicator(nranks)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal(a.shape[0])
+    y = pm.to_global(dmat.matvec(comm, pm.to_distributed(x)))
+    assert np.allclose(y, a @ x, atol=1e-10)
+
+
+@given(partitioned_systems())
+@settings(max_examples=50, deadline=None)
+def test_classification_partition_invariants(data):
+    a, membership, nranks, _ = data
+    g = graph_from_matrix(a)
+    pm = PartitionMap(g, membership, num_ranks=nranks)
+    n = a.shape[0]
+    # owned sets are a disjoint cover
+    owned = np.concatenate([sd.owned for sd in pm.subdomains])
+    assert sorted(owned.tolist()) == list(range(n))
+    # ghost sets contain no owned points and only interface points
+    for sd in pm.subdomains:
+        assert not set(sd.ghost.tolist()) & set(sd.owned.tolist())
+        assert np.all(pm.is_interface[sd.ghost]) if sd.ghost.size else True
+    # round trip
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(n)
+    assert np.array_equal(pm.to_global(pm.to_distributed(x)), x)
+
+
+@given(partitioned_systems())
+@settings(max_examples=30, deadline=None)
+def test_explicit_and_fused_matvec_agree(data):
+    a, membership, nranks, seed = data
+    pm = PartitionMap(graph_from_matrix(a), membership, num_ranks=nranks)
+    dmat = distribute_matrix(a, pm)
+    rng = np.random.default_rng(seed + 2)
+    x = pm.to_distributed(rng.standard_normal(a.shape[0]))
+    y1 = dmat.matvec(Communicator(nranks), x)
+    y2 = dmat.matvec_explicit(Communicator(nranks), x)
+    assert np.allclose(y1, y2, atol=1e-12)

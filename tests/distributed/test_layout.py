@@ -1,0 +1,33 @@
+import numpy as np
+import pytest
+
+from repro.distributed.layout import Layout
+
+
+class TestLayout:
+    def test_from_sizes(self):
+        lay = Layout.from_sizes([3, 0, 2])
+        assert lay.num_ranks == 3
+        assert lay.total == 5
+        assert lay.sizes.tolist() == [3, 0, 2]
+
+    def test_local_views_are_writable(self):
+        lay = Layout.from_sizes([2, 2])
+        x = np.zeros(4)
+        lay.local(x, 1)[:] = 7.0
+        assert x.tolist() == [0.0, 0.0, 7.0, 7.0]
+
+    def test_split_covers_everything(self):
+        lay = Layout.from_sizes([1, 3, 2])
+        x = np.arange(6.0)
+        parts = lay.split(x)
+        assert np.concatenate(parts).tolist() == x.tolist()
+
+    def test_empty_rank_view(self):
+        lay = Layout.from_sizes([2, 0, 1])
+        x = np.arange(3.0)
+        assert lay.local(x, 1).size == 0
+
+    def test_zeros(self):
+        lay = Layout.from_sizes([2, 3])
+        assert lay.zeros().shape == (5,)

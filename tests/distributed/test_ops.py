@@ -1,0 +1,39 @@
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.distributed.layout import Layout
+from repro.distributed.ops import DistributedOps
+
+
+class TestDistributedOps:
+    def test_dot_matches_numpy(self, rng):
+        lay = Layout.from_sizes([3, 4, 3])
+        ops = DistributedOps(Communicator(3), lay)
+        x, y = rng.random(10), rng.random(10)
+        assert ops.dot(x, y) == pytest.approx(float(x @ y))
+
+    def test_dot_charges_allreduce_and_flops(self, rng):
+        lay = Layout.from_sizes([5, 5])
+        comm = Communicator(2)
+        ops = DistributedOps(comm, lay)
+        ops.dot(rng.random(10), rng.random(10))
+        assert comm.ledger.allreduces == 1
+        assert comm.ledger.crit_flops == 10.0  # 2 * max local size
+
+    def test_norm_nonnegative(self, rng):
+        lay = Layout.from_sizes([4, 4])
+        ops = DistributedOps(Communicator(2), lay)
+        assert ops.norm(np.zeros(8)) == 0.0
+        x = rng.random(8)
+        assert ops.norm(x) == pytest.approx(np.linalg.norm(x))
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DistributedOps(Communicator(2), Layout.from_sizes([1, 2, 3]))
+
+    def test_charge_local_axpy(self):
+        lay = Layout.from_sizes([6, 2])
+        comm = Communicator(2)
+        DistributedOps(comm, lay).charge_local_axpy(3)
+        assert comm.ledger.crit_flops == 2 * 3 * 6

@@ -1,0 +1,127 @@
+import numpy as np
+import pytest
+
+from repro.distributed.partition_map import PartitionMap
+from repro.graph.adjacency import graph_from_elements
+from repro.graph.partitioner import partition_graph
+from repro.mesh.grid2d import structured_rectangle
+
+
+@pytest.fixture(scope="module")
+def mesh_graph():
+    mesh = structured_rectangle(13, 13)
+    return mesh, graph_from_elements(mesh.num_points, mesh.elements)
+
+
+@pytest.fixture(scope="module")
+def pmap(mesh_graph):
+    _, g = mesh_graph
+    mem = partition_graph(g, 4, seed=0)
+    return PartitionMap(g, mem, num_ranks=4)
+
+
+class TestClassification:
+    def test_owned_partition_is_disjoint_cover(self, pmap, mesh_graph):
+        _, g = mesh_graph
+        all_owned = np.concatenate([sd.owned for sd in pmap.subdomains])
+        assert sorted(all_owned.tolist()) == list(range(g.num_vertices))
+
+    def test_internal_points_have_no_external_neighbors(self, pmap, mesh_graph):
+        _, g = mesh_graph
+        for sd in pmap.subdomains:
+            for v in sd.owned[: sd.n_internal]:
+                owners = pmap.membership[g.neighbors(int(v))]
+                assert np.all(owners == sd.rank)
+
+    def test_interface_points_have_external_neighbors(self, pmap, mesh_graph):
+        _, g = mesh_graph
+        for sd in pmap.subdomains:
+            for v in sd.interface_global:
+                owners = pmap.membership[g.neighbors(int(v))]
+                assert np.any(owners != sd.rank)
+
+    def test_ghosts_are_neighbors_interface_points(self, pmap):
+        for sd in pmap.subdomains:
+            for gpt in sd.ghost:
+                owner = pmap.membership[gpt]
+                assert owner != sd.rank
+                assert pmap.is_interface[gpt]
+
+    def test_ghosts_are_exactly_external_interface_neighbors(self, pmap, mesh_graph):
+        """Fig. 1: external interface points = off-processor points directly
+        coupled to owned points."""
+        _, g = mesh_graph
+        for sd in pmap.subdomains:
+            expected = set()
+            for v in sd.owned:
+                for u in g.neighbors(int(v)):
+                    if pmap.membership[u] != sd.rank:
+                        expected.add(int(u))
+            assert set(sd.ghost.tolist()) == expected
+
+
+class TestOrderingAndConversions:
+    def test_perm_inverse_roundtrip(self, pmap, rng):
+        x = rng.random(len(pmap.membership))
+        assert np.allclose(pmap.to_global(pmap.to_distributed(x)), x)
+
+    def test_local_view_is_internal_then_interface(self, pmap, rng):
+        x = rng.random(len(pmap.membership))
+        xd = pmap.to_distributed(x)
+        for r, sd in enumerate(pmap.subdomains):
+            assert np.allclose(pmap.local_view(xd, r), x[sd.owned])
+
+    def test_interface_view(self, pmap, rng):
+        x = rng.random(len(pmap.membership))
+        xd = pmap.to_distributed(x)
+        for r, sd in enumerate(pmap.subdomains):
+            assert np.allclose(pmap.interface_view(xd, r), x[sd.interface_global])
+
+
+class TestPatterns:
+    def test_exchange_delivers_owner_values(self, pmap, rng):
+        from repro.comm.communicator import Communicator
+
+        x = rng.random(len(pmap.membership))
+        owned = [x[sd.owned] for sd in pmap.subdomains]
+        ghosts = [np.zeros(len(sd.ghost)) for sd in pmap.subdomains]
+        comm = Communicator(4)
+        pmap.pattern.exchange(comm, owned, ghosts)
+        for r, sd in enumerate(pmap.subdomains):
+            assert np.allclose(ghosts[r], x[sd.ghost])
+
+    def test_interface_pattern_equivalent_to_full(self, pmap, rng):
+        from repro.comm.communicator import Communicator
+
+        x = rng.random(len(pmap.membership))
+        ifc = [x[sd.interface_global] for sd in pmap.subdomains]
+        ghosts = [np.zeros(len(sd.ghost)) for sd in pmap.subdomains]
+        comm = Communicator(4)
+        pmap.interface_pattern.exchange(comm, ifc, ghosts)
+        for r, sd in enumerate(pmap.subdomains):
+            assert np.allclose(ghosts[r], x[sd.ghost])
+
+    def test_census_shape(self, pmap):
+        census = pmap.census()
+        assert census["num_ranks"] == 4
+        assert len(census["internal"]) == 4
+        assert all(n > 0 for n in census["interface"])
+
+
+class TestValidation:
+    def test_membership_length_mismatch(self, mesh_graph):
+        _, g = mesh_graph
+        with pytest.raises(ValueError):
+            PartitionMap(g, np.zeros(3, dtype=np.int64))
+
+    def test_num_ranks_too_small(self, mesh_graph):
+        _, g = mesh_graph
+        mem = partition_graph(g, 4, seed=0)
+        with pytest.raises(ValueError):
+            PartitionMap(g, mem, num_ranks=2)
+
+    def test_num_ranks_larger_allows_empty_ranks(self, mesh_graph):
+        _, g = mesh_graph
+        mem = partition_graph(g, 2, seed=0)
+        pm = PartitionMap(g, mem, num_ranks=3)
+        assert pm.subdomains[2].n_owned == 0

@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.distributed.vector import DistributedVector
+
+
+class TestDistributedVector:
+    def test_from_global_roundtrip(self, partitioned_poisson, rng):
+        pm, _, _, _ = partitioned_poisson
+        x = rng.random(len(pm.membership))
+        v = DistributedVector.from_global(pm, x)
+        assert np.allclose(v.to_global(), x)
+
+    def test_dot_matches_numpy_and_charges(self, partitioned_poisson, rng):
+        pm, _, _, _ = partitioned_poisson
+        x = rng.random(len(pm.membership))
+        y = rng.random(len(pm.membership))
+        vx = DistributedVector.from_global(pm, x)
+        vy = DistributedVector.from_global(pm, y)
+        comm = Communicator(pm.num_ranks)
+        assert vx.dot(vy, comm) == pytest.approx(float(x @ y))
+        assert comm.ledger.allreduces == 1
+
+    def test_norm(self, partitioned_poisson, rng):
+        pm, _, _, _ = partitioned_poisson
+        x = rng.random(len(pm.membership))
+        v = DistributedVector.from_global(pm, x)
+        assert v.norm(Communicator(pm.num_ranks)) == pytest.approx(np.linalg.norm(x))
+
+    def test_axpy(self, partitioned_poisson, rng):
+        pm, _, _, _ = partitioned_poisson
+        x = rng.random(len(pm.membership))
+        y = rng.random(len(pm.membership))
+        vx = DistributedVector.from_global(pm, x)
+        vy = DistributedVector.from_global(pm, y)
+        vx.axpy(2.5, vy)
+        assert np.allclose(vx.to_global(), x + 2.5 * y)
+
+    def test_local_view_writable(self, partitioned_poisson):
+        pm, _, _, _ = partitioned_poisson
+        v = DistributedVector(pm)
+        v.local(0)[:] = 3.0
+        assert np.all(pm.layout.local(v.data, 0) == 3.0)
+
+    def test_wrong_size_data_raises(self, partitioned_poisson):
+        pm, _, _, _ = partitioned_poisson
+        with pytest.raises(ValueError):
+            DistributedVector(pm, np.zeros(3))
+
+    def test_mixed_partition_maps_rejected(self, partitioned_poisson, tiny_case):
+        pm, _, _, _ = partitioned_poisson
+        from repro.distributed.partition_map import PartitionMap
+
+        pm2 = PartitionMap(tiny_case.coupling_graph, tiny_case.membership(2), num_ranks=2)
+        v1 = DistributedVector(pm)
+        v2 = DistributedVector(pm2)
+        with pytest.raises(ValueError):
+            v1.axpy(1.0, v2)

@@ -1,0 +1,110 @@
+"""Tests for the multilevel (>2-level) ARMS recursion extension."""
+
+import numpy as np
+import pytest
+
+from repro.factor.arms import arms_factor
+
+
+@pytest.fixture(scope="module")
+def fe_matrix():
+    from repro.fem.assembly import assemble_stiffness
+    from repro.fem.boundary import apply_dirichlet
+    from repro.mesh.grid2d import structured_rectangle
+
+    mesh = structured_rectangle(21, 21)
+    raw = assemble_stiffness(mesh)
+    bn = mesh.all_boundary_nodes()
+    a, _ = apply_dirichlet(raw, np.zeros(mesh.num_points), bn, 0.0)
+    return a
+
+
+class TestMultilevelArms:
+    def test_two_level_has_no_child(self, fe_matrix):
+        fac = arms_factor(fe_matrix, fe_matrix.shape[0], group_size=8, levels=2)
+        assert fac.child is None
+        assert fac.num_levels == 2
+        assert fac.final is fac
+
+    def test_three_level_recursion_shrinks_final_system(self, fe_matrix):
+        two = arms_factor(fe_matrix, fe_matrix.shape[0], group_size=8, levels=2)
+        three = arms_factor(fe_matrix, fe_matrix.shape[0], group_size=8, levels=3)
+        assert three.num_levels >= 3
+        assert three.final_n_expanded < two.final_n_expanded
+
+    def test_interdomain_preserved_through_levels(self, fe_matrix):
+        ni = fe_matrix.shape[0] - 30
+        fac = arms_factor(fe_matrix, ni, group_size=8, levels=4)
+        assert fac.final_n_interdomain == 30
+        # trailing block stays in original interface order at every level
+        lvl = fac
+        while lvl is not None:
+            assert lvl.n_interdomain == 30
+            lvl = lvl.child
+
+    def test_forward_back_full_roundtrip_exact(self, fe_matrix, rng):
+        """With an exact final-Schur solve the cascaded elimination is an
+        exact solve of A — at any depth."""
+        fac = arms_factor(
+            fe_matrix, fe_matrix.shape[0], group_size=8, drop_tol=0.0, levels=3
+        )
+        assert fac.num_levels >= 3
+        x = rng.random(fe_matrix.shape[0])
+        r = fe_matrix @ x
+        stack, ghat = fac.forward_eliminate_full(r)
+        y = np.linalg.solve(fac.final_s_hat.toarray(), ghat)
+        z = fac.back_substitute_full(stack, y)
+        assert np.allclose(z, x, atol=1e-7)
+
+    def test_multilevel_solve_is_good_preconditioner(self, fe_matrix, rng):
+        from repro.krylov.fgmres import fgmres
+
+        fac = arms_factor(fe_matrix, fe_matrix.shape[0], group_size=8, levels=3)
+        b = rng.random(fe_matrix.shape[0])
+        res = fgmres(lambda v: fe_matrix @ v, b, apply_m=fac.solve, rtol=1e-8, maxiter=200)
+        assert res.converged
+        assert res.iterations < 40
+
+    def test_flops_accumulate_over_levels(self, fe_matrix):
+        two = arms_factor(fe_matrix, fe_matrix.shape[0], group_size=8, levels=2)
+        three = arms_factor(fe_matrix, fe_matrix.shape[0], group_size=8, levels=3)
+        assert three.forward_full_flops() > two.forward_flops()
+        assert three.back_full_flops() > two.back_flops()
+
+    def test_min_coarse_size_stops_recursion(self, fe_matrix):
+        fac = arms_factor(fe_matrix, fe_matrix.shape[0], group_size=8, levels=10)
+        assert fac.final_n_expanded <= max(64, fac.final_n_interdomain + 64) or (
+            fac.final.n_local_interface == 0
+        )
+
+    def test_invalid_levels(self, fe_matrix):
+        with pytest.raises(ValueError):
+            arms_factor(fe_matrix, fe_matrix.shape[0], levels=1)
+
+
+class TestSchur2Multilevel:
+    def test_three_level_schur2_converges(self, partitioned_poisson):
+        from repro.comm.communicator import Communicator
+        from repro.krylov.fgmres import fgmres
+        from repro.precond.schur2 import Schur2Preconditioner
+
+        pm, dmat, rhs, exact = partitioned_poisson
+        comm = Communicator(pm.num_ranks)
+        M = Schur2Preconditioner(dmat, comm, group_size=8, levels=3,
+                                 global_iterations=5)
+        bd = pm.to_distributed(rhs)
+        res = fgmres(lambda v: dmat.matvec(comm, v), bd, apply_m=M.apply,
+                     rtol=1e-6, maxiter=100)
+        assert res.converged
+        assert res.iterations <= 20
+
+    def test_three_level_final_system_smaller(self, partitioned_poisson):
+        from repro.comm.communicator import Communicator
+        from repro.precond.schur2 import Schur2Preconditioner
+
+        pm, dmat, _, _ = partitioned_poisson
+        m2 = Schur2Preconditioner(dmat, Communicator(pm.num_ranks), group_size=8,
+                                  levels=2)
+        m3 = Schur2Preconditioner(dmat, Communicator(pm.num_ranks), group_size=8,
+                                  levels=3)
+        assert m3._exp_layout.total <= m2._exp_layout.total

@@ -1,0 +1,68 @@
+"""Property-based tests for the incomplete factorizations."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.factor.ilu0 import ilu0
+from repro.factor.ilut import ilut
+
+
+@st.composite
+def dd_matrices(draw):
+    """Random diagonally dominant CSR matrices (ILU-safe)."""
+    n = draw(st.integers(min_value=2, max_value=30))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    density = draw(st.floats(min_value=0.05, max_value=0.5))
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density, random_state=int(rng.integers(2**31)), format="csr")
+    a = a + sp.diags(np.asarray(np.abs(a).sum(axis=1)).ravel() + 1.0)
+    return a.tocsr(), seed
+
+
+@given(dd_matrices())
+@settings(max_examples=40, deadline=None)
+def test_ilu0_l_strictly_lower_u_upper(data):
+    a, _ = data
+    fac = ilu0(a)
+    assert sp.triu(fac.l_strict, k=0).nnz == 0
+    assert sp.tril(fac.u_upper, k=-1).nnz == 0
+    assert np.all(fac.u_upper.diagonal() != 0.0)
+
+
+@given(dd_matrices())
+@settings(max_examples=40, deadline=None)
+def test_ilu0_solve_then_multiply_is_identity_like(data):
+    """LU solve composed with LU product is the identity (solves invert the
+    stored factors exactly, independent of how good the factorization is)."""
+    a, seed = data
+    fac = ilu0(a)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(a.shape[0])
+    lu_x = fac.U.strict @ x + fac.U.diag * x  # U x
+    lu_x = fac.l_strict @ lu_x + lu_x  # L (U x)
+    assert np.allclose(fac.solve(lu_x), x, atol=1e-6 * max(1.0, np.abs(x).max()))
+
+
+@given(dd_matrices(), st.integers(min_value=1, max_value=8))
+@settings(max_examples=40, deadline=None)
+def test_ilut_row_fill_bound(data, fill):
+    a, _ = data
+    fac = ilut(a, drop_tol=1e-4, fill=fill)
+    l_counts = np.diff(fac.l_strict.indptr)
+    u_counts = np.diff(fac.u_upper.indptr)
+    assert l_counts.max(initial=0) <= fill
+    assert u_counts.max(initial=0) <= fill + 1
+
+
+@given(dd_matrices())
+@settings(max_examples=30, deadline=None)
+def test_ilut_residual_no_worse_than_half_matrix_norm(data):
+    """For diagonally dominant matrices ILUT with moderate settings yields a
+    product close to A (a loose but meaningful sanity bound)."""
+    a, _ = data
+    fac = ilut(a, drop_tol=1e-3, fill=a.shape[0])
+    err = abs(fac.as_product() - a).max()
+    scale = abs(a).max()
+    assert err <= 0.5 * scale + 1e-9

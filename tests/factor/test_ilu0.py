@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.factor.ilu0 import ilu0
+from tests.conftest import random_nonsymmetric_csr, random_spd_csr
+
+
+class TestIlu0:
+    def test_pattern_preserved(self):
+        a = random_spd_csr(40, 0.1, 0)
+        fac = ilu0(a)
+        lu_pattern = (fac.l_strict + fac.u_upper).tocsr()
+        # every stored LU entry lies in the pattern of A
+        a_bool = a.copy()
+        a_bool.data[:] = 1.0
+        lu_bool = lu_pattern.copy()
+        lu_bool.data[:] = 1.0
+        extra = (lu_bool - lu_bool.multiply(a_bool)).nnz
+        assert extra == 0
+
+    def test_exact_for_tridiagonal(self):
+        """A tridiagonal matrix has no fill, so ILU(0) = exact LU."""
+        n = 30
+        a = sp.diags([-np.ones(n - 1), 4 * np.ones(n), -np.ones(n - 1)], [-1, 0, 1]).tocsr()
+        fac = ilu0(a)
+        assert abs(fac.as_product() - a).max() < 1e-12
+
+    def test_exact_for_dense_pattern(self):
+        """With a full pattern, ILU(0) is exact LU."""
+        rng = np.random.default_rng(0)
+        d = rng.random((12, 12)) + 12 * np.eye(12)
+        a = sp.csr_matrix(d)
+        fac = ilu0(a)
+        assert abs(fac.as_product() - a).max() < 1e-9
+
+    def test_residual_small_on_pattern(self):
+        """(LU - A) vanishes on the pattern of A (defining ILU(0) property)."""
+        a = random_spd_csr(60, 0.08, 1)
+        fac = ilu0(a)
+        err = (fac.as_product() - a).tocsr()
+        mask = a.copy()
+        mask.data[:] = 1.0
+        on_pattern = err.multiply(mask)
+        assert abs(on_pattern).max() < 1e-10 if on_pattern.nnz else True
+
+    def test_preconditioner_accelerates_gmres(self):
+        from repro.krylov.fgmres import fgmres
+
+        a = random_nonsymmetric_csr(150, 0.05, 2)
+        rng = np.random.default_rng(3)
+        b = rng.random(150)
+        plain = fgmres(lambda v: a @ v, b, rtol=1e-8, maxiter=300)
+        fac = ilu0(a)
+        pre = fgmres(lambda v: a @ v, b, apply_m=fac.solve, rtol=1e-8, maxiter=300)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_missing_diagonal_raises(self):
+        a = sp.csr_matrix((np.array([1.0]), np.array([1]), np.array([0, 1, 1])), shape=(2, 2))
+        with pytest.raises(ValueError, match="diagonal"):
+            ilu0(a)
+
+    def test_zero_pivot_floored_not_crashing(self):
+        a = sp.csr_matrix(np.array([[1.0, 1.0], [1.0, 1.0]]))  # second pivot hits 0
+        fac = ilu0(a)
+        x = fac.solve(np.array([1.0, 2.0]))
+        assert np.all(np.isfinite(x))
+
+    def test_rectangular_raises(self):
+        with pytest.raises(ValueError):
+            ilu0(sp.csr_matrix((2, 3)))
+
+    def test_solve_flops_positive(self):
+        a = random_spd_csr(20, 0.2, 4)
+        fac = ilu0(a)
+        assert fac.solve_flops() > 0
+        # zero fill: stored entries = pattern(A) plus L's implicit unit diag
+        assert 1.0 <= fac.fill_factor(a) <= 1.0 + a.shape[0] / a.nnz + 1e-12

@@ -1,0 +1,88 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.factor.ilut import ilut
+from repro.factor.schur_extract import extract_schur_blocks
+from tests.conftest import random_nonsymmetric_csr
+
+
+@pytest.fixture()
+def ordered_matrix():
+    """A diagonally dominant matrix we treat as [internal(20); interface(10)]."""
+    return random_nonsymmetric_csr(30, 0.25, 7), 20
+
+
+class TestExtractSchurBlocks:
+    def test_trailing_product_equals_exact_schur_for_full_lu(self, ordered_matrix):
+        """Paper Sec. 2: with an exact LU, L_S U_S IS the Schur complement."""
+        a, ni = ordered_matrix
+        fac = ilut(a, drop_tol=0.0, fill=30)
+        sb = extract_schur_blocks(fac, ni)
+        d = a.toarray()
+        s_exact = d[ni:, ni:] - d[ni:, :ni] @ np.linalg.inv(d[:ni, :ni]) @ d[:ni, ni:]
+        ls = sb.LS.strict.toarray() + np.eye(30 - ni)
+        us = sb.US.strict.toarray() + np.diag(sb.US.diag)
+        assert np.abs(ls @ us - s_exact).max() < 1e-8
+
+    def test_leading_product_approximates_b(self, ordered_matrix):
+        a, ni = ordered_matrix
+        fac = ilut(a, drop_tol=0.0, fill=30)
+        sb = extract_schur_blocks(fac, ni)
+        lb = sb.LB.strict.toarray() + np.eye(ni)
+        ub = sb.UB.strict.toarray() + np.diag(sb.UB.diag)
+        assert np.abs(lb @ ub - a.toarray()[:ni, :ni]).max() < 1e-8
+
+    def test_solve_b_inverts_b_for_full_lu(self, ordered_matrix, rng):
+        a, ni = ordered_matrix
+        fac = ilut(a, drop_tol=0.0, fill=30)
+        sb = extract_schur_blocks(fac, ni)
+        x = rng.random(ni)
+        b = a.toarray()[:ni, :ni] @ x
+        assert np.allclose(sb.solve_b(b), x, atol=1e-8)
+
+    def test_solve_s_inverts_schur_for_full_lu(self, ordered_matrix, rng):
+        a, ni = ordered_matrix
+        n = a.shape[0]
+        fac = ilut(a, drop_tol=0.0, fill=n)
+        sb = extract_schur_blocks(fac, ni)
+        d = a.toarray()
+        s_exact = d[ni:, ni:] - d[ni:, :ni] @ np.linalg.inv(d[:ni, :ni]) @ d[:ni, ni:]
+        y = rng.random(n - ni)
+        assert np.allclose(sb.solve_s(s_exact @ y), y, atol=1e-7)
+
+    def test_incomplete_factor_still_close(self, ordered_matrix, rng):
+        """With dropping, the trailing blocks approximate S_i (the basis of
+        Schur 1's block-Jacobi preconditioner)."""
+        a, ni = ordered_matrix
+        fac = ilut(a, drop_tol=1e-3, fill=12)
+        sb = extract_schur_blocks(fac, ni)
+        d = a.toarray()
+        s_exact = d[ni:, ni:] - d[ni:, :ni] @ np.linalg.inv(d[:ni, :ni]) @ d[:ni, ni:]
+        y = rng.random(a.shape[0] - ni)
+        # S_i^{-1}(S y) ≈ y to preconditioner quality
+        rel = np.linalg.norm(sb.solve_s(s_exact @ y) - y) / np.linalg.norm(y)
+        assert rel < 0.5
+
+    def test_shapes_and_flops(self, ordered_matrix):
+        a, ni = ordered_matrix
+        fac = ilut(a, 1e-3, 8)
+        sb = extract_schur_blocks(fac, ni)
+        assert sb.n_internal == ni
+        assert sb.n_interface == a.shape[0] - ni
+        assert sb.solve_b_flops() > 0
+        assert sb.solve_s_flops() > 0
+
+    def test_degenerate_splits(self, ordered_matrix):
+        a, _ = ordered_matrix
+        fac = ilut(a, 1e-3, 8)
+        sb_all = extract_schur_blocks(fac, a.shape[0])
+        assert sb_all.n_interface == 0
+        sb_none = extract_schur_blocks(fac, 0)
+        assert sb_none.n_internal == 0
+
+    def test_out_of_range_raises(self, ordered_matrix):
+        a, _ = ordered_matrix
+        fac = ilut(a, 1e-3, 8)
+        with pytest.raises(ValueError):
+            extract_schur_blocks(fac, 31)

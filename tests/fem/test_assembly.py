@@ -1,0 +1,161 @@
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.fem.assembly import (
+    assemble_convection,
+    assemble_load,
+    assemble_mass,
+    assemble_stiffness,
+)
+from repro.fem.boundary import apply_dirichlet
+from repro.mesh.grid2d import structured_rectangle
+from repro.mesh.grid3d import structured_box
+
+
+class TestStiffness:
+    def test_symmetric(self):
+        m = structured_rectangle(6, 6)
+        k = assemble_stiffness(m)
+        assert abs(k - k.T).max() < 1e-13
+
+    def test_annihilates_constants(self):
+        m = structured_rectangle(6, 6)
+        k = assemble_stiffness(m)
+        assert np.abs(k @ np.ones(m.num_points)).max() < 1e-12
+
+    def test_exact_on_linear_functions(self):
+        """K u_linear has zero interior residual (P1 exactness)."""
+        m = structured_rectangle(7, 7)
+        k = assemble_stiffness(m)
+        u = 2.0 * m.points[:, 0] - 3.0 * m.points[:, 1]
+        r = k @ u
+        interior = np.setdiff1d(np.arange(m.num_points), m.all_boundary_nodes())
+        assert np.abs(r[interior]).max() < 1e-12
+
+    def test_five_point_stencil_on_uniform_grid(self):
+        """On a right-triangulated uniform grid the interior row is the
+        classical [-1, -1, 4, -1, -1] stencil (h-independent in 2D)."""
+        m = structured_rectangle(5, 5)
+        k = assemble_stiffness(m).toarray()
+        center = 2 * 5 + 2
+        assert k[center, center] == pytest.approx(4.0)
+        for nb in (center - 1, center + 1, center - 5, center + 5):
+            assert k[center, nb] == pytest.approx(-1.0)
+
+    def test_kappa_scales(self):
+        m = structured_rectangle(4, 4)
+        assert np.allclose(
+            assemble_stiffness(m, 3.0).toarray(), 3.0 * assemble_stiffness(m).toarray()
+        )
+
+    def test_3d_positive_semidefinite(self):
+        m = structured_box(4, 4, 4)
+        k = assemble_stiffness(m)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = rng.standard_normal(m.num_points)
+            assert x @ (k @ x) >= -1e-10
+
+
+class TestMass:
+    def test_total_mass_is_domain_measure_2d(self):
+        m = structured_rectangle(6, 6)
+        mass = assemble_mass(m)
+        assert np.ones(m.num_points) @ (mass @ np.ones(m.num_points)) == pytest.approx(1.0)
+
+    def test_total_mass_is_domain_measure_3d(self):
+        m = structured_box(4, 4, 4)
+        mass = assemble_mass(m)
+        assert np.ones(m.num_points) @ (mass @ np.ones(m.num_points)) == pytest.approx(1.0)
+
+    def test_integrates_linear_exactly(self):
+        m = structured_rectangle(5, 5)
+        mass = assemble_mass(m)
+        x = m.points[:, 0]
+        # ∫ x dx dy over unit square = 1/2
+        assert np.ones(m.num_points) @ (mass @ x) == pytest.approx(0.5)
+
+    def test_spd(self):
+        m = structured_rectangle(5, 5)
+        mass = assemble_mass(m).toarray()
+        eigs = np.linalg.eigvalsh(mass)
+        assert eigs.min() > 0
+
+
+class TestConvection:
+    def test_velocity_shape_validated(self):
+        m = structured_rectangle(4, 4)
+        with pytest.raises(ValueError):
+            assemble_convection(m, np.array([1.0, 0.0, 0.0]))
+
+    def test_skew_dominance_on_constants(self):
+        """C 1 = ∫ φ_i (v·∇1) = 0."""
+        m = structured_rectangle(5, 5)
+        c = assemble_convection(m, np.array([2.0, 1.0]))
+        assert np.abs(c @ np.ones(m.num_points)).max() < 1e-13
+
+    def test_exact_on_linear_field(self):
+        """Row sums against u=x give ∫φ_i v_x = v_x * (lumped mass)."""
+        m = structured_rectangle(6, 6)
+        v = np.array([3.0, 0.0])
+        c = assemble_convection(m, v)
+        mass = assemble_mass(m)
+        u = m.points[:, 0]
+        lumped = np.asarray(mass.sum(axis=1)).ravel()
+        assert np.allclose(c @ u, 3.0 * lumped, atol=1e-12)
+
+
+class TestLoad:
+    def test_constant_load_total(self):
+        m = structured_rectangle(6, 6)
+        b = assemble_load(m, lambda p: np.ones(len(p)))
+        assert b.sum() == pytest.approx(1.0)
+
+    def test_load_3d_total(self):
+        m = structured_box(4, 4, 4)
+        b = assemble_load(m, lambda p: np.ones(len(p)))
+        assert b.sum() == pytest.approx(1.0)
+
+    def test_wrong_return_shape_raises(self):
+        m = structured_rectangle(4, 4)
+        with pytest.raises(ValueError):
+            assemble_load(m, lambda p: np.ones((len(p), 2)))
+
+
+class TestManufacturedSolutions:
+    @pytest.mark.parametrize("n,tol", [(17, 2e-4), (33, 6e-5)])
+    def test_poisson_2d_converges_to_exact(self, n, tol):
+        m = structured_rectangle(n, n)
+        k = assemble_stiffness(m)
+        exact = m.points[:, 0] * np.exp(m.points[:, 1])
+        b = -assemble_load(m, lambda p: p[:, 0] * np.exp(p[:, 1]))
+        bn = m.all_boundary_nodes()
+        a, rhs = apply_dirichlet(k, b, bn, exact[bn])
+        u = spla.spsolve(a.tocsc(), rhs)
+        assert np.abs(u - exact).max() < tol
+
+    def test_poisson_2d_second_order_convergence(self):
+        errs = []
+        for n in (9, 17, 33):
+            m = structured_rectangle(n, n)
+            k = assemble_stiffness(m)
+            exact = m.points[:, 0] * np.exp(m.points[:, 1])
+            b = -assemble_load(m, lambda p: p[:, 0] * np.exp(p[:, 1]))
+            bn = m.all_boundary_nodes()
+            a, rhs = apply_dirichlet(k, b, bn, exact[bn])
+            errs.append(np.abs(spla.spsolve(a.tocsc(), rhs) - exact).max())
+        rate1 = np.log2(errs[0] / errs[1])
+        rate2 = np.log2(errs[1] / errs[2])
+        assert rate1 > 1.6 and rate2 > 1.6  # O(h²)
+
+    def test_poisson_3d_converges_to_exact(self):
+        m = structured_box(9, 9, 9)
+        k = assemble_stiffness(m)
+        exact = m.points[:, 0] * np.exp(m.points[:, 1] * m.points[:, 2])
+        f = lambda p: p[:, 0] * (p[:, 1] ** 2 + p[:, 2] ** 2) * np.exp(p[:, 1] * p[:, 2])
+        b = -assemble_load(m, f)
+        bn = m.all_boundary_nodes()
+        a, rhs = apply_dirichlet(k, b, bn, exact[bn])
+        u = spla.spsolve(a.tocsc(), rhs)
+        assert np.abs(u - exact).max() < 2e-3

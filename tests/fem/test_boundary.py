@@ -1,0 +1,89 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem.boundary import apply_dirichlet, dirichlet_dofs_from_nodes
+
+
+@pytest.fixture()
+def small_system():
+    a = (sp.random(8, 8, 0.5, random_state=0) + sp.eye(8) * 5).tocsr()
+    a = (a + a.T).tocsr()
+    b = np.arange(8, dtype=float)
+    return a, b
+
+
+class TestDirichletDofs:
+    def test_scalar_identity(self):
+        nodes = np.array([3, 5])
+        assert np.array_equal(dirichlet_dofs_from_nodes(nodes), nodes)
+
+    def test_vector_all_components(self):
+        dofs = dirichlet_dofs_from_nodes(np.array([2]), dofs_per_node=2)
+        assert sorted(dofs.tolist()) == [4, 5]
+
+    def test_vector_single_component(self):
+        dofs = dirichlet_dofs_from_nodes(np.array([2, 3]), 2, component=1)
+        assert dofs.tolist() == [5, 7]
+
+    def test_component_out_of_range(self):
+        with pytest.raises(ValueError):
+            dirichlet_dofs_from_nodes(np.array([0]), 2, component=2)
+
+
+class TestApplyDirichlet:
+    def test_prescribed_rows_become_identity(self, small_system):
+        a, b = small_system
+        a2, b2 = apply_dirichlet(a, b, np.array([1, 4]), np.array([7.0, -2.0]))
+        dense = a2.toarray()
+        for d, v in [(1, 7.0), (4, -2.0)]:
+            row = dense[d]
+            assert row[d] == 1.0
+            assert np.abs(np.delete(row, d)).max() == 0.0
+            assert b2[d] == v
+
+    def test_symmetry_preserved(self, small_system):
+        a, b = small_system
+        a2, _ = apply_dirichlet(a, b, np.array([0, 3]), 1.0)
+        assert abs(a2 - a2.T).max() < 1e-13
+
+    def test_solution_attains_bc_and_interior_equations(self, small_system):
+        a, b = small_system
+        dofs = np.array([0, 7])
+        vals = np.array([2.0, -1.0])
+        a2, b2 = apply_dirichlet(a, b, dofs, vals)
+        import scipy.sparse.linalg as spla
+
+        x = spla.spsolve(a2.tocsc(), b2)
+        assert x[0] == pytest.approx(2.0)
+        assert x[7] == pytest.approx(-1.0)
+        # interior equations of the original system hold
+        interior = np.arange(1, 7)
+        assert np.allclose((a @ x)[interior], b[interior])
+
+    def test_duplicate_dofs_with_same_value_ok(self, small_system):
+        a, b = small_system
+        a2, b2 = apply_dirichlet(a, b, np.array([2, 2]), np.array([5.0, 5.0]))
+        assert b2[2] == 5.0
+
+    def test_conflicting_duplicates_raise(self, small_system):
+        a, b = small_system
+        with pytest.raises(ValueError, match="conflicting"):
+            apply_dirichlet(a, b, np.array([2, 2]), np.array([5.0, 6.0]))
+
+    def test_scalar_value_broadcasts(self, small_system):
+        a, b = small_system
+        _, b2 = apply_dirichlet(a, b, np.array([1, 2, 3]), 0.0)
+        assert np.all(b2[[1, 2, 3]] == 0.0)
+
+    def test_out_of_range_dof_raises(self, small_system):
+        a, b = small_system
+        with pytest.raises(ValueError, match="range"):
+            apply_dirichlet(a, b, np.array([99]), 0.0)
+
+    def test_does_not_mutate_inputs(self, small_system):
+        a, b = small_system
+        a0, b0 = a.copy(), b.copy()
+        apply_dirichlet(a, b, np.array([1]), 3.0)
+        assert (a != a0).nnz == 0
+        assert np.array_equal(b, b0)

@@ -1,0 +1,107 @@
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.fem.boundary import apply_dirichlet, dirichlet_dofs_from_nodes
+from repro.fem.elasticity import assemble_elasticity, elasticity_load
+from repro.mesh.grid2d import structured_rectangle
+from repro.mesh.ring import quarter_ring
+
+
+class TestAssembleElasticity:
+    def test_symmetric(self):
+        m = structured_rectangle(6, 6)
+        k = assemble_elasticity(m, 1.0, 1.0)
+        assert abs(k - k.T).max() < 1e-12
+
+    def test_size_is_two_dofs_per_node(self):
+        m = structured_rectangle(5, 5)
+        k = assemble_elasticity(m, 1.0, 1.0)
+        assert k.shape == (50, 50)
+
+    def test_rigid_translations_in_nullspace(self):
+        m = structured_rectangle(6, 6)
+        k = assemble_elasticity(m, 1.0, 2.0)
+        n = m.num_points
+        tx = np.zeros(2 * n)
+        tx[0::2] = 1.0
+        ty = np.zeros(2 * n)
+        ty[1::2] = 1.0
+        assert np.abs(k @ tx).max() < 1e-12
+        assert np.abs(k @ ty).max() < 1e-12
+
+    def test_rigid_rotation_energy(self):
+        """The Navier grad-div form penalizes div u; an infinitesimal rotation
+        u = (−y, x) has zero divergence so only the μ∇u:∇v term contributes
+        — the energy must equal 2μ|Ω| exactly for P1."""
+        m = structured_rectangle(9, 9)
+        mu = 1.5
+        k = assemble_elasticity(m, mu, 7.0)
+        n = m.num_points
+        rot = np.zeros(2 * n)
+        rot[0::2] = -m.points[:, 1]
+        rot[1::2] = m.points[:, 0]
+        energy = rot @ (k @ rot)
+        assert energy == pytest.approx(2.0 * mu, rel=1e-12)
+
+    def test_positive_semidefinite(self):
+        m = structured_rectangle(5, 5)
+        k = assemble_elasticity(m, 1.0, 3.0).toarray()
+        eigs = np.linalg.eigvalsh(k)
+        assert eigs.min() > -1e-10
+
+    def test_mu_must_be_positive(self):
+        m = structured_rectangle(4, 4)
+        with pytest.raises(ValueError):
+            assemble_elasticity(m, 0.0, 1.0)
+
+    def test_rejects_3d_mesh(self):
+        from repro.mesh.grid3d import structured_box
+
+        with pytest.raises(ValueError):
+            assemble_elasticity(structured_box(3, 3, 3), 1.0, 1.0)
+
+
+class TestElasticityLoad:
+    def test_total_force_conserved(self):
+        m = structured_rectangle(6, 6)
+        b = elasticity_load(m, lambda p: np.tile([0.0, -2.0], (len(p), 1)))
+        assert b[0::2].sum() == pytest.approx(0.0)
+        assert b[1::2].sum() == pytest.approx(-2.0)  # area 1 × force density 2
+
+    def test_wrong_shape_raises(self):
+        m = structured_rectangle(4, 4)
+        with pytest.raises(ValueError):
+            elasticity_load(m, lambda p: np.zeros(len(p)))
+
+
+class TestElasticityManufactured:
+    def test_manufactured_linear_displacement(self):
+        """u = (x, 0): f = 0 for the Navier operator; with exact Dirichlet
+        data on the whole boundary the interior must reproduce u exactly
+        (P1 exactness for linear fields)."""
+        m = structured_rectangle(7, 7)
+        mu, lam = 1.0, 2.0
+        k = assemble_elasticity(m, mu, lam)
+        n = m.num_points
+        exact = np.zeros(2 * n)
+        exact[0::2] = m.points[:, 0]
+        bn = m.all_boundary_nodes()
+        dofs = dirichlet_dofs_from_nodes(bn, 2)
+        a, rhs = apply_dirichlet(k, np.zeros(2 * n), dofs, exact[dofs])
+        u = spla.spsolve(a.tocsc(), rhs)
+        assert np.abs(u - exact).max() < 1e-10
+
+    def test_quarter_ring_solvable_with_symmetry_bcs(self):
+        """The TC6 setup (u1=0 on Γ1, u2=0 on Γ2) pins all rigid modes."""
+        m = quarter_ring(13, 7)
+        k = assemble_elasticity(m, 1.0, 10.0)
+        b = elasticity_load(m, lambda p: np.tile([0.0, -1.0], (len(p), 1)))
+        d1 = dirichlet_dofs_from_nodes(m.boundary_set("gamma1"), 2, component=0)
+        d2 = dirichlet_dofs_from_nodes(m.boundary_set("gamma2"), 2, component=1)
+        a, rhs = apply_dirichlet(k, b, np.concatenate([d1, d2]), 0.0)
+        u = spla.spsolve(a.tocsc(), rhs)
+        assert np.all(np.isfinite(u))
+        assert np.abs(u).max() > 0  # nontrivial deformation
+        assert np.abs(u[d1]).max() == 0.0
+        assert np.abs(u[d2]).max() == 0.0

@@ -1,0 +1,104 @@
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.fem.assembly import assemble_load, assemble_stiffness
+from repro.fem.boundary import apply_dirichlet, dirichlet_dofs_from_nodes
+from repro.fem.neumann import (
+    assemble_neumann_load,
+    assemble_traction_load,
+    boundary_edges_of_set,
+)
+from repro.mesh.grid2d import structured_rectangle
+from repro.mesh.ring import quarter_ring
+
+
+class TestBoundaryEdgesOfSet:
+    def test_selects_only_requested_side(self):
+        m = structured_rectangle(5, 5)
+        edges = boundary_edges_of_set(m, m.boundary_set("left"))
+        assert len(edges) == 4
+        assert np.all(np.abs(m.points[edges.ravel(), 0]) < 1e-12)
+
+    def test_empty_for_interior_nodes(self):
+        m = structured_rectangle(5, 5)
+        interior = np.setdiff1d(np.arange(m.num_points), m.all_boundary_nodes())
+        assert len(boundary_edges_of_set(m, interior)) == 0
+
+
+class TestNeumannLoad:
+    def test_constant_flux_total(self):
+        """∫_Γ g ds over the whole left side (length 1) with g = 3."""
+        m = structured_rectangle(9, 9)
+        edges = boundary_edges_of_set(m, m.boundary_set("left"))
+        b = assemble_neumann_load(m, edges, lambda p: np.full(len(p), 3.0))
+        assert b.sum() == pytest.approx(3.0)
+        # only left-side nodes receive load
+        mask = np.zeros(m.num_points, dtype=bool)
+        mask[m.boundary_set("left")] = True
+        assert np.abs(b[~mask]).max() == 0.0
+
+    def test_flux_solution_manufactured(self):
+        """−Δu = 0, u = x: flux ∂u/∂n = 1 on x=1, −1 on x=0, 0 on y-sides;
+        prescribe u on the bottom only and fluxes elsewhere."""
+        m = structured_rectangle(17, 17)
+        k = assemble_stiffness(m)
+        b = np.zeros(m.num_points)
+        right = boundary_edges_of_set(m, m.boundary_set("right"))
+        left = boundary_edges_of_set(m, m.boundary_set("left"))
+        b += assemble_neumann_load(m, right, lambda p: np.ones(len(p)))
+        b += assemble_neumann_load(m, left, lambda p: -np.ones(len(p)))
+        bottom = m.boundary_set("bottom")
+        exact = m.points[:, 0]
+        a, rhs = apply_dirichlet(k, b, bottom, exact[bottom])
+        u = spla.spsolve(a.tocsc(), rhs)
+        assert np.abs(u - exact).max() < 1e-10  # P1 exact for linear u
+
+    def test_wrong_return_shape(self):
+        m = structured_rectangle(4, 4)
+        edges = boundary_edges_of_set(m, m.boundary_set("top"))
+        with pytest.raises(ValueError):
+            assemble_neumann_load(m, edges, lambda p: np.ones((len(p), 2)))
+
+
+class TestTractionLoad:
+    def test_total_force_matches_traction_integral(self):
+        m = quarter_ring(17, 9)
+        outer_nodes = m.boundary_set("stress")
+        r = np.hypot(m.points[:, 0], m.points[:, 1])
+        outer_only = outer_nodes[r[outer_nodes] > 1.5]
+        edges = boundary_edges_of_set(m, outer_only)
+        t = np.array([0.0, -2.0])
+        b = assemble_traction_load(m, edges, lambda p: np.tile(t, (len(p), 1)))
+        # total y-force = t_y × (polygonal) arc length of the outer quarter arc
+        p0 = m.points[edges[:, 0]]
+        p1 = m.points[edges[:, 1]]
+        arc = np.linalg.norm(p1 - p0, axis=1).sum()
+        assert b[1::2].sum() == pytest.approx(-2.0 * arc)
+        assert b[0::2].sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_ring_loaded_by_traction_solves(self):
+        """TC6 with the load applied through the outer arc (prescribed
+        stress) instead of a volume force — the paper's literal setup."""
+        from repro.fem.elasticity import assemble_elasticity
+
+        m = quarter_ring(17, 9)
+        k = assemble_elasticity(m, 1.0, 10.0)
+        rnorm = np.hypot(m.points[:, 0], m.points[:, 1])
+        outer = m.boundary_set("stress")[rnorm[m.boundary_set("stress")] > 1.5]
+        edges = boundary_edges_of_set(m, outer)
+        b = assemble_traction_load(
+            m, edges, lambda p: np.tile([0.0, -0.5], (len(p), 1))
+        )
+        d1 = dirichlet_dofs_from_nodes(m.boundary_set("gamma1"), 2, component=0)
+        d2 = dirichlet_dofs_from_nodes(m.boundary_set("gamma2"), 2, component=1)
+        a, rhs = apply_dirichlet(k, b, np.concatenate([d1, d2]), 0.0)
+        u = spla.spsolve(a.tocsc(), rhs)
+        assert np.all(np.isfinite(u))
+        assert np.abs(u).max() > 1e-3  # the arc load deforms the ring
+
+    def test_wrong_shape(self):
+        m = structured_rectangle(4, 4)
+        edges = boundary_edges_of_set(m, m.boundary_set("top"))
+        with pytest.raises(ValueError):
+            assemble_traction_load(m, edges, lambda p: np.ones(len(p)))

@@ -1,0 +1,58 @@
+import numpy as np
+import pytest
+
+from repro.fem.norms import error_norms, h1_seminorm, l2_norm
+from repro.mesh.grid2d import structured_rectangle
+
+
+class TestNorms:
+    def test_l2_of_constant(self):
+        m = structured_rectangle(9, 9)
+        assert l2_norm(m, np.ones(m.num_points)) == pytest.approx(1.0)
+
+    def test_l2_of_linear(self):
+        m = structured_rectangle(17, 17)
+        v = m.points[:, 0]
+        # ∫ x² over unit square = 1/3 (exact for P1 mass on P1 interpolant)
+        assert l2_norm(m, v) == pytest.approx(np.sqrt(1.0 / 3.0), rel=1e-12)
+
+    def test_h1_of_constant_is_zero(self):
+        m = structured_rectangle(9, 9)
+        assert h1_seminorm(m, np.ones(m.num_points)) == pytest.approx(0.0, abs=1e-10)
+
+    def test_h1_of_linear(self):
+        m = structured_rectangle(9, 9)
+        v = 2.0 * m.points[:, 0] - m.points[:, 1]
+        # |∇v|² = 4 + 1 = 5 over area 1
+        assert h1_seminorm(m, v) == pytest.approx(np.sqrt(5.0), rel=1e-12)
+
+    def test_wrong_length(self):
+        m = structured_rectangle(4, 4)
+        with pytest.raises(ValueError):
+            l2_norm(m, np.zeros(3))
+
+    def test_error_norms_convergence_rates(self):
+        """Poisson: the nodal error u_h − I_h u converges at O(h²) in both
+        norms (it is the difference of two P1 fields; on uniform meshes the
+        discrete solution is superconvergent to the interpolant — the true
+        H¹ error, u_h − u, would be O(h), but needs exact-solution
+        quadrature to measure)."""
+        import scipy.sparse.linalg as spla
+
+        from repro.fem.assembly import assemble_load, assemble_stiffness
+        from repro.fem.boundary import apply_dirichlet
+
+        results = []
+        for n in (9, 17, 33):
+            m = structured_rectangle(n, n)
+            k = assemble_stiffness(m)
+            exact = m.points[:, 0] * np.exp(m.points[:, 1])
+            b = -assemble_load(m, lambda p: p[:, 0] * np.exp(p[:, 1]))
+            bn = m.all_boundary_nodes()
+            a, rhs = apply_dirichlet(k, b, bn, exact[bn])
+            u = spla.spsolve(a.tocsc(), rhs)
+            results.append(error_norms(m, u, exact))
+        l2_rate = np.log2(results[0]["l2"] / results[1]["l2"])
+        h1_rate = np.log2(results[0]["h1"] / results[1]["h1"])
+        assert l2_rate > 1.7
+        assert h1_rate > 1.7  # superconvergence of u_h to the interpolant

@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.fem.p1_tet import tet_geometry
+from repro.fem.p1_triangle import triangle_geometry
+from repro.mesh.grid2d import structured_rectangle
+from repro.mesh.grid3d import structured_box
+from repro.mesh.mesh import Mesh
+
+
+class TestTriangleGeometry:
+    def test_reference_triangle(self):
+        m = Mesh(np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]]), np.array([[0, 1, 2]]))
+        areas, grads = triangle_geometry(m)
+        assert areas[0] == pytest.approx(0.5)
+        assert np.allclose(grads[0, 0], [-1.0, -1.0])
+        assert np.allclose(grads[0, 1], [1.0, 0.0])
+        assert np.allclose(grads[0, 2], [0.0, 1.0])
+
+    def test_gradients_sum_to_zero(self):
+        m = structured_rectangle(5, 5)
+        _, grads = triangle_geometry(m)
+        assert np.allclose(grads.sum(axis=1), 0.0)
+
+    def test_gradient_kronecker_property(self):
+        """∇λ_i · (p_j − p_i-centroid basis): λ_i(p_j) = δ_ij differentiated."""
+        rng = np.random.default_rng(0)
+        pts = rng.random((3, 2))
+        m = Mesh(pts, np.array([[0, 1, 2]]))
+        _, grads = triangle_geometry(m)
+        for i in range(3):
+            for j in range(3):
+                # λ_i(p_j) via linearity: λ_i(p) = λ_i(p_0) + ∇λ_i·(p−p_0)
+                base = 1.0 if i == 0 else 0.0
+                val = base + grads[0, i] @ (pts[j] - pts[0])
+                assert val == pytest.approx(1.0 if i == j else 0.0, abs=1e-12)
+
+    def test_degenerate_triangle_raises(self):
+        m = Mesh(np.array([[0.0, 0.0], [1.0, 0.0], [2.0, 0.0]]), np.array([[0, 1, 2]]))
+        with pytest.raises(ValueError, match="degenerate"):
+            triangle_geometry(m)
+
+    def test_rejects_3d_mesh(self):
+        m = structured_box(3, 3, 3)
+        with pytest.raises(ValueError):
+            triangle_geometry(m)
+
+
+class TestTetGeometry:
+    def test_reference_tet(self):
+        pts = np.array([[0, 0, 0], [1, 0, 0], [0, 1, 0], [0, 0, 1]], dtype=float)
+        m = Mesh(pts, np.array([[0, 1, 2, 3]]))
+        vols, grads = tet_geometry(m)
+        assert vols[0] == pytest.approx(1.0 / 6.0)
+        assert np.allclose(grads[0, 0], [-1, -1, -1])
+        assert np.allclose(grads[0, 1], [1, 0, 0])
+
+    def test_gradients_sum_to_zero(self):
+        m = structured_box(3, 3, 3)
+        _, grads = tet_geometry(m)
+        assert np.allclose(grads.sum(axis=1), 0.0)
+
+    def test_gradient_kronecker_property(self):
+        rng = np.random.default_rng(1)
+        pts = rng.random((4, 3))
+        m = Mesh(pts, np.array([[0, 1, 2, 3]]))
+        _, grads = tet_geometry(m)
+        for i in range(4):
+            for j in range(4):
+                base = 1.0 if i == 0 else 0.0
+                val = base + grads[0, i] @ (pts[j] - pts[0])
+                assert val == pytest.approx(1.0 if i == j else 0.0, abs=1e-10)
+
+    def test_volumes_positive(self):
+        m = structured_box(4, 3, 5)
+        vols, _ = tet_geometry(m)
+        assert np.all(vols > 0)

@@ -1,0 +1,100 @@
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.fem.assembly import assemble_convection, assemble_stiffness
+from repro.fem.boundary import apply_dirichlet
+from repro.fem.supg import assemble_streamline_diffusion, element_sizes, peclet_tau
+from repro.mesh.grid2d import structured_rectangle
+
+
+class TestPecletTau:
+    def test_diffusion_limit_is_h_squared_over_12_kappa(self):
+        """ξ(Pe) ≈ Pe/3 for small Pe, so τ → h²/(12κ) independent of |v|;
+        the stabilization *term* then vanishes like |v|²·τ."""
+        h = np.array([0.1])
+        kappa = 1.0
+        assert peclet_tau(h, 1e-9, kappa)[0] == pytest.approx(h[0] ** 2 / (12 * kappa))
+
+    def test_full_upwind_in_convection_limit(self):
+        h = np.array([0.1])
+        v = 1e6
+        assert peclet_tau(h, v, 1.0)[0] == pytest.approx(h[0] / (2 * v))
+
+    def test_zero_velocity(self):
+        assert np.all(peclet_tau(np.array([0.1, 0.2]), 0.0, 1.0) == 0.0)
+
+    def test_monotone_in_h(self):
+        hs = np.linspace(0.01, 0.5, 20)
+        taus = peclet_tau(hs, 100.0, 1.0)
+        assert np.all(np.diff(taus) > 0)
+
+    def test_small_peclet_series_branch_continuous(self):
+        """τ is continuous across the series/coth switch at Pe = 1e-3."""
+        v, kappa = 1.0, 1.0
+        h_lo = 2.0 * 0.9999e-3  # Pe just below the switch
+        h_hi = 2.0 * 1.0001e-3
+        t_lo = peclet_tau(np.array([h_lo]), v, kappa)[0]
+        t_hi = peclet_tau(np.array([h_hi]), v, kappa)[0]
+        assert t_hi == pytest.approx(t_lo, rel=1e-3)
+
+
+class TestStreamlineDiffusion:
+    def test_symmetric_positive_semidefinite(self):
+        m = structured_rectangle(8, 8)
+        s = assemble_streamline_diffusion(m, np.array([100.0, 50.0]), 1.0)
+        assert abs(s - s.T).max() < 1e-12
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            x = rng.standard_normal(m.num_points)
+            assert x @ (s @ x) >= -1e-10
+
+    def test_annihilates_crosswind_fields(self):
+        """S u = 0 when u varies only perpendicular to v."""
+        m = structured_rectangle(8, 8)
+        v = np.array([1000.0, 0.0])
+        s = assemble_streamline_diffusion(m, v, 1.0)
+        u = m.points[:, 1]  # varies in y only; v·∇u = 0
+        assert np.abs(s @ u).max() < 1e-10
+
+    def test_element_sizes_match_grid(self):
+        n = 11
+        m = structured_rectangle(n, n)
+        h = element_sizes(m)
+        expected = np.sqrt(2.0 * 0.5 * (1 / (n - 1)) ** 2)
+        assert np.allclose(h, expected)
+
+    def test_stabilization_suppresses_oscillations(self):
+        """1-D-like convection across the square: the stabilized solution
+        stays (nearly) within the BC bounds, the Galerkin one oscillates."""
+        n = 21
+        m = structured_rectangle(n, n)
+        v = np.array([500.0, 0.0])
+        k = assemble_stiffness(m)
+        c = assemble_convection(m, v)
+        bn = m.all_boundary_nodes()
+        bc = (m.points[bn, 0] > 1 - 1e-12).astype(float)  # u=1 at outflow x=1
+
+        galerkin = (k + c).tocsr()
+        a1, b1 = apply_dirichlet(galerkin, np.zeros(m.num_points), bn, bc)
+        u_gal = spla.spsolve(a1.tocsc(), b1)
+
+        stab = (k + c + assemble_streamline_diffusion(m, v, 1.0)).tocsr()
+        a2, b2 = apply_dirichlet(stab, np.zeros(m.num_points), bn, bc)
+        u_su = spla.spsolve(a2.tocsc(), b2)
+
+        overshoot_gal = max(u_gal.max() - 1.0, -u_gal.min())
+        overshoot_su = max(u_su.max() - 1.0, -u_su.min())
+        assert overshoot_su < 0.05
+        assert overshoot_su < 0.2 * overshoot_gal
+
+    def test_produces_unsymmetric_system_with_convection(self):
+        """The paper notes the upwinded TC5 matrix is unsymmetric."""
+        m = structured_rectangle(6, 6)
+        v = 1000.0 * np.array([np.cos(np.pi / 4), np.sin(np.pi / 4)])
+        a = (
+            assemble_stiffness(m)
+            + assemble_convection(m, v)
+            + assemble_streamline_diffusion(m, v, 1.0)
+        ).tocsr()
+        assert abs(a - a.T).max() > 1.0

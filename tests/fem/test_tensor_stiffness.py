@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.fem.assembly import assemble_stiffness, assemble_stiffness_tensor
+from repro.mesh.grid2d import structured_rectangle
+from repro.mesh.grid3d import structured_box
+
+
+class TestTensorStiffness:
+    def test_identity_tensor_matches_scalar(self):
+        m = structured_rectangle(7, 7)
+        k1 = assemble_stiffness(m, 2.5)
+        k2 = assemble_stiffness_tensor(m, 2.5 * np.eye(2))
+        assert abs(k1 - k2).max() < 1e-13
+
+    def test_3d_identity_tensor(self):
+        m = structured_box(4, 4, 4)
+        k1 = assemble_stiffness(m)
+        k2 = assemble_stiffness_tensor(m, np.eye(3))
+        assert abs(k1 - k2).max() < 1e-13
+
+    def test_symmetric_for_symmetric_tensor(self):
+        m = structured_rectangle(6, 6)
+        k = assemble_stiffness_tensor(m, np.array([[2.0, 0.5], [0.5, 1.0]]))
+        assert abs(k - k.T).max() < 1e-13
+
+    def test_asymmetric_tensor_rejected(self):
+        m = structured_rectangle(4, 4)
+        with pytest.raises(ValueError):
+            assemble_stiffness_tensor(m, np.array([[1.0, 1.0], [0.0, 1.0]]))
+
+    def test_wrong_shape_rejected(self):
+        m = structured_rectangle(4, 4)
+        with pytest.raises(ValueError):
+            assemble_stiffness_tensor(m, np.eye(3))
+
+    def test_manufactured_anisotropic_solution(self):
+        """u = sin(πx)sin(πy) solves −∇·(diag(1,ε)∇u) = (1+ε)π² u."""
+        eps = 0.1
+        m = structured_rectangle(33, 33)
+        k = assemble_stiffness_tensor(m, np.diag([1.0, eps]))
+        from repro.fem.assembly import assemble_load
+        from repro.fem.boundary import apply_dirichlet
+
+        exact = np.sin(np.pi * m.points[:, 0]) * np.sin(np.pi * m.points[:, 1])
+        f = lambda p: (1 + eps) * np.pi**2 * np.sin(np.pi * p[:, 0]) * np.sin(np.pi * p[:, 1])
+        b = assemble_load(m, f)
+        a, rhs = apply_dirichlet(k, b, m.all_boundary_nodes(), 0.0)
+        u = spla.spsolve(a.tocsc(), rhs)
+        assert np.abs(u - exact).max() < 6e-3
+
+    def test_annihilates_constants(self):
+        m = structured_rectangle(6, 6)
+        k = assemble_stiffness_tensor(m, np.diag([3.0, 0.1]))
+        assert np.abs(k @ np.ones(m.num_points)).max() < 1e-12
+
+
+class TestAnisotropicCase:
+    def test_case_builds_and_solves(self):
+        from repro.cases.anisotropic2d import anisotropic2d_case
+
+        c = anisotropic2d_case(n=17, epsilon=0.05)
+        x = spla.spsolve(c.matrix.tocsc(), c.rhs)
+        assert c.solution_error(x) < 0.05
+
+    def test_invalid_epsilon(self):
+        from repro.cases.anisotropic2d import anisotropic2d_case
+
+        with pytest.raises(ValueError):
+            anisotropic2d_case(epsilon=0.0)
+
+    def test_anisotropy_degrades_block_more_than_schur(self):
+        from repro.cases.anisotropic2d import anisotropic2d_case
+        from repro.core.driver import solve_case
+
+        iso = anisotropic2d_case(n=25, epsilon=1.0)
+        aniso = anisotropic2d_case(n=25, epsilon=0.001)
+        b_growth = (
+            solve_case(aniso, "block2", nparts=4, maxiter=600).iterations
+            / solve_case(iso, "block2", nparts=4, maxiter=600).iterations
+        )
+        s_growth = (
+            solve_case(aniso, "schur1", nparts=4, maxiter=600).iterations
+            / solve_case(iso, "schur1", nparts=4, maxiter=600).iterations
+        )
+        assert b_growth > s_growth

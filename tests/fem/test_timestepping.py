@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+import scipy.sparse.linalg as spla
+
+from repro.fem.boundary import apply_dirichlet
+from repro.fem.timestepping import ImplicitEulerOperator
+from repro.mesh.grid2d import structured_rectangle
+
+
+class TestImplicitEulerOperator:
+    def test_matrix_is_mass_plus_dt_stiffness(self):
+        m = structured_rectangle(6, 6)
+        op = ImplicitEulerOperator(m, dt=0.05)
+        expected = op.mass + 0.05 * op.stiffness
+        assert abs(op.matrix - expected).max() < 1e-14
+
+    def test_rhs_is_mass_times_previous(self, rng):
+        m = structured_rectangle(5, 5)
+        op = ImplicitEulerOperator(m, dt=0.1)
+        u = rng.random(m.num_points)
+        assert np.allclose(op.rhs(u), op.mass @ u)
+
+    def test_invalid_parameters(self):
+        m = structured_rectangle(4, 4)
+        with pytest.raises(ValueError):
+            ImplicitEulerOperator(m, dt=0.0)
+        with pytest.raises(ValueError):
+            ImplicitEulerOperator(m, dt=0.1, conductivity=-1.0)
+
+    def test_step_decays_heat_with_zero_dirichlet(self):
+        """With u=0 on the whole boundary, each implicit step contracts."""
+        m = structured_rectangle(9, 9)
+        op = ImplicitEulerOperator(m, dt=0.05)
+        u = np.sin(np.pi * m.points[:, 0]) * np.sin(np.pi * m.points[:, 1])
+        bn = m.all_boundary_nodes()
+        for _ in range(3):
+            a, b = apply_dirichlet(op.matrix, op.rhs(u), bn, 0.0)
+            u_new = spla.spsolve(a.tocsc(), b)
+            assert np.abs(u_new).max() < np.abs(u).max()
+            u = u_new
+
+    def test_step_matches_analytic_decay_rate(self):
+        """First Fourier mode decays like 1/(1 + 2π²Δt) per implicit step."""
+        m = structured_rectangle(33, 33)
+        dt = 0.01
+        op = ImplicitEulerOperator(m, dt=dt)
+        u0 = np.sin(np.pi * m.points[:, 0]) * np.sin(np.pi * m.points[:, 1])
+        bn = m.all_boundary_nodes()
+        a, b = apply_dirichlet(op.matrix, op.rhs(u0), bn, 0.0)
+        u1 = spla.spsolve(a.tocsc(), b)
+        ratio = u1.max() / u0.max()
+        expected = 1.0 / (1.0 + 2.0 * np.pi**2 * dt)
+        assert ratio == pytest.approx(expected, rel=0.02)
+
+    def test_wrong_length_rhs_raises(self):
+        m = structured_rectangle(4, 4)
+        op = ImplicitEulerOperator(m, dt=0.1)
+        with pytest.raises(ValueError):
+            op.rhs(np.zeros(3))

@@ -1,0 +1,83 @@
+import numpy as np
+
+from repro.graph.adjacency import graph_from_elements
+from repro.graph.coarsen import coarsen_graph, heavy_edge_matching
+from repro.mesh.grid2d import structured_rectangle
+from repro.utils.rng import make_rng
+
+
+def grid_graph(n=10):
+    mesh = structured_rectangle(n, n)
+    return graph_from_elements(mesh.num_points, mesh.elements)
+
+
+class TestHeavyEdgeMatching:
+    def test_matching_is_symmetric(self):
+        g = grid_graph()
+        match = heavy_edge_matching(g, make_rng(0))
+        for v in range(g.num_vertices):
+            assert match[match[v]] == v
+
+    def test_matched_pairs_are_adjacent(self):
+        g = grid_graph()
+        match = heavy_edge_matching(g, make_rng(1))
+        for v in range(g.num_vertices):
+            u = match[v]
+            if u != v:
+                assert u in g.neighbors(v)
+
+    def test_prefers_heavy_edges(self):
+        # path 0-1-2 with weights 1 and 100: 1 must match 2
+        import scipy.sparse as sp
+
+        a = sp.csr_matrix(
+            np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 100.0], [0.0, 100.0, 0.0]])
+        )
+        from repro.graph.adjacency import Graph
+
+        g = Graph(a.indptr.astype(np.int64), a.indices.astype(np.int64), a.data)
+        match = heavy_edge_matching(g, make_rng(0))
+        assert match[1] == 2 and match[2] == 1
+
+
+class TestCoarsenGraph:
+    def test_shrinks_vertex_count(self):
+        g = grid_graph()
+        level = coarsen_graph(g, 0)
+        assert level.graph.num_vertices < g.num_vertices
+        assert level.graph.num_vertices >= g.num_vertices / 2
+
+    def test_vertex_weight_conserved(self):
+        g = grid_graph()
+        level = coarsen_graph(g, 0)
+        assert level.graph.total_vertex_weight() == g.total_vertex_weight()
+
+    def test_fine_to_coarse_total(self):
+        g = grid_graph()
+        level = coarsen_graph(g, 0)
+        assert level.fine_to_coarse.min() == 0
+        assert level.fine_to_coarse.max() == level.graph.num_vertices - 1
+
+    def test_no_self_loops_in_coarse_graph(self):
+        g = grid_graph()
+        level = coarsen_graph(g, 0)
+        cg = level.graph
+        for v in range(cg.num_vertices):
+            assert v not in cg.neighbors(v)
+
+    def test_coarse_edges_reflect_fine_edges(self):
+        """Two coarse vertices are adjacent iff some fine edge crosses them."""
+        g = grid_graph(6)
+        level = coarsen_graph(g, 3)
+        f2c = level.fine_to_coarse
+        expected = set()
+        for v in range(g.num_vertices):
+            for u in g.neighbors(v):
+                if f2c[u] != f2c[v]:
+                    expected.add((min(f2c[u], f2c[v]), max(f2c[u], f2c[v])))
+        actual = set()
+        cg = level.graph
+        for v in range(cg.num_vertices):
+            for u in cg.neighbors(v):
+                actual.add((min(u, v), max(u, v)))
+        assert actual == expected

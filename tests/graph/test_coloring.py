@@ -1,0 +1,37 @@
+import numpy as np
+
+from repro.graph.adjacency import graph_from_elements
+from repro.graph.coloring import greedy_coloring
+from repro.mesh.grid2d import structured_rectangle
+
+
+def grid_graph(n=10):
+    mesh = structured_rectangle(n, n)
+    return graph_from_elements(mesh.num_points, mesh.elements)
+
+
+class TestGreedyColoring:
+    def test_proper_coloring(self):
+        g = grid_graph()
+        colors = greedy_coloring(g)
+        for v in range(g.num_vertices):
+            for u in g.neighbors(v):
+                assert colors[u] != colors[v]
+
+    def test_all_vertices_colored(self):
+        g = grid_graph()
+        colors = greedy_coloring(g)
+        assert np.all(colors >= 0)
+
+    def test_color_count_bounded_by_degree(self):
+        g = grid_graph()
+        colors = greedy_coloring(g)
+        max_deg = max(g.degree(v) for v in range(g.num_vertices))
+        assert colors.max() <= max_deg
+
+    def test_custom_order_respected(self):
+        g = grid_graph(5)
+        colors = greedy_coloring(g, order=np.arange(g.num_vertices)[::-1])
+        for v in range(g.num_vertices):
+            for u in g.neighbors(v):
+                assert colors[u] != colors[v]

@@ -1,0 +1,76 @@
+import numpy as np
+import pytest
+
+from repro.graph.geometric import (
+    box_partition_2d,
+    box_partition_3d,
+    factor_processor_count,
+)
+
+
+class TestFactorProcessorCount:
+    @pytest.mark.parametrize(
+        "p,ndim,expected",
+        [
+            (1, 2, (1, 1)),
+            (4, 2, (2, 2)),
+            (16, 2, (4, 4)),
+            (6, 2, (3, 2)),
+            (8, 3, (2, 2, 2)),
+            (12, 3, (3, 2, 2)),
+            (7, 2, (7, 1)),
+        ],
+    )
+    def test_balanced_factorizations(self, p, ndim, expected):
+        assert factor_processor_count(p, ndim) == expected
+
+    @pytest.mark.parametrize("p", range(1, 65))
+    def test_product_is_p(self, p):
+        fx, fy = factor_processor_count(p, 2)
+        assert fx * fy == p
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            factor_processor_count(0, 2)
+
+
+class TestBoxPartition2d:
+    def test_covers_all_points_evenly(self):
+        mem = box_partition_2d(16, 16, 4)
+        sizes = np.bincount(mem, minlength=4)
+        assert sizes.sum() == 256
+        assert np.all(sizes == 64)
+
+    def test_boxes_are_contiguous_rectangles(self):
+        nx = ny = 12
+        mem = box_partition_2d(nx, ny, 4)
+        grid = mem.reshape(ny, nx)
+        for p in range(4):
+            ys, xs = np.nonzero(grid == p)
+            # a rectangle: the bounding box is fully owned
+            assert (ys.max() - ys.min() + 1) * (xs.max() - xs.min() + 1) == len(xs)
+
+    def test_uneven_divisions_still_cover(self):
+        mem = box_partition_2d(10, 7, 3)
+        assert np.bincount(mem, minlength=3).sum() == 70
+        assert np.all(np.bincount(mem, minlength=3) > 0)
+
+
+class TestBoxPartition3d:
+    def test_covers_all_points(self):
+        mem = box_partition_3d(8, 8, 8, 8)
+        sizes = np.bincount(mem, minlength=8)
+        assert sizes.sum() == 512
+        assert np.all(sizes == 64)
+
+    def test_boxes_are_contiguous_boxes(self):
+        mem = box_partition_3d(6, 6, 6, 8)
+        grid = mem.reshape(6, 6, 6)
+        for p in range(8):
+            zs, ys, xs = np.nonzero(grid == p)
+            vol = (
+                (zs.max() - zs.min() + 1)
+                * (ys.max() - ys.min() + 1)
+                * (xs.max() - xs.min() + 1)
+            )
+            assert vol == len(xs)

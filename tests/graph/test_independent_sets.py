@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.graph.adjacency import graph_from_elements
+from repro.graph.independent_sets import (
+    find_group_independent_sets,
+    verify_group_independence,
+)
+from repro.mesh.grid2d import structured_rectangle
+
+
+def grid_graph(n=15):
+    mesh = structured_rectangle(n, n)
+    return graph_from_elements(mesh.num_points, mesh.elements)
+
+
+class TestGroupIndependentSets:
+    def test_no_coupling_between_groups(self):
+        g = grid_graph()
+        gis = find_group_independent_sets(g, max_group_size=10, seed=0)
+        assert verify_group_independence(g, gis)
+
+    @pytest.mark.parametrize("gmax", [1, 5, 20, 100])
+    def test_group_size_bound_respected(self, gmax):
+        g = grid_graph()
+        gis = find_group_independent_sets(g, max_group_size=gmax, seed=0)
+        assert all(len(grp) <= gmax for grp in gis.groups)
+
+    def test_groups_and_separator_partition_vertices(self):
+        g = grid_graph()
+        gis = find_group_independent_sets(g, max_group_size=12, seed=0)
+        all_ids = np.concatenate([*gis.groups, gis.separator])
+        assert sorted(all_ids.tolist()) == list(range(g.num_vertices))
+
+    def test_permutation_orders_groups_then_separator(self):
+        g = grid_graph(8)
+        gis = find_group_independent_sets(g, max_group_size=6, seed=0)
+        assert len(gis.permutation) == g.num_vertices
+        assert gis.group_ptr[-1] == gis.num_grouped
+        assert np.array_equal(gis.permutation[gis.num_grouped :], gis.separator)
+
+    def test_candidates_restriction(self):
+        """Interface vertices excluded from candidacy land in the separator."""
+        g = grid_graph(8)
+        candidates = np.arange(30)
+        gis = find_group_independent_sets(g, 10, candidates=candidates, seed=0)
+        grouped = np.concatenate(gis.groups) if gis.groups else np.empty(0)
+        assert np.all(grouped < 30)
+        assert set(range(30, g.num_vertices)).issubset(set(gis.separator.tolist()))
+
+    def test_max_group_size_one_is_classical_independent_set(self):
+        g = grid_graph(8)
+        gis = find_group_independent_sets(g, max_group_size=1, seed=0)
+        grouped = np.concatenate(gis.groups)
+        gs = set(grouped.tolist())
+        for v in grouped:
+            assert not any(int(u) in gs for u in g.neighbors(int(v)))
+
+    def test_grouped_fraction_substantial(self):
+        """ARMS only pays off if most unknowns are eliminated in level one."""
+        g = grid_graph(20)
+        gis = find_group_independent_sets(g, max_group_size=20, seed=0)
+        assert gis.num_grouped > 0.4 * g.num_vertices
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            find_group_independent_sets(grid_graph(4), 0)
+
+    def test_deterministic_for_seed(self):
+        g = grid_graph(8)
+        a = find_group_independent_sets(g, 8, seed=5)
+        b = find_group_independent_sets(g, 8, seed=5)
+        assert np.array_equal(a.permutation, b.permutation)

@@ -1,0 +1,131 @@
+import numpy as np
+import pytest
+
+from repro.graph.adjacency import graph_from_elements, graph_from_matrix
+from repro.graph.rcm import bandwidth, reverse_cuthill_mckee
+from repro.mesh.grid2d import structured_rectangle
+
+
+def grid_graph(n=12):
+    mesh = structured_rectangle(n, n)
+    return graph_from_elements(mesh.num_points, mesh.elements)
+
+
+class TestReverseCuthillMckee:
+    def test_is_a_permutation(self):
+        g = grid_graph()
+        perm = reverse_cuthill_mckee(g)
+        assert sorted(perm.tolist()) == list(range(g.num_vertices))
+
+    def test_reduces_bandwidth_of_shuffled_graph(self, rng):
+        """Shuffle a grid's numbering, then RCM must restore a small band."""
+        import scipy.sparse as sp
+
+        g = grid_graph()
+        n = g.num_vertices
+        shuffle = rng.permutation(n)
+        rows = np.repeat(np.arange(n), np.diff(g.indptr))
+        a = sp.coo_matrix(
+            (np.ones(len(g.indices)), (shuffle[rows], shuffle[g.indices])),
+            shape=(n, n),
+        ).tocsr()
+        gs = graph_from_matrix(a)
+        bw_before = bandwidth(gs)
+        perm = reverse_cuthill_mckee(gs)
+        bw_after = bandwidth(gs, perm)
+        assert bw_after < 0.3 * bw_before
+
+    def test_handles_disconnected_components(self):
+        import scipy.sparse as sp
+
+        a = sp.block_diag(
+            [sp.diags([np.ones(4), np.ones(4)], [-1, 1], shape=(5, 5))] * 2
+        ).tocsr()
+        g = graph_from_matrix(a)
+        perm = reverse_cuthill_mckee(g)
+        assert sorted(perm.tolist()) == list(range(10))
+
+    def test_path_graph_bandwidth_one(self):
+        import scipy.sparse as sp
+
+        n = 15
+        a = sp.diags([np.ones(n - 1), np.ones(n - 1)], [-1, 1]).tocsr()
+        g = graph_from_matrix(a)
+        perm = reverse_cuthill_mckee(g)
+        assert bandwidth(g, perm) == 1
+
+    def test_empty_graph(self):
+        import scipy.sparse as sp
+
+        g = graph_from_matrix(sp.eye(3, format="csr"))
+        perm = reverse_cuthill_mckee(g)
+        assert sorted(perm.tolist()) == [0, 1, 2]
+        assert bandwidth(g) == 0
+
+
+class TestRcmBlockPreconditioner:
+    def test_rcm_ordering_converges(self, partitioned_poisson):
+        from repro.comm.communicator import Communicator
+        from repro.krylov.fgmres import fgmres
+        from repro.precond.block_jacobi import BlockPreconditioner
+
+        pm, dmat, rhs, exact = partitioned_poisson
+        comm = Communicator(pm.num_ranks)
+        M = BlockPreconditioner(dmat, comm, variant="ilut", ordering="rcm")
+        assert "(RCM)" in M.name
+        res = fgmres(
+            lambda v: dmat.matvec(comm, v),
+            pm.to_distributed(rhs),
+            apply_m=M.apply,
+            rtol=1e-8,
+            maxiter=500,
+        )
+        assert res.converged
+        assert np.abs(pm.to_global(res.x) - exact).max() < 5e-4
+
+    def test_rcm_not_worse_on_shuffled_problem(self):
+        """RCM's value shows when the native numbering is bad: iterate a
+        randomly-permuted Poisson system with fixed-fill ILUT."""
+        import scipy.sparse as sp
+
+        from repro.factor.ilut import ilut
+        from repro.graph.rcm import reverse_cuthill_mckee
+        from repro.krylov.fgmres import fgmres
+        from repro.sparse.reorder import apply_symmetric_permutation
+
+        from repro.fem.assembly import assemble_stiffness
+        from repro.fem.boundary import apply_dirichlet
+        from repro.mesh.grid2d import structured_rectangle
+
+        mesh = structured_rectangle(21, 21)
+        raw = assemble_stiffness(mesh)
+        a, rhs = apply_dirichlet(
+            raw, np.ones(mesh.num_points), mesh.all_boundary_nodes(), 0.0
+        )
+        rng = np.random.default_rng(3)
+        shuffle = rng.permutation(a.shape[0])
+        a_shuf = apply_symmetric_permutation(a, shuffle)
+        b_shuf = rhs[shuffle]
+
+        def iters(mat):
+            fac = ilut(mat, 1e-3, 8)
+            return fgmres(lambda v: mat @ v, b_shuf, apply_m=fac.solve,
+                          rtol=1e-8, maxiter=500).iterations
+
+        shuffled_iters = iters(a_shuf)
+        perm = reverse_cuthill_mckee(graph_from_matrix(a_shuf))
+        a_rcm = apply_symmetric_permutation(a_shuf, perm)
+        fac = ilut(a_rcm, 1e-3, 8)
+        res = fgmres(
+            lambda v: a_rcm @ v, b_shuf[perm], apply_m=fac.solve,
+            rtol=1e-8, maxiter=500,
+        )
+        assert res.iterations <= shuffled_iters
+
+    def test_invalid_ordering(self, partitioned_poisson):
+        from repro.comm.communicator import Communicator
+        from repro.precond.block_jacobi import BlockPreconditioner
+
+        pm, dmat, _, _ = partitioned_poisson
+        with pytest.raises(ValueError):
+            BlockPreconditioner(dmat, Communicator(pm.num_ranks), ordering="amd")

@@ -1,0 +1,64 @@
+import numpy as np
+
+from repro.graph.adjacency import graph_from_elements
+from repro.graph.partitioner import edge_cut
+from repro.graph.refine import boundary_vertices, refine_bisection
+from repro.mesh.grid2d import structured_rectangle
+
+
+def grid_graph(n=12):
+    mesh = structured_rectangle(n, n)
+    return graph_from_elements(mesh.num_points, mesh.elements)
+
+
+class TestBoundaryVertices:
+    def test_detects_cut_vertices(self):
+        g = grid_graph(4)
+        part = np.zeros(16, dtype=np.int64)
+        part[8:] = 1  # split at y midline
+        bv = set(boundary_vertices(g, part).tolist())
+        assert 4 in bv and 8 in bv  # rows adjacent to the cut
+        assert 0 not in bv
+
+    def test_empty_for_uniform_partition(self):
+        g = grid_graph(4)
+        assert boundary_vertices(g, np.zeros(16, dtype=np.int64)).size == 0
+
+
+class TestRefineBisection:
+    def test_never_increases_cut(self):
+        g = grid_graph()
+        rng = np.random.default_rng(0)
+        part = rng.integers(0, 2, g.num_vertices)
+        target = g.total_vertex_weight() / 2
+        refined = refine_bisection(g, part, target, rng=0)
+        assert edge_cut(g, refined) <= edge_cut(g, part)
+
+    def test_substantially_improves_random_cut(self):
+        g = grid_graph()
+        rng = np.random.default_rng(1)
+        part = rng.integers(0, 2, g.num_vertices)
+        target = g.total_vertex_weight() / 2
+        refined = refine_bisection(g, part, target, rng=0)
+        assert edge_cut(g, refined) < 0.7 * edge_cut(g, part)
+
+    def test_respects_balance_constraint(self):
+        g = grid_graph()
+        rng = np.random.default_rng(2)
+        part = rng.integers(0, 2, g.num_vertices)
+        total = g.total_vertex_weight()
+        target = total / 2
+        refined = refine_bisection(g, part, target, imbalance=0.05, rng=0)
+        w0 = float(g.vertex_weights[refined == 0].sum())
+        start_w0 = float(g.vertex_weights[part == 0].sum())
+        lo = min(target - 0.05 * total, start_w0)
+        hi = max(target + 0.05 * total, start_w0)
+        assert lo <= w0 <= hi
+
+    def test_does_not_mutate_input(self):
+        g = grid_graph(6)
+        part = np.zeros(36, dtype=np.int64)
+        part[18:] = 1
+        orig = part.copy()
+        refine_bisection(g, part, 18.0, rng=0)
+        assert np.array_equal(part, orig)

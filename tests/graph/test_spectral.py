@@ -1,0 +1,75 @@
+import numpy as np
+import pytest
+
+from repro.graph.adjacency import graph_from_elements
+from repro.graph.partitioner import edge_cut, partition_graph, partition_sizes
+from repro.graph.spectral import fiedler_vector, spectral_bisect, spectral_partition
+from repro.mesh.grid2d import structured_rectangle
+
+
+def grid_graph(n=15):
+    mesh = structured_rectangle(n, n)
+    return graph_from_elements(mesh.num_points, mesh.elements)
+
+
+class TestFiedlerVector:
+    def test_orthogonal_to_constants(self):
+        g = grid_graph(9)
+        fv = fiedler_vector(g, seed=0)
+        assert abs(fv.sum()) < 1e-6 * np.abs(fv).sum()
+
+    def test_separates_a_path_graph_at_the_middle(self):
+        import scipy.sparse as sp
+
+        from repro.graph.adjacency import Graph
+
+        n = 20
+        a = sp.diags([np.ones(n - 1), np.ones(n - 1)], [-1, 1]).tocsr()
+        g = Graph(a.indptr.astype(np.int64), a.indices.astype(np.int64), a.data)
+        fv = fiedler_vector(g, seed=0)
+        signs = fv > np.median(fv)
+        # one sign change, at the middle
+        changes = np.flatnonzero(np.diff(signs.astype(int)))
+        assert len(changes) == 1
+        assert abs(changes[0] - n // 2) <= 1
+
+
+class TestSpectralBisect:
+    def test_balanced(self):
+        g = grid_graph()
+        part = spectral_bisect(g, seed=0)
+        sizes = np.bincount(part, minlength=2)
+        assert abs(sizes[0] - sizes[1]) <= 0.2 * g.num_vertices
+
+    def test_cut_competitive_with_multilevel(self):
+        g = grid_graph()
+        spectral_cut = edge_cut(g, spectral_bisect(g, seed=0))
+        ml_cut = edge_cut(g, partition_graph(g, 2, seed=0))
+        assert spectral_cut <= 1.5 * ml_cut
+
+
+class TestSpectralPartition:
+    @pytest.mark.parametrize("nparts", [2, 4, 8])
+    def test_covers_and_balances(self, nparts):
+        g = grid_graph()
+        mem = spectral_partition(g, nparts, seed=0)
+        sizes = partition_sizes(mem, nparts)
+        assert sizes.sum() == g.num_vertices
+        assert np.all(sizes > 0)
+        assert sizes.max() <= 1.8 * g.num_vertices / nparts
+
+    def test_solve_case_scheme_spectral(self, tiny_case):
+        from repro.core.driver import solve_case
+
+        out = solve_case(tiny_case, "block2", nparts=4, scheme="spectral", maxiter=400)
+        assert out.converged
+
+    def test_tiny_graphs(self):
+        import scipy.sparse as sp
+
+        from repro.graph.adjacency import Graph
+
+        a = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        g = Graph(a.indptr.astype(np.int64), a.indices.astype(np.int64), a.data)
+        mem = spectral_partition(g, 2, seed=0)
+        assert sorted(mem.tolist()) == [0, 1]

@@ -1,0 +1,129 @@
+"""Failure-injection tests: the library must fail loudly and honestly.
+
+Singular operators, hostile partitions, breakdown-inducing systems — every
+path should either produce a correct answer or report non-convergence/raise,
+never return garbage silently.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.comm.communicator import Communicator
+from repro.distributed.matrix import DistributedMatrix, distribute_matrix
+from repro.distributed.partition_map import PartitionMap
+from repro.factor.dense import dense_lu
+from repro.factor.ilu0 import ilu0
+from repro.factor.ilut import ilut
+from repro.graph.adjacency import graph_from_matrix
+from repro.krylov.fgmres import fgmres
+
+
+class TestSingularOperators:
+    def test_fgmres_reports_nonconvergence_on_inconsistent_system(self):
+        a = np.diag([1.0, 1.0, 0.0])
+        b = np.array([1.0, 1.0, 1.0])  # b not in range(A)
+        res = fgmres(lambda v: a @ v, b, rtol=1e-10, maxiter=50)
+        assert not res.converged
+        assert np.all(np.isfinite(res.x))
+
+    def test_dense_lu_rejects_singular(self):
+        with pytest.raises(ZeroDivisionError):
+            dense_lu(np.zeros((3, 3)))
+
+    def test_ilu_survives_zero_pivots_with_floor(self):
+        """Structurally singular leading blocks must not produce NaNs."""
+        a = sp.csr_matrix(
+            np.array([[1.0, 1.0, 0.0], [1.0, 1.0, 1.0], [0.0, 1.0, 1.0]])
+        )
+        for fac in (ilu0(a), ilut(a, 1e-3, 3)):
+            z = fac.solve(np.ones(3))
+            assert np.all(np.isfinite(z))
+
+
+class TestHostilePartitions:
+    def _pm(self, a, membership, num_ranks):
+        return PartitionMap(graph_from_matrix(a), np.asarray(membership), num_ranks)
+
+    def test_all_interface_partition(self, rng):
+        """A checkerboard partition makes every point an interface point —
+        B blocks are empty, and everything must still work."""
+        n = 16
+        a = sp.diags([-np.ones(n - 1), 4 * np.ones(n), -np.ones(n - 1)], [-1, 0, 1]).tocsr()
+        membership = np.arange(n) % 2
+        pm = self._pm(a, membership, 2)
+        for sd in pm.subdomains:
+            assert sd.n_internal == 0
+        dmat = distribute_matrix(a, pm)
+        comm = Communicator(2)
+        x = rng.random(n)
+        assert np.allclose(pm.to_global(dmat.matvec(comm, pm.to_distributed(x))), a @ x)
+
+    def test_all_interface_schur1_still_converges(self, rng):
+        from repro.precond.schur1 import Schur1Preconditioner
+
+        n = 24
+        a = sp.diags([-np.ones(n - 1), 4 * np.ones(n), -np.ones(n - 1)], [-1, 0, 1]).tocsr()
+        membership = np.arange(n) % 2
+        pm = self._pm(a, membership, 2)
+        dmat = distribute_matrix(a, pm)
+        comm = Communicator(2)
+        M = Schur1Preconditioner(dmat, comm)
+        b = rng.random(n)
+        res = fgmres(lambda v: dmat.matvec(comm, v), pm.to_distributed(b),
+                     apply_m=M.apply, rtol=1e-8, maxiter=100)
+        assert res.converged
+
+    def test_empty_rank_tolerated(self, rng):
+        n = 10
+        a = sp.eye(n, format="csr") * 2
+        membership = np.zeros(n, dtype=np.int64)
+        pm = self._pm(a, membership, 3)  # ranks 1, 2 own nothing
+        dmat = distribute_matrix(a, pm)
+        comm = Communicator(3)
+        x = rng.random(n)
+        y = dmat.matvec(comm, pm.to_distributed(x))
+        assert np.allclose(pm.to_global(y), 2 * x)
+
+    def test_disconnected_graph_partitions(self):
+        """Two disconnected components must still partition and classify."""
+        blocks = sp.block_diag(
+            [sp.eye(5, format="csr") * 2, sp.eye(7, format="csr") * 3]
+        ).tocsr()
+        from repro.graph.partitioner import partition_graph
+
+        g = graph_from_matrix(blocks)
+        mem = partition_graph(g, 2, seed=0)
+        pm = PartitionMap(g, mem, num_ranks=2)
+        assert sum(sd.n_owned for sd in pm.subdomains) == 12
+
+    def test_block_preconditioner_with_identity_rows(self, rng):
+        """Dirichlet identity rows inside subdomains must not break ILU."""
+        from repro.precond.block_jacobi import block1
+
+        n = 20
+        a = sp.diags([-np.ones(n - 1), 4 * np.ones(n), -np.ones(n - 1)], [-1, 0, 1]).tolil()
+        a[5, :] = 0.0
+        a[5, 5] = 1.0
+        a[:, 5] = 0.0
+        a[5, 5] = 1.0
+        a = a.tocsr()
+        pm = self._pm(a, (np.arange(n) >= n // 2).astype(np.int64), 2)
+        dmat = distribute_matrix(a, pm)
+        comm = Communicator(2)
+        M = block1(dmat, comm)
+        z = M.apply(rng.random(n))
+        assert np.all(np.isfinite(z))
+
+
+class TestInputValidation:
+    def test_distributed_matrix_shape_mismatch(self, partitioned_poisson):
+        pm, _, _, _ = partitioned_poisson
+        bad = [sp.csr_matrix((3, 3))] * pm.num_ranks
+        with pytest.raises(ValueError):
+            DistributedMatrix(pm, bad)
+
+    def test_wrong_rank_count(self, partitioned_poisson):
+        pm, dmat, _, _ = partitioned_poisson
+        with pytest.raises(ValueError):
+            DistributedMatrix(pm, dmat.local[:2])

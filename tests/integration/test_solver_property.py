@@ -1,0 +1,81 @@
+"""Property-based tests of the solver stack on random well-posed systems."""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.factor.ilu0 import ilu0
+from repro.factor.ilut import ilut
+from repro.krylov.bicgstab import bicgstab
+from repro.krylov.cg import cg
+from repro.krylov.fgmres import fgmres
+
+
+@st.composite
+def dd_systems(draw):
+    """Diagonally dominant system + rhs (always uniquely solvable)."""
+    n = draw(st.integers(min_value=2, max_value=50))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    density = draw(st.floats(min_value=0.05, max_value=0.4))
+    symmetric = draw(st.booleans())
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density, random_state=int(rng.integers(2**31)), format="csr")
+    if symmetric:
+        a = (a + a.T) * 0.5
+    a = a + sp.diags(np.asarray(np.abs(a).sum(axis=1)).ravel() + 1.0)
+    b = rng.standard_normal(n)
+    return a.tocsr(), b, symmetric, seed
+
+
+@given(dd_systems())
+@settings(max_examples=40, deadline=None)
+def test_fgmres_always_meets_its_tolerance(data):
+    a, b, _, _ = data
+    res = fgmres(lambda v: a @ v, b, rtol=1e-8, maxiter=500)
+    assert res.converged
+    assert np.linalg.norm(b - a @ res.x) <= 1.1e-8 * np.linalg.norm(b) + 1e-12
+
+
+@given(dd_systems())
+@settings(max_examples=30, deadline=None)
+def test_preconditioned_never_slower_than_half_unpreconditioned(data):
+    """ILU preconditioning of a diagonally dominant system must not blow up
+    the iteration count (weak but universal sanity property)."""
+    a, b, _, _ = data
+    plain = fgmres(lambda v: a @ v, b, rtol=1e-8, maxiter=500)
+    fac = ilu0(a)
+    pre = fgmres(lambda v: a @ v, b, apply_m=fac.solve, rtol=1e-8, maxiter=500)
+    assert pre.converged
+    assert pre.iterations <= max(plain.iterations, 3)
+
+
+@given(dd_systems())
+@settings(max_examples=30, deadline=None)
+def test_cg_solves_spd_members(data):
+    a, b, symmetric, _ = data
+    if not symmetric:
+        return
+    res = cg(lambda v: a @ v, b, rtol=1e-8, maxiter=800)
+    assert res.converged
+    assert np.linalg.norm(b - a @ res.x) <= 1.1e-8 * np.linalg.norm(b) + 1e-12
+
+
+@given(dd_systems())
+@settings(max_examples=30, deadline=None)
+def test_bicgstab_residual_honest(data):
+    """Whatever BiCGStab reports, a converged=True result truly meets the
+    tolerance (breakdowns must not masquerade as convergence)."""
+    a, b, _, _ = data
+    res = bicgstab(lambda v: a @ v, b, rtol=1e-8, maxiter=500)
+    if res.converged:
+        assert np.linalg.norm(b - a @ res.x) <= 2e-8 * np.linalg.norm(b) + 1e-12
+
+
+@given(dd_systems(), st.integers(min_value=1, max_value=6))
+@settings(max_examples=30, deadline=None)
+def test_ilut_solve_finite_for_any_fill(data, fill):
+    a, b, _, _ = data
+    fac = ilut(a, drop_tol=1e-3, fill=fill)
+    z = fac.solve(b)
+    assert np.all(np.isfinite(z))

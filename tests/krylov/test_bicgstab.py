@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.krylov.bicgstab import bicgstab
+from tests.conftest import random_nonsymmetric_csr, random_spd_csr
+
+
+class TestBicgstab:
+    def test_solves_unsymmetric_system(self, rng):
+        a = random_nonsymmetric_csr(80, 0.1, 0)
+        x = rng.random(80)
+        res = bicgstab(lambda v: a @ v, a @ x, rtol=1e-10, maxiter=400)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-6)
+
+    def test_solves_spd_system(self, rng):
+        a = random_spd_csr(60, 0.1, 1)
+        x = rng.random(60)
+        res = bicgstab(lambda v: a @ v, a @ x, rtol=1e-10, maxiter=400)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-6)
+
+    def test_final_residual_meets_tolerance(self, rng):
+        a = random_nonsymmetric_csr(100, 0.08, 2)
+        b = rng.random(100)
+        res = bicgstab(lambda v: a @ v, b, rtol=1e-8, maxiter=500)
+        assert res.converged
+        assert np.linalg.norm(b - a @ res.x) <= 1.1e-8 * np.linalg.norm(b) + 1e-13
+
+    def test_preconditioning_reduces_iterations(self, poisson_system):
+        from repro.factor.ilut import ilut
+
+        a, rhs, _ = poisson_system
+        plain = bicgstab(lambda v: a @ v, rhs, rtol=1e-8, maxiter=500)
+        fac = ilut(a, 1e-3, 10)
+        pre = bicgstab(lambda v: a @ v, rhs, apply_m=fac.solve, rtol=1e-8, maxiter=500)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_x0_respected(self, rng):
+        a = random_nonsymmetric_csr(40, 0.2, 3)
+        x = rng.random(40)
+        res = bicgstab(lambda v: a @ v, a @ x, x0=x)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_zero_rhs(self):
+        res = bicgstab(lambda v: 3 * v, np.zeros(5))
+        assert res.converged
+        assert np.all(res.x == 0)
+
+    def test_identity_one_iteration(self):
+        b = np.arange(1.0, 5.0)
+        res = bicgstab(lambda v: v, b, rtol=1e-12)
+        assert res.converged
+        assert res.iterations <= 1
+        assert np.allclose(res.x, b)
+
+    def test_breakdown_returns_honest_flag(self):
+        """A rotation matrix drives BiCGStab toward breakdown (rho ≈ 0);
+        whatever happens, a non-converged result must not claim otherwise."""
+        a = np.array([[0.0, -1.0], [1.0, 0.0]])
+        b = np.array([1.0, 0.0])
+        res = bicgstab(lambda v: a @ v, b, rtol=1e-12, maxiter=50)
+        final = np.linalg.norm(b - a @ res.x)
+        if res.converged:
+            assert final <= 1e-10
+        else:
+            assert final >= 0.0  # honest failure, finite answer
+        assert np.all(np.isfinite(res.x))
+
+    def test_distributed_solve_matches_serial(self, partitioned_poisson):
+        from repro.comm.communicator import Communicator
+        from repro.distributed.ops import DistributedOps
+        from repro.precond.block_jacobi import block2
+
+        pm, dmat, rhs, exact = partitioned_poisson
+        comm = Communicator(pm.num_ranks)
+        M = block2(dmat, comm)
+        ops = DistributedOps(comm, pm.layout)
+        res = bicgstab(
+            lambda v: dmat.matvec(comm, v),
+            pm.to_distributed(rhs),
+            apply_m=M.apply,
+            rtol=1e-8,
+            maxiter=500,
+            ops=ops,
+        )
+        assert res.converged
+        assert np.abs(pm.to_global(res.x) - exact).max() < 5e-4
+        assert comm.ledger.allreduces > 0  # dots were distributed

@@ -1,0 +1,56 @@
+import numpy as np
+import pytest
+
+from repro.krylov.cg import cg
+from tests.conftest import random_spd_csr
+
+
+class TestCg:
+    def test_solves_spd_system(self, rng):
+        a = random_spd_csr(50, 0.1, 0)
+        x = rng.random(50)
+        res = cg(lambda v: a @ v, a @ x, rtol=1e-10, maxiter=300)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-6)
+
+    def test_exact_in_n_iterations(self, rng):
+        """CG terminates in at most n steps in exact arithmetic."""
+        n = 12
+        d = np.diag(rng.uniform(1.0, 10.0, n))
+        res = cg(lambda v: d @ v, rng.random(n), rtol=1e-12, maxiter=n + 2)
+        assert res.converged
+        assert res.iterations <= n + 1
+
+    def test_preconditioning_reduces_iterations(self, poisson_system):
+        from repro.factor.ilu0 import ilu0
+
+        a, rhs, _ = poisson_system
+        plain = cg(lambda v: a @ v, rhs, rtol=1e-8, maxiter=500)
+        fac = ilu0(a)
+        pre = cg(lambda v: a @ v, rhs, apply_m=fac.solve, rtol=1e-8, maxiter=500)
+        assert pre.converged
+        assert pre.iterations < plain.iterations
+
+    def test_one_iteration_budget(self, poisson_system):
+        """maxiter=1 gives exactly one CG step (the Schwarz subdomain solve)."""
+        a, rhs, _ = poisson_system
+        res = cg(lambda v: a @ v, rhs, rtol=1e-14, maxiter=1)
+        assert res.iterations == 1
+        assert not res.converged
+        # one step still reduces the residual
+        assert res.residuals[-1] < res.residuals[0]
+
+    def test_x0_initial_guess(self, rng):
+        a = random_spd_csr(30, 0.15, 1)
+        x = rng.random(30)
+        res = cg(lambda v: a @ v, a @ x, x0=x, rtol=1e-8)
+        assert res.iterations == 0
+
+    def test_zero_rhs(self):
+        res = cg(lambda v: 2 * v, np.zeros(4))
+        assert res.converged and np.all(res.x == 0)
+
+    def test_non_spd_bails_honestly(self):
+        a = np.array([[1.0, 0.0], [0.0, -1.0]])  # indefinite
+        res = cg(lambda v: a @ v, np.array([1.0, 1.0]), rtol=1e-12, maxiter=10)
+        assert not res.converged or np.allclose(a @ res.x, [1.0, 1.0])

@@ -1,0 +1,118 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.krylov.fgmres import fgmres
+from repro.krylov.ops import CountingOps
+from tests.conftest import random_nonsymmetric_csr
+
+
+class TestFgmresBasics:
+    def test_solves_small_dense_system(self, rng):
+        a = rng.random((20, 20)) + 20 * np.eye(20)
+        x = rng.random(20)
+        res = fgmres(lambda v: a @ v, a @ x, rtol=1e-10, maxiter=200)
+        assert res.converged
+        assert np.allclose(res.x, x, atol=1e-6)
+
+    def test_identity_converges_in_one_iteration(self):
+        b = np.arange(1.0, 6.0)
+        res = fgmres(lambda v: v, b, rtol=1e-12)
+        assert res.converged
+        assert res.iterations <= 1
+        assert np.allclose(res.x, b)
+
+    def test_diagonal_system(self):
+        d = np.array([1.0, 2.0, 4.0, 8.0])
+        res = fgmres(lambda v: d * v, np.ones(4), rtol=1e-12, maxiter=50)
+        assert res.converged
+        assert np.allclose(res.x, 1.0 / d, atol=1e-9)
+
+    def test_x0_respected(self, rng):
+        a = random_nonsymmetric_csr(40, 0.2, 0)
+        x = rng.random(40)
+        res = fgmres(lambda v: a @ v, a @ x, x0=x, rtol=1e-6)
+        assert res.converged
+        assert res.iterations == 0
+
+    def test_zero_rhs_zero_solution(self):
+        res = fgmres(lambda v: 2 * v, np.zeros(5), rtol=1e-6)
+        assert res.converged
+        assert np.all(res.x == 0)
+
+    def test_maxiter_respected_and_reported(self, rng):
+        a = random_nonsymmetric_csr(80, 0.1, 1)
+        # make it hard: no preconditioner, tight tolerance, tiny budget
+        res = fgmres(lambda v: a @ v, rng.random(80), rtol=1e-14, maxiter=5)
+        assert res.iterations <= 5
+        assert not res.converged
+
+    def test_invalid_restart(self):
+        with pytest.raises(ValueError):
+            fgmres(lambda v: v, np.ones(2), restart=0)
+
+
+class TestFgmresConvergence:
+    def test_residual_history_monotone_within_cycle(self, rng):
+        """GMRES minimizes the residual: the estimate never increases."""
+        a = random_nonsymmetric_csr(60, 0.15, 2)
+        res = fgmres(lambda v: a @ v, rng.random(60), restart=60, rtol=1e-10, maxiter=60)
+        r = np.asarray(res.residuals)
+        assert np.all(np.diff(r) <= 1e-9 * r[0])
+
+    def test_final_true_residual_meets_tolerance(self, rng):
+        a = random_nonsymmetric_csr(100, 0.08, 3)
+        b = rng.random(100)
+        res = fgmres(lambda v: a @ v, b, restart=20, rtol=1e-8, maxiter=400)
+        assert res.converged
+        true_res = np.linalg.norm(b - a @ res.x)
+        assert true_res <= 1.01e-8 * np.linalg.norm(b - a @ np.zeros(100)) + 1e-14
+
+    def test_restart_equals_full_for_small_problems(self, rng):
+        a = rng.random((15, 15)) + 15 * np.eye(15)
+        b = rng.random(15)
+        full = fgmres(lambda v: a @ v, b, restart=15, rtol=1e-10)
+        assert full.converged
+        assert full.iterations <= 15
+
+    def test_right_preconditioning_reduces_iterations(self, poisson_system):
+        from repro.factor.ilut import ilut
+
+        a, rhs, _ = poisson_system
+        plain = fgmres(lambda v: a @ v, rhs, rtol=1e-8, maxiter=500)
+        fac = ilut(a, 1e-3, 10)
+        pre = fgmres(lambda v: a @ v, rhs, apply_m=fac.solve, rtol=1e-8, maxiter=500)
+        assert pre.converged
+        assert pre.iterations < 0.3 * plain.iterations
+
+    def test_flexible_with_varying_preconditioner(self, poisson_system):
+        """An inner-GMRES preconditioner (changing per application) still
+        converges — the defining FGMRES capability."""
+        a, rhs, _ = poisson_system
+        from repro.factor.ilu0 import ilu0
+
+        fac = ilu0(a)
+        calls = {"n": 0}
+
+        def varying_m(r):
+            calls["n"] += 1
+            inner = fgmres(lambda v: a @ v, r, apply_m=fac.solve, rtol=1e-12,
+                           maxiter=2 + calls["n"] % 3, restart=5)
+            return inner.x
+
+        res = fgmres(lambda v: a @ v, rhs, apply_m=varying_m, rtol=1e-8, maxiter=100)
+        assert res.converged
+        assert res.iterations < 30
+
+    def test_counting_ops_accumulates(self, rng):
+        a = random_nonsymmetric_csr(30, 0.2, 4)
+        ops = CountingOps(30)
+        fgmres(lambda v: a @ v, rng.random(30), rtol=1e-8, maxiter=50, ops=ops)
+        assert ops.flops > 0
+
+    def test_singular_consistent_system_breakdown_handled(self):
+        """A x = b with singular A but b in range: lucky breakdown path."""
+        a = np.diag([1.0, 2.0, 0.0])
+        b = np.array([1.0, 2.0, 0.0])
+        res = fgmres(lambda v: a @ v, b, rtol=1e-10, maxiter=10)
+        assert np.allclose(a @ res.x, b, atol=1e-8)

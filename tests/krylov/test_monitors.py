@@ -1,0 +1,49 @@
+import numpy as np
+import pytest
+
+from repro.krylov.monitors import ConvergenceMonitor, KrylovResult
+
+
+class TestConvergenceMonitor:
+    def test_paper_criterion_relative_reduction(self):
+        mon = ConvergenceMonitor(rtol=1e-6)
+        assert not mon.start(1.0)
+        assert not mon.check(1e-5)
+        assert mon.check(9.9e-7)
+
+    def test_threshold_uses_initial_residual(self):
+        mon = ConvergenceMonitor(rtol=1e-6)
+        mon.start(100.0)
+        assert mon.threshold == pytest.approx(1e-4)
+
+    def test_atol_floor(self):
+        mon = ConvergenceMonitor(rtol=1e-6, atol=1e-3)
+        mon.start(10.0)
+        assert mon.threshold == 1e-3
+
+    def test_zero_initial_residual_converges_immediately(self):
+        mon = ConvergenceMonitor(rtol=1e-6, atol=1e-30)
+        assert mon.start(0.0)
+
+    def test_history_recorded(self):
+        mon = ConvergenceMonitor()
+        mon.start(1.0)
+        mon.check(0.5)
+        mon.check(0.25)
+        assert mon.residuals == [1.0, 0.5, 0.25]
+
+    def test_check_before_start_raises(self):
+        with pytest.raises(RuntimeError):
+            ConvergenceMonitor().check(1.0)
+
+
+class TestKrylovResult:
+    def test_reduction(self):
+        r = KrylovResult(np.zeros(1), 3, True, [10.0, 1.0, 0.1])
+        assert r.reduction == pytest.approx(0.01)
+        assert r.final_residual == 0.1
+
+    def test_empty_history(self):
+        r = KrylovResult(np.zeros(1), 0, True, [])
+        assert np.isnan(r.final_residual)
+        assert r.reduction == 0.0

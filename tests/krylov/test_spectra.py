@@ -1,0 +1,81 @@
+import numpy as np
+import pytest
+
+from repro.krylov.spectra import (
+    condition_estimate,
+    lanczos_extremes,
+    power_method,
+    preconditioned_condition_estimate,
+)
+
+
+class TestPowerMethod:
+    def test_dominant_eigenvalue_of_diagonal(self):
+        d = np.array([1.0, 3.0, 7.0, 2.0])
+        lam = power_method(lambda v: d * v, 4, iterations=100, seed=0)
+        assert lam == pytest.approx(7.0, rel=1e-6)
+
+    def test_zero_operator(self):
+        assert power_method(lambda v: 0 * v, 5, seed=0) == 0.0
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            power_method(lambda v: v, 3, iterations=0)
+
+
+class TestLanczos:
+    def test_extremes_of_known_spectrum(self, rng):
+        d = np.linspace(0.5, 9.5, 60)
+        lmin, lmax = lanczos_extremes(lambda v: d * v, 60, steps=60, seed=1)
+        assert lmin == pytest.approx(0.5, rel=1e-4)
+        assert lmax == pytest.approx(9.5, rel=1e-4)
+
+    def test_partial_sweep_brackets_spectrum(self):
+        d = np.linspace(1.0, 100.0, 200)
+        lmin, lmax = lanczos_extremes(lambda v: d * v, 200, steps=40, seed=0)
+        assert 0.9 <= lmin <= 3.0
+        assert 90.0 <= lmax <= 100.1
+
+    def test_one_step(self):
+        lmin, lmax = lanczos_extremes(lambda v: 2.0 * v, 10, steps=1, seed=0)
+        assert lmin == pytest.approx(lmax)
+
+
+class TestConditionEstimates:
+    def test_poisson_condition_scales_like_h_minus_2(self):
+        """Paper Sec. 1.2: κ(A) = O(h⁻²) for elliptic problems."""
+        from repro.fem.assembly import assemble_stiffness
+        from repro.fem.boundary import apply_dirichlet
+        from repro.mesh.grid2d import structured_rectangle
+
+        kappas = []
+        for n in (9, 17, 33):
+            mesh = structured_rectangle(n, n)
+            a, _ = apply_dirichlet(
+                assemble_stiffness(mesh),
+                np.zeros(mesh.num_points),
+                mesh.all_boundary_nodes(),
+                0.0,
+            )
+            kappas.append(
+                condition_estimate(lambda v: a @ v, a.shape[0], steps=60, seed=0)
+            )
+        # halving h quadruples κ (within Lanczos estimation slack)
+        assert kappas[1] / kappas[0] == pytest.approx(4.0, rel=0.4)
+        assert kappas[2] / kappas[1] == pytest.approx(4.0, rel=0.4)
+
+    def test_preconditioning_shrinks_condition(self, poisson_system):
+        from repro.factor.ilu0 import ilu0
+
+        a, _, _ = poisson_system
+        n = a.shape[0]
+        plain = condition_estimate(lambda v: a @ v, n, steps=50, seed=0)
+        fac = ilu0(a)
+        pre = preconditioned_condition_estimate(
+            lambda v: a @ v, fac.solve, n, steps=50, seed=0
+        )
+        assert pre < 0.3 * plain
+
+    def test_indefinite_returns_inf(self):
+        d = np.array([-1.0, 1.0, 2.0])
+        assert condition_estimate(lambda v: d * v, 3, steps=3, seed=0) == float("inf")

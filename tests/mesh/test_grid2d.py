@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+
+from repro.mesh.grid2d import structured_rectangle
+
+
+class TestStructuredRectangle:
+    def test_counts(self):
+        m = structured_rectangle(5, 7)
+        assert m.num_points == 35
+        assert m.num_elements == 2 * 4 * 6
+
+    def test_paper_grid_size_formula(self):
+        """1001x1001 would give the paper's 1,002,001 points (checked small)."""
+        m = structured_rectangle(11, 11)
+        assert m.num_points == 121
+
+    def test_x_fastest_numbering(self):
+        m = structured_rectangle(4, 3)
+        assert np.allclose(m.points[1], [1.0 / 3.0, 0.0])
+        assert np.allclose(m.points[4], [0.0, 0.5])
+
+    def test_total_area_is_domain_area(self):
+        m = structured_rectangle(6, 6, 0.0, 2.0, 0.0, 3.0)
+        p = m.points[m.elements]
+        d1 = p[:, 1] - p[:, 0]
+        d2 = p[:, 2] - p[:, 0]
+        area = 0.5 * np.abs(d1[:, 0] * d2[:, 1] - d1[:, 1] * d2[:, 0]).sum()
+        assert area == pytest.approx(6.0)
+
+    def test_consistent_orientation(self):
+        m = structured_rectangle(5, 5)
+        p = m.points[m.elements]
+        d1 = p[:, 1] - p[:, 0]
+        d2 = p[:, 2] - p[:, 0]
+        det = d1[:, 0] * d2[:, 1] - d1[:, 1] * d2[:, 0]
+        assert np.all(det > 0)
+
+    def test_boundary_sets(self):
+        m = structured_rectangle(4, 5)
+        assert len(m.boundary_set("left")) == 5
+        assert len(m.boundary_set("bottom")) == 4
+        assert np.all(m.points[m.boundary_set("right"), 0] == 1.0)
+        assert np.all(m.points[m.boundary_set("top"), 1] == 1.0)
+
+    def test_structured_shape_recorded(self):
+        m = structured_rectangle(4, 5)
+        assert m.structured_shape == (4, 5)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            structured_rectangle(1, 5)

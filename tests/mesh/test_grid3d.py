@@ -1,0 +1,56 @@
+import numpy as np
+import pytest
+
+from repro.mesh.grid3d import structured_box
+
+
+class TestStructuredBox:
+    def test_counts(self):
+        m = structured_box(3, 4, 5)
+        assert m.num_points == 60
+        assert m.num_elements == 6 * 2 * 3 * 4  # six tets per cell
+
+    def test_paper_grid_size_formula(self):
+        m = structured_box(11, 11, 11)
+        assert m.num_points == 1331  # 101³ → 1,030,301 at paper scale
+
+    def test_total_volume_is_domain_volume(self):
+        m = structured_box(4, 4, 4, 0, 2, 0, 1, 0, 1)
+        p = m.points[m.elements]
+        d = p[:, 1:] - p[:, :1]
+        vol = np.abs(np.linalg.det(d)).sum() / 6.0
+        assert vol == pytest.approx(2.0)
+
+    def test_no_degenerate_tets(self):
+        m = structured_box(4, 4, 4)
+        p = m.points[m.elements]
+        d = p[:, 1:] - p[:, :1]
+        assert np.all(np.abs(np.linalg.det(d)) > 1e-14)
+
+    def test_mesh_is_conforming(self):
+        """Every interior face is shared by exactly two tets."""
+        from repro.mesh.mesh import boundary_faces_3d
+
+        m = structured_box(3, 3, 3)
+        tet = m.elements
+        faces = np.vstack(
+            [tet[:, [0, 1, 2]], tet[:, [0, 1, 3]], tet[:, [0, 2, 3]], tet[:, [1, 2, 3]]]
+        )
+        faces = np.sort(faces, axis=1)
+        _, counts = np.unique(faces, axis=0, return_counts=True)
+        assert set(counts.tolist()) <= {1, 2}
+
+    def test_boundary_sets(self):
+        m = structured_box(3, 4, 5)
+        assert len(m.boundary_set("left")) == 20
+        assert len(m.boundary_set("top")) == 12
+        assert np.all(m.points[m.boundary_set("right"), 0] == 1.0)
+
+    def test_x_fastest_z_slowest(self):
+        m = structured_box(3, 3, 3)
+        assert np.allclose(m.points[1], [0.5, 0.0, 0.0])
+        assert np.allclose(m.points[9], [0.0, 0.0, 0.5])
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError):
+            structured_box(2, 1, 2)

@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+
+from repro.mesh.lshape import l_shape
+from repro.mesh.mesh import boundary_edges_2d, triangle_quality
+
+
+@pytest.fixture(scope="module")
+def lmesh():
+    return l_shape(9)
+
+
+class TestLShape:
+    def test_point_count(self, lmesh):
+        m = 2 * 9 - 1
+        removed = (m - 9) * (m - 9)  # open upper-right quadrant lattice
+        assert lmesh.num_points == m * m - removed
+
+    def test_no_points_in_removed_quadrant(self, lmesh):
+        x, y = lmesh.points[:, 0], lmesh.points[:, 1]
+        assert not np.any((x > 0.5 + 1e-12) & (y > 0.5 + 1e-12))
+
+    def test_area_is_three_quarters(self, lmesh):
+        p = lmesh.points[lmesh.elements]
+        d1 = p[:, 1] - p[:, 0]
+        d2 = p[:, 2] - p[:, 0]
+        area = 0.5 * np.abs(d1[:, 0] * d2[:, 1] - d1[:, 1] * d2[:, 0]).sum()
+        assert area == pytest.approx(0.75)
+
+    def test_conforming(self, lmesh):
+        tri = lmesh.elements
+        edges = np.sort(
+            np.vstack([tri[:, [0, 1]], tri[:, [1, 2]], tri[:, [2, 0]]]), axis=1
+        )
+        _, counts = np.unique(edges, axis=0, return_counts=True)
+        assert set(counts.tolist()) <= {1, 2}
+
+    def test_boundary_sets_cover_topological_boundary(self, lmesh):
+        named = set(lmesh.all_boundary_nodes().tolist())
+        topo = set(np.unique(boundary_edges_2d(lmesh)).tolist())
+        assert named == topo
+
+    def test_reentrant_corner_in_reentrant_set(self, lmesh):
+        corner = np.flatnonzero(
+            (np.abs(lmesh.points[:, 0] - 0.5) < 1e-12)
+            & (np.abs(lmesh.points[:, 1] - 0.5) < 1e-12)
+        )
+        assert len(corner) == 1
+        assert corner[0] in set(lmesh.boundary_set("reentrant").tolist())
+
+    def test_quality_uniform(self, lmesh):
+        q = triangle_quality(lmesh)
+        assert np.allclose(q, q[0])  # all congruent right triangles
+
+    def test_poisson_solvable_on_lshape(self):
+        """Full pipeline on the non-convex domain: assemble, partition,
+        precondition, solve against the direct answer."""
+        import scipy.sparse.linalg as spla
+
+        from repro.comm.communicator import Communicator
+        from repro.distributed.matrix import distribute_matrix
+        from repro.distributed.partition_map import PartitionMap
+        from repro.fem.assembly import assemble_load, assemble_stiffness
+        from repro.fem.boundary import apply_dirichlet
+        from repro.graph.adjacency import graph_from_elements
+        from repro.graph.partitioner import partition_graph
+        from repro.krylov.fgmres import fgmres
+        from repro.precond.schur1 import Schur1Preconditioner
+
+        mesh = l_shape(9)
+        raw = assemble_stiffness(mesh)
+        b = assemble_load(mesh, lambda p: np.ones(len(p)))
+        a, rhs = apply_dirichlet(raw, b, mesh.all_boundary_nodes(), 0.0)
+        g = graph_from_elements(mesh.num_points, mesh.elements)
+        pm = PartitionMap(g, partition_graph(g, 4, seed=0), num_ranks=4)
+        dmat = distribute_matrix(a, pm)
+        comm = Communicator(4)
+        M = Schur1Preconditioner(dmat, comm)
+        res = fgmres(lambda v: dmat.matvec(comm, v), pm.to_distributed(rhs),
+                     apply_m=M.apply, rtol=1e-8, maxiter=200)
+        assert res.converged
+        direct = spla.spsolve(a.tocsc(), rhs)
+        assert np.abs(pm.to_global(res.x) - direct).max() < 1e-6
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            l_shape(1)

@@ -1,0 +1,84 @@
+import numpy as np
+import pytest
+
+from repro.mesh.grid2d import structured_rectangle
+from repro.mesh.grid3d import structured_box
+from repro.mesh.mesh import (
+    Mesh,
+    boundary_edges_2d,
+    boundary_faces_3d,
+    triangle_quality,
+)
+
+
+class TestMeshValidation:
+    def test_rejects_bad_element_width(self):
+        with pytest.raises(ValueError):
+            Mesh(np.zeros((3, 2)), np.array([[0, 1]]))
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(ValueError):
+            Mesh(np.zeros((3, 2)), np.array([[0, 1, 5]]))
+
+    def test_all_boundary_nodes_union(self):
+        m = structured_rectangle(4, 4)
+        assert len(m.all_boundary_nodes()) == 12  # perimeter of 4x4
+
+    def test_unknown_boundary_set_raises(self):
+        m = structured_rectangle(3, 3)
+        with pytest.raises(KeyError, match="available"):
+            m.boundary_set("nope")
+
+
+class TestBoundaryEdges2d:
+    def test_count_matches_perimeter(self):
+        n = 6
+        m = structured_rectangle(n, n)
+        edges = boundary_edges_2d(m)
+        assert len(edges) == 4 * (n - 1)
+
+    def test_nodes_match_named_sets(self):
+        m = structured_rectangle(5, 5)
+        from_edges = set(np.unique(boundary_edges_2d(m)).tolist())
+        from_sets = set(m.all_boundary_nodes().tolist())
+        assert from_edges == from_sets
+
+    def test_requires_2d(self):
+        m = structured_box(3, 3, 3)
+        with pytest.raises(ValueError):
+            boundary_edges_2d(m)
+
+
+class TestBoundaryFaces3d:
+    def test_count_matches_surface(self):
+        n = 4
+        m = structured_box(n, n, n)
+        faces = boundary_faces_3d(m)
+        # each of the 6 faces has (n-1)^2 quads; the Kuhn split gives 2
+        # triangles per surface quad
+        assert len(faces) == 6 * (n - 1) ** 2 * 2
+
+    def test_nodes_match_named_sets(self):
+        m = structured_box(4, 4, 4)
+        from_faces = set(np.unique(boundary_faces_3d(m)).tolist())
+        from_sets = set(m.all_boundary_nodes().tolist())
+        assert from_faces == from_sets
+
+
+class TestTriangleQuality:
+    def test_right_triangles_quality(self):
+        m = structured_rectangle(4, 4)
+        q = triangle_quality(m)
+        # isoceles right triangle: q = 4*sqrt(3)*(1/2)/(1+1+2) = sqrt(3)/2 / ... compute
+        expected = 4 * np.sqrt(3) * 0.5 / 4.0
+        assert np.allclose(q, expected)
+
+    def test_quality_in_unit_interval(self):
+        m = structured_rectangle(7, 5)
+        q = triangle_quality(m)
+        assert np.all(q > 0) and np.all(q <= 1.0 + 1e-12)
+
+    def test_equilateral_is_one(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.5, np.sqrt(3) / 2]])
+        m = Mesh(pts, np.array([[0, 1, 2]]))
+        assert triangle_quality(m)[0] == pytest.approx(1.0)

@@ -1,0 +1,83 @@
+import numpy as np
+import pytest
+
+from repro.mesh.grid2d import structured_rectangle
+from repro.mesh.mesh import boundary_edges_2d
+from repro.mesh.refine import refine_uniform
+from repro.mesh.unstructured import plate_with_hole
+
+
+class TestRefineUniform:
+    def test_counts_quadruple_elements(self):
+        m = structured_rectangle(4, 4)
+        r = refine_uniform(m)
+        assert r.num_elements == 4 * m.num_elements
+
+    def test_point_count_euler(self):
+        """new points = old points + unique edges."""
+        m = structured_rectangle(4, 4)
+        tri = m.elements
+        edges = np.vstack([tri[:, [0, 1]], tri[:, [1, 2]], tri[:, [2, 0]]])
+        n_edges = len(np.unique(np.sort(edges, axis=1), axis=0))
+        r = refine_uniform(m)
+        assert r.num_points == m.num_points + n_edges
+
+    def test_area_preserved(self):
+        m = structured_rectangle(5, 5)
+        for mesh in (m, refine_uniform(m)):
+            p = mesh.points[mesh.elements]
+            d1 = p[:, 1] - p[:, 0]
+            d2 = p[:, 2] - p[:, 0]
+            area = 0.5 * np.abs(d1[:, 0] * d2[:, 1] - d1[:, 1] * d2[:, 0]).sum()
+            assert area == pytest.approx(1.0)
+
+    def test_conforming_after_refinement(self):
+        m = plate_with_hole(0.1, seed=0)
+        r = refine_uniform(m)
+        tri = r.elements
+        edges = np.sort(
+            np.vstack([tri[:, [0, 1]], tri[:, [1, 2]], tri[:, [2, 0]]]), axis=1
+        )
+        _, counts = np.unique(edges, axis=0, return_counts=True)
+        assert set(counts.tolist()) <= {1, 2}
+
+    def test_boundary_sets_carried_and_grown(self):
+        m = structured_rectangle(4, 4)
+        r = refine_uniform(m)
+        # left edge of a 4x4 grid has 4 points and 3 edges → 7 after refining
+        assert len(r.boundary_set("left")) == 7
+        assert np.all(np.abs(r.points[r.boundary_set("left"), 0]) < 1e-12)
+
+    def test_refined_boundary_matches_topology(self):
+        m = structured_rectangle(5, 5)
+        r = refine_uniform(m)
+        from_edges = set(np.unique(boundary_edges_2d(r)).tolist())
+        named = set(r.all_boundary_nodes().tolist())
+        assert from_edges == named
+
+    def test_fem_convergence_through_refinement(self):
+        """Solving Poisson on successive refinements halves h: errors drop
+        at second order."""
+        import scipy.sparse.linalg as spla
+
+        from repro.fem.assembly import assemble_load, assemble_stiffness
+        from repro.fem.boundary import apply_dirichlet
+
+        mesh = structured_rectangle(5, 5)
+        errs = []
+        for _ in range(3):
+            k = assemble_stiffness(mesh)
+            exact = mesh.points[:, 0] * np.exp(mesh.points[:, 1])
+            b = -assemble_load(mesh, lambda p: p[:, 0] * np.exp(p[:, 1]))
+            bn = mesh.all_boundary_nodes()
+            a, rhs = apply_dirichlet(k, b, bn, exact[bn])
+            errs.append(np.abs(spla.spsolve(a.tocsc(), rhs) - exact).max())
+            mesh = refine_uniform(mesh)
+        assert np.log2(errs[0] / errs[1]) > 1.5
+        assert np.log2(errs[1] / errs[2]) > 1.5
+
+    def test_rejects_3d(self):
+        from repro.mesh.grid3d import structured_box
+
+        with pytest.raises(ValueError):
+            refine_uniform(structured_box(3, 3, 3))

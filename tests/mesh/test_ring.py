@@ -1,0 +1,57 @@
+import numpy as np
+import pytest
+
+from repro.mesh.ring import quarter_ring
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return quarter_ring(17, 9)
+
+
+class TestQuarterRing:
+    def test_counts(self, ring):
+        assert ring.num_points == 17 * 9
+        assert ring.num_elements == 2 * 16 * 8
+
+    def test_radii_in_range(self, ring):
+        r = np.hypot(ring.points[:, 0], ring.points[:, 1])
+        assert np.all(r >= 1.0 - 1e-12)
+        assert np.all(r <= 2.0 + 1e-12)
+
+    def test_first_quadrant(self, ring):
+        assert np.all(ring.points >= -1e-12)
+
+    def test_gamma1_on_x_zero_plane(self, ring):
+        g1 = ring.boundary_set("gamma1")
+        assert np.all(np.abs(ring.points[g1, 0]) < 1e-12)
+
+    def test_gamma2_on_y_zero_plane(self, ring):
+        g2 = ring.boundary_set("gamma2")
+        assert np.all(np.abs(ring.points[g2, 1]) < 1e-12)
+
+    def test_stress_boundary_on_arcs(self, ring):
+        s = ring.boundary_set("stress")
+        r = np.hypot(ring.points[s, 0], ring.points[s, 1])
+        on_arc = (np.abs(r - 1.0) < 1e-9) | (np.abs(r - 2.0) < 1e-9)
+        assert np.all(on_arc)
+
+    def test_area_approximates_quarter_annulus(self):
+        m = quarter_ring(65, 33)
+        p = m.points[m.elements]
+        d1 = p[:, 1] - p[:, 0]
+        d2 = p[:, 2] - p[:, 0]
+        area = 0.5 * np.abs(d1[:, 0] * d2[:, 1] - d1[:, 1] * d2[:, 0]).sum()
+        exact = np.pi / 4.0 * (4.0 - 1.0)
+        assert area == pytest.approx(exact, rel=1e-3)
+
+    def test_positive_element_areas(self, ring):
+        p = ring.points[ring.elements]
+        d1 = p[:, 1] - p[:, 0]
+        d2 = p[:, 2] - p[:, 0]
+        det = d1[:, 0] * d2[:, 1] - d1[:, 1] * d2[:, 0]
+        assert np.all(np.abs(det) > 1e-14)
+
+    def test_invalid_radii(self):
+        with pytest.raises(ValueError):
+            quarter_ring(5, 5, r_inner=2.0, r_outer=1.0)

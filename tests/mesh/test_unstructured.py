@@ -1,0 +1,66 @@
+import numpy as np
+import pytest
+
+from repro.mesh.mesh import boundary_edges_2d, triangle_quality
+from repro.mesh.unstructured import plate_with_hole
+
+
+@pytest.fixture(scope="module")
+def plate():
+    return plate_with_hole(target_h=0.05, seed=0)
+
+
+class TestPlateWithHole:
+    def test_no_points_inside_hole(self, plate):
+        r = np.hypot(plate.points[:, 0] - 0.5, plate.points[:, 1] - 0.5)
+        assert np.all(r >= 0.25 - 1e-9)
+
+    def test_no_triangle_centroid_inside_hole(self, plate):
+        c = plate.points[plate.elements].mean(axis=1)
+        r = np.hypot(c[:, 0] - 0.5, c[:, 1] - 0.5)
+        assert np.all(r > 0.25 - 1e-9)
+
+    def test_boundary_sets_cover_real_boundary(self, plate):
+        bnodes = set(np.unique(boundary_edges_2d(plate)).tolist())
+        named = set(plate.all_boundary_nodes().tolist())
+        assert bnodes == named
+
+    def test_hole_nodes_on_circle(self, plate):
+        hole = plate.boundary_set("hole")
+        r = np.hypot(plate.points[hole, 0] - 0.5, plate.points[hole, 1] - 0.5)
+        assert np.all(np.abs(r - 0.25) < 0.05)
+
+    def test_outer_nodes_on_square(self, plate):
+        outer = plate.boundary_set("outer")
+        p = plate.points[outer]
+        on_edge = (
+            (p[:, 0] < 1e-9) | (p[:, 0] > 1 - 1e-9) | (p[:, 1] < 1e-9) | (p[:, 1] > 1 - 1e-9)
+        )
+        assert np.all(on_edge)
+
+    def test_reasonable_quality(self, plate):
+        q = triangle_quality(plate)
+        assert np.all(q > 0.02)
+        assert np.median(q) > 0.5
+
+    def test_genuinely_unstructured(self, plate):
+        """Vertex degrees must vary (unlike a structured grid)."""
+        from repro.graph.adjacency import graph_from_elements
+
+        g = graph_from_elements(plate.num_points, plate.elements)
+        degrees = np.asarray([g.degree(v) for v in range(g.num_vertices)])
+        assert len(np.unique(degrees)) >= 4
+
+    def test_deterministic_for_seed(self):
+        a = plate_with_hole(target_h=0.1, seed=3)
+        b = plate_with_hole(target_h=0.1, seed=3)
+        assert np.allclose(a.points, b.points)
+
+    def test_finer_h_gives_more_points(self):
+        coarse = plate_with_hole(target_h=0.1, seed=0)
+        fine = plate_with_hole(target_h=0.05, seed=0)
+        assert fine.num_points > 2 * coarse.num_points
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            plate_with_hole(hole_radius=0.7)

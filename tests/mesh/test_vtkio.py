@@ -1,0 +1,53 @@
+import numpy as np
+import pytest
+
+from repro.mesh.grid2d import structured_rectangle
+from repro.mesh.grid3d import structured_box
+from repro.mesh.vtkio import read_vtk_points_cells, write_vtk
+
+
+class TestWriteVtk:
+    def test_roundtrip_2d(self, tmp_path):
+        mesh = structured_rectangle(5, 4)
+        path = write_vtk(tmp_path / "m.vtk", mesh)
+        pts, cells = read_vtk_points_cells(path)
+        assert np.allclose(pts[:, :2], mesh.points)
+        assert np.allclose(pts[:, 2], 0.0)
+        assert np.array_equal(cells, mesh.elements)
+
+    def test_roundtrip_3d(self, tmp_path):
+        mesh = structured_box(3, 3, 3)
+        path = write_vtk(tmp_path / "m3.vtk", mesh)
+        pts, cells = read_vtk_points_cells(path)
+        assert np.allclose(pts, mesh.points)
+        assert np.array_equal(cells, mesh.elements)
+
+    def test_scalar_field_written(self, tmp_path, rng):
+        mesh = structured_rectangle(4, 4)
+        u = rng.random(mesh.num_points)
+        path = write_vtk(tmp_path / "u.vtk", mesh, {"solution": u})
+        text = path.read_text()
+        assert "SCALARS solution double 1" in text
+        assert f"POINT_DATA {mesh.num_points}" in text
+
+    def test_vector_field_padded_to_3d(self, tmp_path, rng):
+        mesh = structured_rectangle(4, 4)
+        disp = rng.random((mesh.num_points, 2))
+        path = write_vtk(tmp_path / "d.vtk", mesh, {"displacement": disp})
+        assert "VECTORS displacement double" in path.read_text()
+
+    def test_field_name_spaces_sanitized(self, tmp_path, rng):
+        mesh = structured_rectangle(3, 3)
+        path = write_vtk(tmp_path / "s.vtk", mesh, {"my field": np.zeros(9)})
+        assert "my_field" in path.read_text()
+
+    def test_wrong_field_length_raises(self, tmp_path):
+        mesh = structured_rectangle(3, 3)
+        with pytest.raises(ValueError):
+            write_vtk(tmp_path / "x.vtk", mesh, {"bad": np.zeros(5)})
+
+    def test_cell_types_match_dimension(self, tmp_path):
+        m2 = structured_rectangle(3, 3)
+        assert "\n5\n" in write_vtk(tmp_path / "a.vtk", m2).read_text()
+        m3 = structured_box(2, 2, 2)
+        assert "\n10\n" in write_vtk(tmp_path / "b.vtk", m3).read_text()

@@ -1,0 +1,67 @@
+"""Tests for the cache-threshold machine extension (paper Sec. 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.costs import CostLedger
+from repro.perfmodel.machine import LINUX_CLUSTER, LINUX_CLUSTER_CACHED, Machine
+
+
+class TestCacheModel:
+    def make_ledger(self, ws):
+        led = CostLedger(2)
+        led.add_phase(np.array([1e6, 1e6]))
+        led.working_set_bytes = np.asarray(ws)
+        return led
+
+    def test_boost_when_fits(self):
+        led = self.make_ledger([100e3, 100e3])
+        assert (
+            LINUX_CLUSTER_CACHED.effective_flop_rate(led)
+            == LINUX_CLUSTER_CACHED.flop_rate * LINUX_CLUSTER_CACHED.cache_speedup
+        )
+        assert LINUX_CLUSTER_CACHED.time(led) < LINUX_CLUSTER.time(led)
+
+    def test_no_boost_when_largest_rank_spills(self):
+        led = self.make_ledger([100e3, 300e3])
+        assert LINUX_CLUSTER_CACHED.effective_flop_rate(led) == LINUX_CLUSTER_CACHED.flop_rate
+
+    def test_no_boost_without_working_set_info(self):
+        led = CostLedger(2)
+        led.add_phase(np.array([1e6, 1e6]))
+        assert LINUX_CLUSTER_CACHED.effective_flop_rate(led) == LINUX_CLUSTER_CACHED.flop_rate
+
+    def test_plain_machines_unaffected(self):
+        led = self.make_ledger([1.0, 1.0])
+        assert LINUX_CLUSTER.effective_flop_rate(led) == LINUX_CLUSTER.flop_rate
+
+    def test_invalid_cache_parameters(self):
+        with pytest.raises(ValueError):
+            Machine("bad", 1e6, 1e-6, 1e6, cache_speedup=0.5)
+        with pytest.raises(ValueError):
+            Machine("bad", 1e6, 1e-6, 1e6, cache_bytes=-1.0)
+
+    def test_driver_populates_working_set(self, tiny_case):
+        from repro.core.driver import solve_case
+
+        out = solve_case(tiny_case, "block1", nparts=2, maxiter=300)
+        assert out.solve_ledger.working_set_bytes is not None
+        assert np.all(out.solve_ledger.working_set_bytes > 0)
+
+    def test_cache_machine_superlinear_region(self, tiny_case):
+        """Once subdomains fit in cache, the cached machine's fixed-size
+        speedup exceeds the plain machine's at the same P."""
+        from repro.core.driver import solve_case
+
+        out1 = solve_case(tiny_case, "block1", nparts=1, maxiter=400)
+        out4 = solve_case(tiny_case, "block1", nparts=4, maxiter=400)
+        # at 17x17 everything fits in 256KB even at P=1, so compare the
+        # machines directly: cached is uniformly faster but the *ratio*
+        # matters only when the fit flips; emulate the flip by hand
+        big_ws = out1.solve_ledger.working_set_bytes * 1e3
+        out1.solve_ledger.working_set_bytes = big_ws  # force spill at P=1
+        sp_plain = LINUX_CLUSTER.time(out1.solve_ledger) / LINUX_CLUSTER.time(out4.solve_ledger)
+        sp_cached = LINUX_CLUSTER_CACHED.time(out1.solve_ledger) / LINUX_CLUSTER_CACHED.time(
+            out4.solve_ledger
+        )
+        assert sp_cached > sp_plain

@@ -1,0 +1,59 @@
+import numpy as np
+import pytest
+
+from repro.perfmodel.costs import CostLedger
+
+
+class TestCostLedger:
+    def test_phase_accumulates_max_and_total(self):
+        led = CostLedger(2)
+        led.add_phase(np.array([10.0, 30.0]))
+        led.add_phase(np.array([20.0, 5.0]))
+        assert led.crit_flops == 50.0  # 30 + 20
+        assert led.total_flops == 65.0
+        assert led.phases == 2
+
+    def test_scalar_broadcast(self):
+        led = CostLedger(4)
+        led.add_phase(7.0)
+        assert led.crit_flops == 7.0
+        assert led.total_flops == 28.0
+
+    def test_comm_fields(self):
+        led = CostLedger(2)
+        led.add_phase(0.0, msgs_per_rank=np.array([1.0, 3.0]), bytes_per_rank=np.array([8.0, 24.0]))
+        assert led.crit_msgs == 3.0
+        assert led.crit_bytes == 24.0
+        assert led.total_msgs == 4.0
+
+    def test_allreduce_counting(self):
+        led = CostLedger(2)
+        led.add_allreduce()
+        led.add_allreduce(nbytes=64)
+        assert led.allreduces == 2
+        assert led.allreduce_bytes == 72
+
+    def test_merge(self):
+        a = CostLedger(2)
+        a.add_phase(np.array([1.0, 2.0]))
+        b = CostLedger(2)
+        b.add_phase(np.array([3.0, 1.0]))
+        b.add_allreduce()
+        a.merge(b)
+        assert a.crit_flops == 5.0
+        assert a.allreduces == 1
+        assert a.per_rank_flops.tolist() == [4.0, 3.0]
+
+    def test_merge_rank_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            CostLedger(2).merge(CostLedger(3))
+
+    def test_load_imbalance(self):
+        led = CostLedger(2)
+        led.add_phase(np.array([10.0, 30.0]))
+        assert led.load_imbalance == pytest.approx(1.5)
+        assert CostLedger(3).load_imbalance == 1.0
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            CostLedger(0)

@@ -1,0 +1,63 @@
+import numpy as np
+import pytest
+
+from repro.perfmodel.costs import CostLedger
+from repro.perfmodel.machine import (
+    LINUX_CLUSTER,
+    ORIGIN_3800,
+    ORIGIN_3800_LOADED,
+    Machine,
+    machine_by_name,
+)
+
+
+class TestMachine:
+    def test_flops_only_time(self):
+        m = Machine("t", flop_rate=1e6, latency=0.0, bandwidth=1e9)
+        led = CostLedger(2)
+        led.add_phase(np.array([1e6, 5e5]))
+        assert m.time(led) == pytest.approx(1.0)
+
+    def test_latency_dominates_small_messages(self):
+        m = Machine("t", flop_rate=1e9, latency=1e-3, bandwidth=1e9)
+        led = CostLedger(2)
+        led.add_phase(0.0, msgs_per_rank=np.array([10.0, 0.0]))
+        assert m.time(led) == pytest.approx(1e-2)
+
+    def test_allreduce_scales_logarithmically(self):
+        m = Machine("t", flop_rate=1e9, latency=1e-4, bandwidth=1e9)
+        t4 = m.allreduce_time(4)
+        t16 = m.allreduce_time(16)
+        assert t16 == pytest.approx(2.0 * t4)
+        assert m.allreduce_time(1) == 0.0
+
+    def test_load_factor_multiplies(self):
+        led = CostLedger(2)
+        led.add_phase(np.array([1e6, 1e6]))
+        base = ORIGIN_3800.time(led)
+        loaded = ORIGIN_3800_LOADED.time(led)
+        assert loaded == pytest.approx(6.0 * base)
+
+    def test_cluster_slower_than_origin_on_comm(self):
+        led = CostLedger(8)
+        led.add_phase(0.0, msgs_per_rank=4.0, bytes_per_rank=1e5)
+        for _ in range(10):
+            led.add_allreduce()
+        assert LINUX_CLUSTER.time(led) > ORIGIN_3800.time(led)
+
+    def test_speedup_definition(self):
+        m = Machine("t", flop_rate=1e6, latency=0.0, bandwidth=1e9)
+        led = CostLedger(4)
+        led.add_phase(np.full(4, 1e6))  # perfectly parallel
+        assert m.speedup(led) == pytest.approx(4.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Machine("bad", flop_rate=0.0, latency=1e-6, bandwidth=1e6)
+        with pytest.raises(ValueError):
+            Machine("bad", flop_rate=1e6, latency=1e-6, bandwidth=1e6, load_factor=0.5)
+
+    def test_machine_by_name(self):
+        assert machine_by_name("linux-cluster") is LINUX_CLUSTER
+        with pytest.raises(KeyError):
+            machine_by_name("cray")

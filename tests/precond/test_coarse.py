@@ -1,0 +1,73 @@
+import numpy as np
+import pytest
+
+from repro.precond.coarse import CoarseGridCorrection, bilinear_interpolation
+
+
+class TestBilinearInterpolation:
+    def test_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((50, 2))
+        p = bilinear_interpolation(pts, (5, 5))
+        assert np.allclose(np.asarray(p.sum(axis=1)).ravel(), 1.0)
+
+    def test_reproduces_bilinear_functions(self):
+        """P interpolates coarse nodal values of f(x,y)=a+bx+cy+dxy exactly."""
+        rng = np.random.default_rng(1)
+        pts = rng.random((40, 2))
+        ncx, ncy = 6, 4
+        p = bilinear_interpolation(pts, (ncx, ncy))
+        xs = np.linspace(0, 1, ncx)
+        ys = np.linspace(0, 1, ncy)
+        X, Y = np.meshgrid(xs, ys, indexing="xy")
+        f = lambda x, y: 1.0 + 2 * x - 3 * y + 0.5 * x * y
+        coarse_vals = f(X, Y).ravel()
+        fine_vals = p @ coarse_vals
+        assert np.allclose(fine_vals, f(pts[:, 0], pts[:, 1]), atol=1e-12)
+
+    def test_coarse_nodes_map_to_themselves(self):
+        ncx, ncy = 4, 4
+        xs = np.linspace(0, 1, ncx)
+        X, Y = np.meshgrid(xs, xs, indexing="xy")
+        pts = np.column_stack([X.ravel(), Y.ravel()])
+        p = bilinear_interpolation(pts, (ncx, ncy))
+        assert np.allclose(p.toarray(), np.eye(16), atol=1e-12)
+
+    def test_too_small_coarse_grid(self):
+        with pytest.raises(ValueError):
+            bilinear_interpolation(np.zeros((3, 2)), (1, 4))
+
+
+class TestCoarseGridCorrection:
+    def test_exactly_solves_coarse_space_components(self, poisson_system, small_mesh):
+        """For residuals of the form A P w, the CGC recovers P w exactly
+        (Galerkin property: Pᵀ A P w = Pᵀ (A P w))."""
+        a, _, _ = poisson_system
+        cgc = CoarseGridCorrection(a, small_mesh.points, (5, 5))
+        rng = np.random.default_rng(2)
+        w = rng.random(cgc.n_coarse)
+        z = cgc.apply(a @ (cgc.p @ w))
+        assert np.allclose(z, cgc.p @ w, atol=1e-8)
+
+    def test_flops_positive(self, poisson_system, small_mesh):
+        a, _, _ = poisson_system
+        cgc = CoarseGridCorrection(a, small_mesh.points, (4, 4))
+        assert cgc.flops() > 0
+
+    def test_improves_cg_convergence_as_preconditioner(self, poisson_system, small_mesh):
+        """Adding the coarse correction to Jacobi reduces CG iterations."""
+        from repro.krylov.cg import cg
+
+        a, rhs, _ = poisson_system
+        d = a.diagonal()
+        cgc = CoarseGridCorrection(a, small_mesh.points, (5, 5))
+        jacobi = cg(lambda v: a @ v, rhs, apply_m=lambda r: r / d, rtol=1e-8, maxiter=500)
+        two_level = cg(
+            lambda v: a @ v,
+            rhs,
+            apply_m=lambda r: r / d + cgc.apply(r),
+            rtol=1e-8,
+            maxiter=500,
+        )
+        assert two_level.converged
+        assert two_level.iterations < jacobi.iterations

@@ -1,0 +1,61 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.precond.fft_poisson import FFTPoissonSolver
+
+
+def five_point_matrix(mx, my):
+    """The stencil [−1; −1, 4, −1; −1] with Dirichlet outside the box."""
+    ex = np.ones(mx)
+    ey = np.ones(my)
+    tx = sp.diags([-ex[:-1], 2 * ex, -ex[:-1]], [-1, 0, 1])
+    ty = sp.diags([-ey[:-1], 2 * ey, -ey[:-1]], [-1, 0, 1])
+    return (sp.kron(tx, sp.eye(my)) + sp.kron(sp.eye(mx), ty)).tocsr()
+
+
+class TestFFTPoissonSolver:
+    @pytest.mark.parametrize("mx,my", [(1, 1), (4, 4), (7, 5), (16, 9)])
+    def test_exactly_inverts_five_point_stencil(self, mx, my, rng):
+        a = five_point_matrix(mx, my)
+        solver = FFTPoissonSolver(mx, my)
+        x = rng.random(mx * my)
+        assert np.allclose(solver.solve(a @ x), x, atol=1e-10)
+
+    def test_scale_parameter(self, rng):
+        a = five_point_matrix(5, 5)
+        s = FFTPoissonSolver(5, 5, scale=2.0)
+        x = rng.random(25)
+        assert np.allclose(s.solve(2.0 * (a @ x)), x, atol=1e-10)
+
+    def test_accepts_2d_input(self, rng):
+        s = FFTPoissonSolver(4, 6)
+        w = rng.random((4, 6))
+        assert np.allclose(s.solve(w), s.solve(w.ravel()))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            FFTPoissonSolver(4, 4).solve(np.zeros(15))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            FFTPoissonSolver(0, 4)
+        with pytest.raises(ValueError):
+            FFTPoissonSolver(4, 4, scale=0.0)
+
+    def test_flops_positive(self):
+        assert FFTPoissonSolver(8, 8).flops() > 0
+
+    def test_matches_fe_interior_operator(self):
+        """The P1 stiffness on a uniform square grid restricted to the
+        interior IS the 5-point stencil the FFT solver inverts."""
+        from repro.fem.assembly import assemble_stiffness
+        from repro.mesh.grid2d import structured_rectangle
+
+        n = 9
+        mesh = structured_rectangle(n, n)
+        k = assemble_stiffness(mesh)
+        interior = np.setdiff1d(np.arange(n * n), mesh.all_boundary_nodes())
+        k_int = k[interior][:, interior].toarray()
+        a5 = five_point_matrix(n - 2, n - 2).toarray()
+        assert np.abs(k_int - a5).max() < 1e-12

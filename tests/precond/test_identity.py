@@ -1,0 +1,22 @@
+import numpy as np
+
+from repro.comm.communicator import Communicator
+from repro.precond.identity import IdentityPreconditioner
+
+
+class TestIdentity:
+    def test_returns_copy(self, partitioned_poisson, rng):
+        pm, dmat, _, _ = partitioned_poisson
+        M = IdentityPreconditioner(dmat, Communicator(pm.num_ranks))
+        r = rng.random(pm.layout.total)
+        z = M.apply(r)
+        assert np.array_equal(z, r)
+        z[0] += 1.0
+        assert z[0] != r[0]  # a copy, not a view
+
+    def test_comm_size_mismatch_raises(self, partitioned_poisson):
+        import pytest
+
+        pm, dmat, _, _ = partitioned_poisson
+        with pytest.raises(ValueError):
+            IdentityPreconditioner(dmat, Communicator(pm.num_ranks + 1))

@@ -1,0 +1,91 @@
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.krylov.fgmres import fgmres
+from repro.precond.overlapping_block import OverlappingBlockPreconditioner, _expand_by_levels
+
+
+class TestExpandByLevels:
+    def test_zero_levels_identity(self, poisson_system):
+        a, _, _ = poisson_system
+        ids = np.array([5, 6, 7])
+        assert np.array_equal(_expand_by_levels(a, ids, 0), ids)
+
+    def test_one_level_adds_neighbors(self, poisson_system):
+        a, _, _ = poisson_system
+        ids = np.array([40])
+        ext = _expand_by_levels(a, ids, 1)
+        expected = np.unique(np.concatenate([[40], a[40].indices]))
+        assert np.array_equal(ext, expected)
+
+    def test_monotone_in_levels(self, poisson_system):
+        a, _, _ = poisson_system
+        ids = np.arange(10)
+        sizes = [len(_expand_by_levels(a, ids, k)) for k in range(4)]
+        assert sizes == sorted(sizes)
+
+
+class TestOverlappingBlock:
+    def build(self, partitioned_poisson, poisson_system, overlap):
+        pm, dmat, rhs, exact = partitioned_poisson
+        a, _, _ = poisson_system
+        comm = Communicator(pm.num_ranks)
+        M = OverlappingBlockPreconditioner(dmat, comm, a, overlap=overlap)
+        return pm, dmat, rhs, exact, comm, M
+
+    def test_zero_overlap_matches_block_jacobi_iterations(
+        self, partitioned_poisson, poisson_system
+    ):
+        from repro.precond.block_jacobi import block2
+
+        pm, dmat, rhs, _, comm, M0 = self.build(partitioned_poisson, poisson_system, 0)
+        bd = pm.to_distributed(rhs)
+        r_overlap = fgmres(lambda v: dmat.matvec(comm, v), bd, apply_m=M0.apply,
+                           rtol=1e-6, maxiter=500)
+        comm2 = Communicator(pm.num_ranks)
+        M_bj = block2(dmat, comm2)
+        r_bj = fgmres(lambda v: dmat.matvec(comm2, v), bd, apply_m=M_bj.apply,
+                      rtol=1e-6, maxiter=500)
+        assert r_overlap.iterations == r_bj.iterations
+
+    def test_converges_and_accurate(self, partitioned_poisson, poisson_system):
+        pm, dmat, rhs, exact, comm, M = self.build(partitioned_poisson, poisson_system, 2)
+        bd = pm.to_distributed(rhs)
+        res = fgmres(lambda v: dmat.matvec(comm, v), bd, apply_m=M.apply,
+                     rtol=1e-8, maxiter=500)
+        assert res.converged
+        assert np.abs(pm.to_global(res.x) - exact).max() < 5e-4
+
+    def test_more_overlap_fewer_iterations(self, partitioned_poisson, poisson_system):
+        """Paper Sec. 1.1: increased overlap can improve the preconditioner."""
+        pm, dmat, rhs, _, _, _ = self.build(partitioned_poisson, poisson_system, 0)
+        bd = pm.to_distributed(rhs)
+        iters = []
+        for ov in (0, 2, 4):
+            pmx, dmatx, rhsx, exactx, comm, M = self.build(
+                partitioned_poisson, poisson_system, ov
+            )
+            res = fgmres(lambda v: dmatx.matvec(comm, v), bd, apply_m=M.apply,
+                         rtol=1e-6, maxiter=500)
+            iters.append(res.iterations)
+        assert iters[2] < iters[0]
+        assert iters[1] <= iters[0]
+
+    def test_apply_charges_overlap_exchange(self, partitioned_poisson, poisson_system, rng):
+        pm, _, _, _, comm, M = self.build(partitioned_poisson, poisson_system, 1)
+        comm.reset_ledger()
+        M.apply(rng.random(pm.layout.total))
+        assert comm.ledger.total_bytes > 0
+        assert comm.ledger.total_msgs > 0
+
+    def test_invalid_overlap(self, partitioned_poisson, poisson_system):
+        with pytest.raises(ValueError):
+            self.build(partitioned_poisson, poisson_system, -1)
+
+    def test_registry_blocko(self, tiny_case):
+        from repro.core.driver import solve_case
+
+        out = solve_case(tiny_case, "blocko", nparts=4, maxiter=400)
+        assert out.converged
+        assert out.precond == "Block O1"

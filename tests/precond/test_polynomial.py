@@ -1,0 +1,77 @@
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.krylov.fgmres import fgmres
+from repro.precond.polynomial import ChebyshevPreconditioner
+
+
+class TestChebyshevPreconditioner:
+    def build(self, partitioned_poisson, **kw):
+        pm, dmat, rhs, exact = partitioned_poisson
+        comm = Communicator(pm.num_ranks)
+        M = ChebyshevPreconditioner(dmat, comm, **kw)
+        return pm, dmat, rhs, exact, comm, M
+
+    def test_accelerates_fgmres(self, partitioned_poisson):
+        pm, dmat, rhs, exact, comm, M = self.build(partitioned_poisson, degree=8)
+        bd = pm.to_distributed(rhs)
+        plain = fgmres(lambda v: dmat.matvec(comm, v), bd, rtol=1e-8, maxiter=600)
+        pre = fgmres(lambda v: dmat.matvec(comm, v), bd, apply_m=M.apply,
+                     rtol=1e-8, maxiter=600)
+        assert pre.converged
+        assert pre.iterations < 0.4 * plain.iterations
+        assert np.abs(pm.to_global(pre.x) - exact).max() < 5e-4
+
+    def test_linear_operator(self, partitioned_poisson, rng):
+        """p(A) is a fixed polynomial: applications must be exactly linear."""
+        _, _, _, _, _, M = self.build(partitioned_poisson, degree=5)
+        r1 = rng.random(M.pm.layout.total)
+        r2 = rng.random(M.pm.layout.total)
+        z = M.apply(2.0 * r1 - 3.0 * r2)
+        assert np.allclose(z, 2.0 * M.apply(r1) - 3.0 * M.apply(r2), atol=1e-9)
+
+    def test_higher_degree_stronger(self, partitioned_poisson):
+        pm, dmat, rhs, _, _, _ = self.build(partitioned_poisson)
+        bd = pm.to_distributed(rhs)
+        iters = []
+        for deg in (2, 12):
+            comm = Communicator(pm.num_ranks)
+            M = ChebyshevPreconditioner(dmat, comm, degree=deg)
+            res = fgmres(lambda v: dmat.matvec(comm, v), bd, apply_m=M.apply,
+                         rtol=1e-8, maxiter=600)
+            iters.append(res.iterations)
+        assert iters[1] < iters[0]
+
+    def test_no_allreduces_per_apply(self, partitioned_poisson, rng):
+        """The defining property: applications synchronize only via the
+        matvec ghost exchanges — no inner products at all."""
+        pm, _, _, _, comm, M = self.build(partitioned_poisson, degree=6)
+        comm.reset_ledger()
+        M.apply(rng.random(pm.layout.total))
+        assert comm.ledger.allreduces == 0
+        assert comm.ledger.total_msgs > 0  # matvec exchanges remain
+
+    def test_explicit_interval(self, partitioned_poisson):
+        pm, dmat, rhs, _, comm, M = self.build(
+            partitioned_poisson, degree=6, interval=(0.05, 8.5)
+        )
+        res = fgmres(lambda v: dmat.matvec(comm, v), pm.to_distributed(rhs),
+                     apply_m=M.apply, rtol=1e-6, maxiter=600)
+        assert res.converged
+
+    def test_invalid_parameters(self, partitioned_poisson):
+        pm, dmat, _, _ = partitioned_poisson
+        with pytest.raises(ValueError):
+            ChebyshevPreconditioner(dmat, Communicator(pm.num_ranks), degree=0)
+        with pytest.raises(ValueError):
+            ChebyshevPreconditioner(
+                dmat, Communicator(pm.num_ranks), interval=(-1.0, 2.0)
+            )
+
+    def test_registry(self, tiny_case):
+        from repro.core.driver import solve_case
+
+        out = solve_case(tiny_case, "cheb", nparts=3, maxiter=500)
+        assert out.converged
+        assert out.precond.startswith("Cheb")

@@ -1,0 +1,79 @@
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.krylov.fgmres import fgmres
+from repro.precond.schur2 import Schur2Preconditioner
+
+
+@pytest.fixture()
+def setup(partitioned_poisson):
+    pm, dmat, rhs, exact = partitioned_poisson
+    comm = Communicator(pm.num_ranks)
+    M = Schur2Preconditioner(dmat, comm)
+    return pm, dmat, rhs, exact, comm, M
+
+
+class TestSchur2:
+    def test_converges_in_few_outer_iterations(self, setup):
+        pm, dmat, rhs, _, comm, M = setup
+        bd = pm.to_distributed(rhs)
+        res = fgmres(lambda v: dmat.matvec(comm, v), bd, apply_m=M.apply, rtol=1e-6, maxiter=100)
+        assert res.converged
+        assert res.iterations <= 15
+
+    def test_solution_accuracy(self, setup):
+        pm, dmat, rhs, exact, comm, M = setup
+        bd = pm.to_distributed(rhs)
+        res = fgmres(lambda v: dmat.matvec(comm, v), bd, apply_m=M.apply, rtol=1e-8, maxiter=100)
+        assert np.abs(pm.to_global(res.x) - exact).max() < 5e-4
+
+    def test_expanded_interface_includes_interdomain(self, setup):
+        pm, _, _, _, _, M = setup
+        for r, sd in enumerate(pm.subdomains):
+            assert M.arms[r].n_interdomain == sd.n_interface
+            assert M.arms[r].n_expanded >= sd.n_interface
+
+    def test_expanded_system_larger_than_plain_interface(self, setup):
+        """The 'expanded' Schur complement also covers local interfaces."""
+        pm, _, _, _, _, M = setup
+        exp_total = M._exp_layout.total
+        ifc_total = pm.interface_layout.total
+        assert exp_total > ifc_total
+
+    def test_apply_charges_comm(self, setup, rng):
+        pm, _, _, _, comm, M = setup
+        comm.reset_ledger()
+        M.apply(rng.random(pm.layout.total))
+        assert comm.ledger.allreduces > 0
+        assert comm.ledger.total_msgs > 0
+
+    def test_quality_as_approximate_inverse(self, setup, rng):
+        pm, dmat, _, _, comm, M = setup
+        x = rng.random(pm.layout.total)
+        r = dmat.matvec(comm, x)
+        z = M.apply(r)
+        rel = np.linalg.norm(z - x) / np.linalg.norm(x)
+        assert rel < 0.7
+
+    def test_deterministic_given_seed(self, partitioned_poisson, rng):
+        pm, dmat, rhs, _ = partitioned_poisson
+        r = rng.random(pm.layout.total)
+        z1 = Schur2Preconditioner(dmat, Communicator(pm.num_ranks), seed=3).apply(r)
+        z2 = Schur2Preconditioner(dmat, Communicator(pm.num_ranks), seed=3).apply(r)
+        assert np.array_equal(z1, z2)
+
+    def test_group_size_affects_expansion(self, partitioned_poisson):
+        pm, dmat = partitioned_poisson[0], partitioned_poisson[1]
+        small = Schur2Preconditioner(dmat, Communicator(pm.num_ranks), group_size=4)
+        large = Schur2Preconditioner(dmat, Communicator(pm.num_ranks), group_size=40)
+        # bigger groups absorb more unknowns → smaller expanded system
+        assert large._exp_layout.total <= small._exp_layout.total
+
+    def test_invalid_iterations(self, partitioned_poisson):
+        pm, dmat = partitioned_poisson[0], partitioned_poisson[1]
+        with pytest.raises(ValueError):
+            Schur2Preconditioner(dmat, Communicator(pm.num_ranks), global_iterations=0)
+
+    def test_name(self, setup):
+        assert setup[5].name == "Schur 2"

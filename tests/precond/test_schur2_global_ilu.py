@@ -1,0 +1,59 @@
+"""Tests for the true global distributed ILU(0) option of Schur 2."""
+
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.krylov.fgmres import fgmres
+from repro.precond.schur2 import Schur2Preconditioner
+
+
+class TestGlobalIlu:
+    def test_global_mode_converges(self, partitioned_poisson):
+        pm, dmat, rhs, exact = partitioned_poisson
+        comm = Communicator(pm.num_ranks)
+        M = Schur2Preconditioner(dmat, comm, global_ilu="global")
+        res = fgmres(lambda v: dmat.matvec(comm, v), pm.to_distributed(rhs),
+                     apply_m=M.apply, rtol=1e-8, maxiter=100)
+        assert res.converged
+        assert np.abs(pm.to_global(res.x) - exact).max() < 5e-4
+
+    def test_global_not_weaker_than_block(self, partitioned_poisson):
+        """Including the interdomain couplings can only strengthen ILU(0)."""
+        pm, dmat, rhs, _ = partitioned_poisson
+        bd = pm.to_distributed(rhs)
+        iters = {}
+        for mode in ("block", "global"):
+            comm = Communicator(pm.num_ranks)
+            M = Schur2Preconditioner(dmat, comm, global_ilu=mode)
+            res = fgmres(lambda v: dmat.matvec(comm, v), bd, apply_m=M.apply,
+                         rtol=1e-6, maxiter=100)
+            iters[mode] = res.iterations
+        assert iters["global"] <= iters["block"]
+
+    def test_global_assembly_covers_interdomain_couplings(self, partitioned_poisson):
+        pm, dmat, _, _ = partitioned_poisson
+        comm = Communicator(pm.num_ranks)
+        M = Schur2Preconditioner(dmat, comm, global_ilu="global")
+        s_global = M._assemble_global_expanded()
+        # off-(block-)diagonal entries must exist wherever ghost couplings do
+        offsets = M._exp_layout.rank_ptr
+        coo = s_global.tocoo()
+        rank_of = np.searchsorted(offsets, coo.row, side="right") - 1
+        rank_of_col = np.searchsorted(offsets, coo.col, side="right") - 1
+        cross = (rank_of != rank_of_col).sum()
+        total_ghost_nnz = sum(g.nnz for g in dmat.ghost_coupling)
+        assert cross == total_ghost_nnz
+
+    def test_global_mode_charges_sweep_exchanges(self, partitioned_poisson, rng):
+        pm, dmat, _, _ = partitioned_poisson
+        comm = Communicator(pm.num_ranks)
+        M = Schur2Preconditioner(dmat, comm, global_ilu="global")
+        comm.reset_ledger()
+        M.apply(rng.random(pm.layout.total))
+        assert comm.ledger.total_msgs > 0
+
+    def test_invalid_mode(self, partitioned_poisson):
+        pm, dmat, _, _ = partitioned_poisson
+        with pytest.raises(ValueError):
+            Schur2Preconditioner(dmat, Communicator(pm.num_ranks), global_ilu="half")

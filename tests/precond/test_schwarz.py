@@ -1,0 +1,95 @@
+import numpy as np
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.krylov.fgmres import fgmres
+from repro.precond.schwarz import AdditiveSchwarzPreconditioner
+
+
+@pytest.fixture()
+def setup(partitioned_poisson, small_mesh, poisson_system):
+    pm, dmat, rhs, exact = partitioned_poisson
+    a, _, _ = poisson_system
+    return pm, dmat, rhs, exact, a, small_mesh
+
+
+def build(pm, dmat, mesh, a, coarse=None, overlap=0.08):
+    comm = Communicator(pm.num_ranks)
+    M = AdditiveSchwarzPreconditioner(
+        dmat, comm, mesh, a, overlap_frac=overlap, coarse_shape=coarse
+    )
+    return comm, M
+
+
+class TestAdditiveSchwarz:
+    def test_converges(self, setup):
+        pm, dmat, rhs, exact, a, mesh = setup
+        comm, M = build(pm, dmat, mesh, a)
+        bd = pm.to_distributed(rhs)
+        res = fgmres(lambda v: dmat.matvec(comm, v), bd, apply_m=M.apply, rtol=1e-6, maxiter=300)
+        assert res.converged
+        assert np.abs(pm.to_global(res.x) - exact).max() < 5e-4
+
+    def test_cgc_flattens_iteration_growth(self):
+        """Paper Sec. 5.2: without CGC iteration counts grow dangerously
+        with P; with CGC they stay flat.  (At small P the coarse space can
+        even be slightly counterproductive — the claim is about growth.)"""
+        from repro.cases.poisson2d import poisson2d_case
+        from repro.core.driver import solve_case
+
+        case = poisson2d_case(n=33)
+        without = [solve_case(case, "as", nparts=p, maxiter=400).iterations for p in (4, 16)]
+        with_cgc = [
+            solve_case(case, "as+cgc", nparts=p, maxiter=400).iterations for p in (4, 16)
+        ]
+        assert without[1] > without[0]  # growth without CGC
+        assert with_cgc[1] <= with_cgc[0] + 2  # flat with CGC
+        assert with_cgc[1] <= without[1]  # CGC wins at larger P
+
+    def test_boxes_cover_grid_with_overlap(self, setup):
+        pm, dmat, _, _, a, mesh = setup
+        _, M = build(pm, dmat, mesh, a)
+        covered = np.zeros(mesh.num_points, dtype=int)
+        for box in M.boxes:
+            covered[box.ids] += 1
+        assert np.all(covered >= 1)
+        assert covered.max() >= 2  # overlap regions exist
+
+    def test_apply_symmetric_for_symmetric_operator(self, setup, rng):
+        """Σ RᵀÃ⁻¹R with one CG step is symmetric: ⟨Mx, y⟩ = ⟨x, My⟩...
+        one CG step is x-dependent (nonlinear), so instead check linear-
+        operator consistency on scaled inputs."""
+        pm, dmat, _, _, a, mesh = setup
+        _, M = build(pm, dmat, mesh, a)
+        r = rng.random(pm.layout.total)
+        z1 = M.apply(r)
+        z2 = M.apply(2.0 * r)
+        assert np.allclose(z2, 2.0 * z1, atol=1e-10)
+
+    def test_requires_structured_mesh(self, setup):
+        from repro.mesh.unstructured import plate_with_hole
+
+        pm, dmat, _, _, a, _ = setup
+        bad = plate_with_hole(0.1)
+        with pytest.raises(ValueError):
+            build(pm, dmat, bad, a)
+
+    def test_overlap_bounds_validated(self, setup):
+        pm, dmat, _, _, a, mesh = setup
+        with pytest.raises(ValueError):
+            build(pm, dmat, mesh, a, overlap=0.7)
+
+    def test_names(self, setup):
+        pm, dmat, _, _, a, mesh = setup
+        _, plain = build(pm, dmat, mesh, a)
+        _, with_cgc = build(pm, dmat, mesh, a, coarse=(5, 5))
+        assert plain.name == "AS"
+        assert with_cgc.name == "AS+CGC"
+
+    def test_apply_charges_comm(self, setup, rng):
+        pm, dmat, _, _, a, mesh = setup
+        comm, M = build(pm, dmat, mesh, a, coarse=(5, 5))
+        comm.reset_ledger()
+        M.apply(rng.random(pm.layout.total))
+        assert comm.ledger.total_msgs > 0
+        assert comm.ledger.allreduces > 0  # the coarse gather

@@ -1,0 +1,52 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.blocksplit import split_2x2
+
+
+@pytest.fixture()
+def matrix():
+    return (sp.random(10, 10, 0.4, random_state=0) + sp.eye(10) * 4).tocsr()
+
+
+class TestSplit2x2:
+    def test_blocks_have_paper_shapes(self, matrix):
+        s = split_2x2(matrix, 6)
+        assert s.B.shape == (6, 6)
+        assert s.F.shape == (6, 4)
+        assert s.E.shape == (4, 6)
+        assert s.C.shape == (4, 4)
+        assert s.n_internal == 6
+        assert s.n_interface == 4
+
+    def test_reassembly_roundtrip(self, matrix):
+        s = split_2x2(matrix, 6)
+        assert np.allclose(s.assemble().toarray(), matrix.toarray())
+
+    def test_degenerate_splits(self, matrix):
+        all_internal = split_2x2(matrix, 10)
+        assert all_internal.C.shape == (0, 0)
+        all_interface = split_2x2(matrix, 0)
+        assert all_interface.B.shape == (0, 0)
+        assert np.allclose(all_interface.C.toarray(), matrix.toarray())
+
+    def test_out_of_range_raises(self, matrix):
+        with pytest.raises(ValueError):
+            split_2x2(matrix, 11)
+
+    def test_vector_split_join_roundtrip(self, matrix, rng):
+        s = split_2x2(matrix, 6)
+        x = rng.random(10)
+        u, y = s.split_vector(x)
+        assert len(u) == 6 and len(y) == 4
+        assert np.array_equal(s.join_vector(u, y), x)
+
+    def test_block_action_matches_full(self, matrix, rng):
+        """[B F; E C] @ [u; y] must equal A @ x restructured."""
+        s = split_2x2(matrix, 6)
+        x = rng.random(10)
+        u, y = s.split_vector(x)
+        top = s.B @ u + s.F @ y
+        bot = s.E @ u + s.C @ y
+        assert np.allclose(np.concatenate([top, bot]), matrix @ x)

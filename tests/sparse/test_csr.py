@@ -1,0 +1,87 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.csr import (
+    csr_from_coo,
+    csr_row,
+    diag_indices_csr,
+    drop_small,
+    is_sorted_csr,
+    nnz_per_row,
+    spmv,
+)
+
+
+class TestCsrFromCoo:
+    def test_sums_duplicates_like_fe_assembly(self):
+        a = csr_from_coo([0, 0, 1], [0, 0, 1], [1.0, 2.0, 5.0], (2, 2))
+        assert a[0, 0] == 3.0
+        assert a[1, 1] == 5.0
+
+    def test_preserves_shape(self):
+        a = csr_from_coo([0], [0], [1.0], (3, 5))
+        assert a.shape == (3, 5)
+
+    def test_empty_matrix(self):
+        a = csr_from_coo([], [], [], (4, 4))
+        assert a.nnz == 0
+
+
+class TestRowAccess:
+    def test_nnz_per_row(self):
+        a = csr_from_coo([0, 0, 2], [0, 1, 2], [1.0, 1.0, 1.0], (3, 3))
+        assert nnz_per_row(a).tolist() == [2, 0, 1]
+
+    def test_csr_row_returns_cols_vals(self):
+        a = csr_from_coo([1, 1], [0, 2], [3.0, 4.0], (3, 3))
+        cols, vals = csr_row(a, 1)
+        assert cols.tolist() == [0, 2]
+        assert vals.tolist() == [3.0, 4.0]
+
+    def test_is_sorted_after_canonicalization(self):
+        a = csr_from_coo([0, 0], [2, 1], [1.0, 1.0], (3, 3))
+        assert is_sorted_csr(a)
+
+
+class TestDiagIndices:
+    def test_positions_point_at_diagonal(self):
+        a = (sp.eye(5) * 2 + sp.diags([1.0] * 4, 1)).tocsr()
+        pos = diag_indices_csr(a)
+        assert np.all(a.data[pos] == 2.0)
+
+    def test_missing_diagonal_raises(self):
+        a = sp.csr_matrix((np.array([1.0]), np.array([1]), np.array([0, 1, 1])), shape=(2, 2))
+        with pytest.raises(ValueError, match="diagonal"):
+            diag_indices_csr(a)
+
+
+class TestSpmv:
+    def test_matches_dense(self, rng):
+        a = sp.random(20, 20, 0.3, random_state=0, format="csr")
+        x = rng.random(20)
+        assert np.allclose(spmv(a, x), a.toarray() @ x)
+
+
+class TestDropSmall:
+    def test_drops_relatively_small_entries(self):
+        a = csr_from_coo([0, 0], [0, 1], [1.0, 1e-8], (2, 2))
+        d = drop_small(a, 1e-4)
+        assert d[0, 1] == 0.0
+        assert d[0, 0] == 1.0
+
+    def test_keeps_diagonal_even_when_small(self):
+        a = csr_from_coo([0, 0], [0, 1], [1e-12, 1.0], (2, 2))
+        d = drop_small(a, 1e-4)
+        assert d[0, 0] == 1e-12
+
+    def test_zero_tol_is_identity(self):
+        a = csr_from_coo([0, 1], [1, 0], [1.0, 2.0], (2, 2))
+        d = drop_small(a, 0.0)
+        assert (d != a).nnz == 0
+
+    def test_row_relative_not_absolute(self):
+        # small absolute value in a small-norm row must survive
+        a = csr_from_coo([0, 0, 1], [0, 1, 1], [1e-6, 1e-6, 1.0], (2, 2))
+        d = drop_small(a, 1e-3)
+        assert d[0, 1] == 1e-6

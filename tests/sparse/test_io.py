@@ -1,0 +1,22 @@
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.io import load_csr_npz, save_csr_npz
+
+
+class TestCsrIO:
+    def test_roundtrip(self, tmp_path, rng):
+        a = sp.random(15, 9, 0.3, random_state=0, format="csr")
+        path = tmp_path / "m.npz"
+        save_csr_npz(path, a)
+        b = load_csr_npz(path)
+        assert b.shape == a.shape
+        assert (a != b).nnz == 0
+
+    def test_roundtrip_empty(self, tmp_path):
+        a = sp.csr_matrix((4, 4))
+        path = tmp_path / "e.npz"
+        save_csr_npz(path, a)
+        b = load_csr_npz(path)
+        assert b.nnz == 0
+        assert b.shape == (4, 4)

@@ -1,0 +1,80 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.matrixmarket import load_matrix_market, save_matrix_market
+
+
+class TestMatrixMarket:
+    def test_roundtrip_general(self, tmp_path, rng):
+        a = sp.random(12, 9, 0.3, random_state=0, format="csr")
+        path = tmp_path / "a.mtx"
+        save_matrix_market(path, a, comment="test matrix")
+        b = load_matrix_market(path)
+        assert b.shape == a.shape
+        assert abs(a - b).max() < 1e-15
+
+    def test_roundtrip_preserves_values_exactly(self, tmp_path):
+        a = sp.csr_matrix(np.array([[1.0 / 3.0, 0.0], [0.0, np.pi]]))
+        path = tmp_path / "v.mtx"
+        save_matrix_market(path, a)
+        b = load_matrix_market(path)
+        assert (a != b).nnz == 0  # %.17g is lossless for float64
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "s.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n"
+            "3 3 3\n"
+            "1 1 2.0\n"
+            "2 1 -1.0\n"
+            "3 3 5.0\n"
+        )
+        a = load_matrix_market(path)
+        assert a[0, 1] == -1.0 and a[1, 0] == -1.0
+        assert a[0, 0] == 2.0 and a[2, 2] == 5.0
+        assert a.nnz == 4
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "\n"
+            "2 2 1\n"
+            "1 2 3.5\n"
+        )
+        a = load_matrix_market(path)
+        assert a[0, 1] == 3.5
+
+    def test_pattern_entries_default_to_one(self, tmp_path):
+        path = tmp_path / "p.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate integer general\n2 2 1\n2 2 7\n"
+        )
+        assert load_matrix_market(path)[1, 1] == 7.0
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a header\n1 1 0\n")
+        with pytest.raises(ValueError, match="header"):
+            load_matrix_market(path)
+
+    def test_unsupported_format_raises(self, tmp_path):
+        path = tmp_path / "arr.mtx"
+        path.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(ValueError, match="coordinate"):
+            load_matrix_market(path)
+
+    def test_truncated_body_raises(self, tmp_path):
+        path = tmp_path / "t.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n")
+        with pytest.raises(ValueError, match="entries"):
+            load_matrix_market(path)
+
+    def test_exported_fe_system_reimports(self, tmp_path, poisson_system):
+        a, _, _ = poisson_system
+        path = tmp_path / "fe.mtx"
+        save_matrix_market(path, a)
+        b = load_matrix_market(path)
+        assert abs(a - b).max() < 1e-15

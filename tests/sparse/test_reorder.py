@@ -1,0 +1,49 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.reorder import (
+    apply_symmetric_permutation,
+    inverse_permutation,
+    permute_vector,
+)
+
+
+class TestInversePermutation:
+    def test_roundtrip(self, rng):
+        p = rng.permutation(20)
+        inv = inverse_permutation(p)
+        assert np.array_equal(p[inv], np.arange(20))
+        assert np.array_equal(inv[p], np.arange(20))
+
+    def test_identity(self):
+        p = np.arange(5)
+        assert np.array_equal(inverse_permutation(p), p)
+
+
+class TestSymmetricPermutation:
+    def test_matches_dense_permutation(self, rng):
+        a = sp.random(8, 8, 0.5, random_state=3, format="csr")
+        p = rng.permutation(8)
+        ap = apply_symmetric_permutation(a, p)
+        dense = a.toarray()[np.ix_(p, p)]
+        assert np.allclose(ap.toarray(), dense)
+
+    def test_preserves_matvec_under_conjugation(self, rng):
+        """P A P^T (P x) == P (A x): permutation is a similarity transform."""
+        a = sp.random(12, 12, 0.4, random_state=1, format="csr")
+        p = rng.permutation(12)
+        ap = apply_symmetric_permutation(a, p)
+        x = rng.random(12)
+        assert np.allclose(ap @ permute_vector(x, p), permute_vector(a @ x, p))
+
+    def test_wrong_length_raises(self):
+        a = sp.eye(4, format="csr")
+        with pytest.raises(ValueError):
+            apply_symmetric_permutation(a, np.arange(3))
+
+
+class TestPermuteVector:
+    def test_gathers_in_new_order(self):
+        x = np.array([10.0, 20.0, 30.0])
+        assert permute_vector(x, [2, 0, 1]).tolist() == [30.0, 10.0, 20.0]

@@ -1,0 +1,65 @@
+import time
+
+import pytest
+
+from repro.utils.timer import Timer, timed
+
+
+class TestTimer:
+    def test_accumulates_elapsed_time(self):
+        t = Timer()
+        t.start()
+        time.sleep(0.01)
+        dt = t.stop()
+        assert dt > 0
+        assert t.elapsed == pytest.approx(dt)
+
+    def test_multiple_cycles_accumulate(self):
+        t = Timer()
+        for _ in range(3):
+            t.start()
+            t.stop()
+        assert t.elapsed >= 0
+
+    def test_double_start_raises(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset_clears_state(self):
+        t = Timer()
+        t.start()
+        t.stop()
+        t.reset()
+        assert t.elapsed == 0.0
+        assert not t.running
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running
+
+
+class TestTimedContext:
+    def test_charges_block_to_timer(self):
+        t = Timer()
+        with timed(t):
+            time.sleep(0.005)
+        assert t.elapsed > 0
+        assert not t.running
+
+    def test_stops_on_exception(self):
+        t = Timer()
+        with pytest.raises(ValueError):
+            with timed(t):
+                raise ValueError("boom")
+        assert not t.running
+        assert t.elapsed > 0

@@ -1,0 +1,55 @@
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils.validation import check_square, check_vector, ensure_csr, require
+
+
+class TestRequire:
+    def test_passes_when_true(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+
+class TestCheckSquare:
+    def test_accepts_square(self):
+        check_square(sp.eye(4, format="csr"))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            check_square(sp.csr_matrix((3, 4)))
+
+
+class TestCheckVector:
+    def test_returns_contiguous_float64(self):
+        x = check_vector([1, 2, 3], 3)
+        assert x.dtype == np.float64
+        assert x.flags["C_CONTIGUOUS"]
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="length"):
+            check_vector(np.zeros(2), 3)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_vector(np.zeros((2, 2)), 4)
+
+
+class TestEnsureCsr:
+    def test_converts_coo_and_canonicalizes(self):
+        a = sp.coo_matrix(([1.0, 2.0], ([0, 0], [1, 1])), shape=(2, 2))
+        c = ensure_csr(a)
+        assert c.nnz == 1  # duplicates summed
+        assert c[0, 1] == 3.0
+
+    def test_rejects_dense(self):
+        with pytest.raises(TypeError):
+            ensure_csr(np.eye(2))
+
+    def test_sorts_indices(self):
+        a = sp.csr_matrix((np.array([1.0, 2.0]), np.array([2, 0]), np.array([0, 2, 2])), shape=(2, 3))
+        c = ensure_csr(a)
+        assert c.has_sorted_indices
