@@ -72,6 +72,35 @@ def test_kernel_ilut_factorization(benchmark, system):
     assert fac.nnz > 0
 
 
+def test_kernel_tracing_disabled_overhead(benchmark, system):
+    """Disabled tracing must stay under 2% on the hottest kernel.
+
+    The public matvec carries the ``obs.enabled()`` guard; ``_matvec_charged``
+    is the uninstrumented body.  Min-of-repeats timing keeps the comparison
+    robust to scheduler noise.
+    """
+    import timeit
+
+    from repro import obs
+
+    case, pm, dmat = system
+    comm = Communicator(4)
+    rng = np.random.default_rng(3)
+    x = pm.to_distributed(rng.random(case.num_dofs))
+
+    assert not obs.enabled()
+    guarded = min(timeit.repeat(
+        lambda: dmat.matvec(comm, x), number=200, repeat=7))
+    bare = min(timeit.repeat(
+        lambda: dmat._matvec_charged(comm, x), number=200, repeat=7))
+    overhead = guarded / bare - 1.0
+    print(f"\ntracing-disabled matvec overhead: {overhead:+.2%}")
+    assert overhead < 0.02
+
+    y = benchmark(lambda: dmat.matvec(comm, x))
+    assert np.all(np.isfinite(y))
+
+
 def test_kernel_fe_assembly(benchmark):
     from repro.fem.assembly import assemble_stiffness
     from repro.mesh.grid2d import structured_rectangle

@@ -7,24 +7,35 @@ become small enough to be handled efficiently by the cache".  This bench
 regenerates that discussion quantitatively: speedup vs P for Block 2 on the
 plain cluster model and on the cache-aware variant, showing the boost once
 the largest subdomain's working set fits in the modeled 256 KB L2.
+
+Runs traced: ``results/E1-speedup-cache.trace.json`` records the per-P span
+trees, so the setup-vs-solve split behind each speedup point is recoverable.
 """
 
 import numpy as np
 
+from repro import obs
 from repro.cases.poisson2d import poisson2d_case
 from repro.core.driver import solve_case
 from repro.perfmodel.machine import LINUX_CLUSTER, LINUX_CLUSTER_CACHED
 
-from common import emit, scaled_n
+from common import emit, emit_trace, scaled_n
 
 P_VALUES = [1, 2, 4, 8, 16, 32]
 
 
 def test_speedup_curve_with_cache_threshold(benchmark):
     case = poisson2d_case(n=scaled_n(65))
+    tracers = []
 
     def run():
-        return {p: solve_case(case, "block2", nparts=p, maxiter=500) for p in P_VALUES}
+        with obs.tracing() as tracer:
+            outs = {
+                p: solve_case(case, "block2", nparts=p, maxiter=500)
+                for p in P_VALUES
+            }
+        tracers.append(tracer)
+        return outs
 
     outs = benchmark.pedantic(run, rounds=1, iterations=1)
     t1_plain = outs[1].sim_time(LINUX_CLUSTER)
@@ -45,6 +56,17 @@ def test_speedup_curve_with_cache_threshold(benchmark):
             f"{t1_cache / tc:>9.2f}{str(fits[p]):>9}"
         )
     emit("E1-speedup-cache", "\n".join(lines))
+    emit_trace(
+        "E1-speedup-cache",
+        tracers[-1],
+        {"case": case.key, "precond": "block2", "p_values": P_VALUES},
+    )
+
+    # one traced solve per P, each carrying a nonzero setup-phase flop delta
+    roots = [s for s in tracers[-1].spans if s.name == "solve_case"]
+    assert len(roots) == len(P_VALUES)
+    setups = [s for s in tracers[-1].spans if s.name == "precond.setup"]
+    assert all(s.ledger["crit_flops"] > 0 for s in setups)
 
     # the cache threshold is crossed somewhere in the sweep, and from then on
     # the cached machine's speedup exceeds the plain machine's

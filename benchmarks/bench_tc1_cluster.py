@@ -3,13 +3,18 @@
 Paper claims to reproduce (Sec. 5, "Results for test case 1"):
 Schur 1 best overall efficiency; Schur 2 slightly faster & more stable
 convergence; Block 1 slow convergence but the best per-iteration scaling.
+
+The sweep runs under the observability tracer, so alongside the table this
+bench writes ``results/T1-cluster.trace.json`` with per-phase (setup, solve,
+exchange, inner-Schur) ledger deltas for every (preconditioner, P) cell.
 """
 
+from repro import obs
 from repro.cases.poisson2d import poisson2d_case
 from repro.core.experiment import run_sweep
 from repro.perfmodel.machine import LINUX_CLUSTER
 
-from common import emit, scaled_n
+from common import emit, emit_trace, scaled_n
 
 PRECONDS = ["schur1", "schur2", "block1", "block2"]
 P_VALUES = [2, 4, 8, 16]
@@ -17,12 +22,25 @@ P_VALUES = [2, 4, 8, 16]
 
 def test_table_tc1_cluster(benchmark):
     case = poisson2d_case(n=scaled_n(65))
+    tracers = []
 
     def run():
-        return run_sweep(case, PRECONDS, P_VALUES, maxiter=500)
+        with obs.tracing() as tracer:
+            sweep = run_sweep(case, PRECONDS, P_VALUES, maxiter=500)
+        tracers.append(tracer)
+        return sweep
 
     sweep = benchmark.pedantic(run, rounds=1, iterations=1)
     emit("T1-cluster", sweep.table(LINUX_CLUSTER))
+    emit_trace(
+        "T1-cluster",
+        tracers[-1],
+        {"case": case.key, "preconds": PRECONDS, "p_values": P_VALUES},
+    )
+
+    # every (precond, P) configuration contributed one traced solve
+    roots = [s for s in tracers[-1].spans if s.name == "solve_case"]
+    assert len(roots) == len(PRECONDS) * len(P_VALUES)
 
     # paper-shape checks
     s1 = [sweep.get("schur1", p) for p in P_VALUES]

@@ -37,6 +37,23 @@ def emit(table_id: str, text: str) -> None:
     print(f"\n{text}\n[written to {path}]")
 
 
+def emit_trace(table_id: str, tracer, meta: dict | None = None):
+    """Persist a bench run's span trace next to its table.
+
+    Gives the BENCH_* trajectories phase-level resolution: the trace file
+    (``results/<id>.trace.json``, schema ``repro.trace.v1``) carries one
+    ``solve_case`` span tree per configuration in the sweep, each with
+    setup/solve/exchange/inner-Schur ledger deltas.
+    """
+    from repro.obs import write_json_trace
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{table_id}.trace.json"
+    write_json_trace(path, tracer, {"table_id": table_id, **(meta or {})})
+    print(f"[trace written to {path}]")
+    return path
+
+
 def outcome_cell(outcome, machine, include_setup: bool = True):
     """(iterations | None, seconds) cell for a table; None = not converged."""
     itr = outcome.iterations if outcome.converged else None

@@ -16,6 +16,7 @@ Quickstart::
     print(out.iterations, out.sim_time(LINUX_CLUSTER))
 """
 
+from repro import obs
 from repro.cases import (
     CASE_BUILDERS,
     TestCase,
@@ -49,6 +50,7 @@ from repro.perfmodel import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "TestCase",
     "CASE_BUILDERS",
     "poisson2d_case",

@@ -1,14 +1,16 @@
 """Command-line interface: ``python -m repro``.
 
-Runs any of the paper's test cases under any preconditioner, or a full
-paper-style sweep, from the shell::
+Runs any of the paper's test cases under any preconditioner, a full
+paper-style sweep, or a traced run with a per-phase cost breakdown::
 
     python -m repro solve --case tc1 --precond schur1 --nparts 8
     python -m repro sweep --case tc2 --preconds schur1,block2 --p 2,4,8,16
+    python -m repro trace poisson2d --precond schur1 --nparts 8
     python -m repro info
 
 Sizes default to laptop scale; ``--size`` overrides the case's resolution
-parameter (grid points per side, or 1/h for tc3).
+parameter (grid points per side, or 1/h for tc3).  Cases are addressable by
+paper key (``tc1``) or descriptive alias (``poisson2d``).
 """
 
 from __future__ import annotations
@@ -16,17 +18,32 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.cases import CASE_BUILDERS
 from repro.core.driver import PRECONDITIONER_NAMES, solve_case
 from repro.core.experiment import run_sweep
 from repro.perfmodel.machine import machine_by_name
 
+#: descriptive aliases for the paper's tcN keys
+CASE_ALIASES = {
+    "poisson2d": "tc1",
+    "poisson3d": "tc2",
+    "poisson_unstructured": "tc3",
+    "heat3d": "tc4",
+    "convection2d": "tc5",
+    "elasticity_ring": "tc6",
+}
+
 
 def _build_case(key: str, size: int | None):
+    key = CASE_ALIASES.get(key, key)
     try:
         builder = CASE_BUILDERS[key]
     except KeyError:
-        raise SystemExit(f"unknown case {key!r}; pick from {sorted(CASE_BUILDERS)}")
+        raise SystemExit(
+            f"unknown case {key!r}; pick from {sorted(CASE_BUILDERS)} "
+            f"or aliases {sorted(CASE_ALIASES)}"
+        )
     if size is None:
         return builder()
     if key == "tc3":
@@ -73,6 +90,28 @@ def make_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--machine", default="linux-cluster")
     sweep.add_argument("--maxiter", type=int, default=500)
 
+    trace = sub.add_parser(
+        "trace",
+        help="run one case under tracing; print the per-phase breakdown "
+        "and write a machine-readable trace file",
+    )
+    trace.add_argument("case", help=f"one of {sorted(CASE_BUILDERS)} or an alias")
+    trace.add_argument("--precond", default="schur1",
+                       help=f"one of {PRECONDITIONER_NAMES}")
+    trace.add_argument("--nparts", type=int, default=4)
+    trace.add_argument("--size", type=int, default=None, help="resolution override")
+    trace.add_argument("--seed", type=int, default=0, help="partitioning seed")
+    trace.add_argument("--scheme", choices=("general", "box", "spectral"),
+                       default="general")
+    trace.add_argument("--machine", default="linux-cluster")
+    trace.add_argument("--rtol", type=float, default=1e-6)
+    trace.add_argument("--maxiter", type=int, default=500)
+    trace.add_argument("--out", default=None,
+                       help="trace JSON path (default trace_<case>_<precond>_"
+                       "p<nparts>.json)")
+    trace.add_argument("--csv", default=None,
+                       help="also write a flat per-span CSV to this path")
+
     sub.add_parser("info", help="list available cases, preconditioners, machines")
     return parser
 
@@ -116,6 +155,58 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    case = _build_case(args.case, args.size)
+    machine = machine_by_name(args.machine)
+    with obs.tracing() as tracer:
+        out = solve_case(
+            case,
+            precond=args.precond,
+            nparts=args.nparts,
+            seed=args.seed,
+            scheme=args.scheme,
+            rtol=args.rtol,
+            maxiter=args.maxiter,
+        )
+
+    status = "converged" if out.converged else "NOT CONVERGED"
+    print(f"{case.title}: {case.num_dofs} unknowns, P={args.nparts}, "
+          f"{out.precond} — {status} in {out.iterations} iterations")
+    print(obs.format_phase_table(tracer.spans, machine, args.nparts))
+
+    # the contract's invariant: span-attributed ledger deltas reproduce the
+    # run's total (setup + solve) cost exactly
+    totals = out.setup_ledger.counts()
+    for key, value in out.solve_ledger.counts().items():
+        totals[key] += value
+    err = obs.conservation_error(tracer.spans, totals)
+    print(f"ledger conservation: {'OK' if err < 1e-9 else 'FAILED'} "
+          f"(max relative error {err:.2e})")
+
+    precond_slug = args.precond.replace("+", "_")
+    out_path = args.out or f"trace_{args.case}_{precond_slug}_p{args.nparts}.json"
+    meta = {
+        "case": case.key,
+        "title": case.title,
+        "num_dofs": case.num_dofs,
+        "precond": args.precond,
+        "precond_title": out.precond,
+        "nparts": args.nparts,
+        "scheme": args.scheme,
+        "seed": args.seed,
+        "machine": machine.name,
+        "iterations": out.iterations,
+        "converged": out.converged,
+    }
+    written = obs.write_json_trace(out_path, tracer, meta)
+    print(f"trace written to {written}")
+    if args.csv:
+        print(f"span CSV written to {obs.write_csv_trace(args.csv, tracer)}")
+    if err >= 1e-9:
+        return 2
+    return 0 if out.converged else 1
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from repro.perfmodel.machine import _MACHINES
 
@@ -127,7 +218,13 @@ def cmd_info(_args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
-    return {"solve": cmd_solve, "sweep": cmd_sweep, "info": cmd_info}[args.command](args)
+    commands = {
+        "solve": cmd_solve,
+        "sweep": cmd_sweep,
+        "trace": cmd_trace,
+        "info": cmd_info,
+    }
+    return commands[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.comm.communicator import Communicator
 
 
@@ -16,6 +17,7 @@ def allreduce_sum(comm: Communicator, local_values) -> float:
     if vals.shape != (comm.size,):
         raise ValueError(f"expected {comm.size} partial values, got {vals.shape}")
     comm.ledger.add_allreduce(nbytes=8)
+    obs.event("comm.allreduce", bytes=8)
     return float(vals.sum())
 
 
@@ -28,4 +30,5 @@ def allgather_concat(comm: Communicator, locals_: list[np.ndarray]) -> np.ndarra
         raise ValueError(f"expected {comm.size} local arrays")
     total_bytes = 8 * sum(len(a) for a in locals_)
     comm.ledger.add_allreduce(nbytes=total_bytes)
+    obs.event("comm.allgather", bytes=total_bytes)
     return np.concatenate(locals_) if locals_ else np.empty(0)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.perfmodel.costs import CostLedger
+from repro.perfmodel.costs import COUNT_FIELDS, CostLedger
 
 
 class Communicator:
@@ -10,7 +10,10 @@ class Communicator:
 
     Holds the :class:`CostLedger` that all distributed operations charge.
     ``reset_ledger`` starts a fresh accounting period (e.g. to separate the
-    preconditioner setup phase from the solve phase).
+    preconditioner setup phase from the solve phase); the counters of every
+    retired ledger are folded into a running total so
+    :meth:`cumulative_counts` is monotone across resets — this is what the
+    observability layer diffs to attribute costs to spans.
     """
 
     def __init__(self, size: int) -> None:
@@ -18,12 +21,24 @@ class Communicator:
             raise ValueError("communicator size must be >= 1")
         self.size = size
         self.ledger = CostLedger(size)
+        self._retired = {f: 0.0 for f in COUNT_FIELDS}
 
     def reset_ledger(self) -> CostLedger:
         """Replace the ledger with a fresh one; returns the old ledger."""
         old = self.ledger
+        for key, value in old.counts().items():
+            self._retired[key] += value
         self.ledger = CostLedger(self.size)
         return old
+
+    def cumulative_counts(self) -> dict[str, float]:
+        """Lifetime counter totals: every retired ledger plus the live one.
+
+        Unlike ``self.ledger.counts()`` this never decreases, so span deltas
+        taken against it remain valid across ``reset_ledger`` calls.
+        """
+        current = self.ledger.counts()
+        return {k: current[k] + self._retired[k] for k in current}
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Communicator(size={self.size})"

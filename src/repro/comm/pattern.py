@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.comm.communicator import Communicator
 
 
@@ -92,6 +93,19 @@ class CommunicationPattern:
         arrays; after the call every ghost slot holds the owner's current
         value.
         """
+        # hot path: skip even null-span construction when tracing is off
+        if obs.enabled():
+            with obs.span("comm.exchange", transfers=len(self.transfers)):
+                self._exchange(comm, owned, ghost)
+        else:
+            self._exchange(comm, owned, ghost)
+
+    def _exchange(
+        self,
+        comm: Communicator,
+        owned: list[np.ndarray],
+        ghost: list[np.ndarray],
+    ) -> None:
         for t in self.transfers:
             ghost[t.dst][t.recv_ghost] = owned[t.src][t.send_local]
         comm.ledger.add_phase(

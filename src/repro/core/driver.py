@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.cases.base import TestCase
 from repro.comm.communicator import Communicator
 from repro.distributed.matrix import DistributedMatrix, distribute_matrix
@@ -138,43 +139,57 @@ def solve_case(
     keep_solution: bool = True,
 ) -> SolveOutcome:
     """Run the full pipeline on ``case`` and return the measurements."""
-    membership = case.membership(nparts, seed=seed, scheme=scheme)
-    pm = PartitionMap(case.coupling_graph, membership, num_ranks=nparts)
-    dmat = distribute_matrix(case.matrix, pm)
     comm = Communicator(nparts)
+    tracer = obs.get_tracer()
+    tracer.bind(comm)
 
-    # per-rank resident working set: local matrix + factor (≈ matrix-sized)
-    # + a handful of vectors — feeds cache-aware machine models (Sec. 4.3)
-    working_set = np.asarray(
-        [
-            2 * 16.0 * dmat.local[r].nnz + 8.0 * 6 * pm.subdomains[r].n_owned
-            for r in range(nparts)
-        ]
-    )
+    with obs.span(
+        "solve_case", case=case.key, precond=precond, nparts=nparts,
+        scheme=scheme, seed=seed,
+    ) as root:
+        with obs.span("partition", scheme=scheme):
+            membership = case.membership(nparts, seed=seed, scheme=scheme)
+            pm = PartitionMap(case.coupling_graph, membership, num_ranks=nparts)
+        with obs.span("distribute"):
+            dmat = distribute_matrix(case.matrix, pm)
 
-    preconditioner = make_preconditioner(precond, dmat, comm, case, precond_params)
-    setup_ledger = comm.reset_ledger()
-    setup_ledger.working_set_bytes = working_set
-    comm.ledger.working_set_bytes = working_set
+        # per-rank resident working set: local matrix + factor (≈ matrix-sized)
+        # + a handful of vectors — feeds cache-aware machine models (Sec. 4.3)
+        working_set = np.asarray(
+            [
+                2 * 16.0 * dmat.local[r].nnz + 8.0 * 6 * pm.subdomains[r].n_owned
+                for r in range(nparts)
+            ]
+        )
 
-    ops = DistributedOps(comm, pm.layout)
-    b_dist = pm.to_distributed(case.rhs)
-    x0_dist = pm.to_distributed(case.x0)
+        with obs.span("precond.setup", precond=precond):
+            preconditioner = make_preconditioner(
+                precond, dmat, comm, case, precond_params
+            )
+        setup_ledger = comm.reset_ledger()
+        setup_ledger.working_set_bytes = working_set
+        comm.ledger.working_set_bytes = working_set
 
-    t0 = time.perf_counter()
-    result = fgmres(
-        lambda v: dmat.matvec(comm, v),
-        b_dist,
-        apply_m=preconditioner.apply,
-        x0=x0_dist,
-        restart=restart,
-        rtol=rtol,
-        maxiter=maxiter,
-        ops=ops,
-    )
-    wall = time.perf_counter() - t0
+        ops = DistributedOps(comm, pm.layout)
+        b_dist = pm.to_distributed(case.rhs)
+        x0_dist = pm.to_distributed(case.x0)
 
-    x_global = pm.to_global(result.x)
+        t0 = time.perf_counter()
+        with obs.span("krylov.solve", solver=f"fgmres({restart})", rtol=rtol):
+            result = fgmres(
+                lambda v: dmat.matvec(comm, v),
+                b_dist,
+                apply_m=preconditioner,
+                x0=x0_dist,
+                restart=restart,
+                rtol=rtol,
+                maxiter=maxiter,
+                ops=ops,
+            )
+        wall = time.perf_counter() - t0
+
+        x_global = pm.to_global(result.x)
+        root.set(iterations=result.iterations, converged=result.converged)
     return SolveOutcome(
         case_key=case.key,
         precond=preconditioner.name,

@@ -121,7 +121,7 @@ class TransientHeatSolver:
             res = fgmres(
                 lambda v: self.dmat.matvec(self.comm, v),
                 self.pm.to_distributed(rhs),
-                apply_m=self.precond.apply,
+                apply_m=self.precond,
                 x0=self.pm.to_distributed(u),
                 restart=20,
                 rtol=self.rtol,

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.comm.communicator import Communicator
 from repro.distributed.partition_map import PartitionMap
 from repro.sparse.blocksplit import BlockSplit, split_2x2
@@ -92,6 +93,14 @@ class DistributedMatrix:
 
     def matvec(self, comm: Communicator, x: np.ndarray) -> np.ndarray:
         """Distributed matvec (fused execution, full distributed cost)."""
+        # hot path: the enabled() guard keeps the disabled-tracing overhead
+        # below anything bench_kernels_micro can measure
+        if obs.enabled():
+            with obs.span("dist.matvec"):
+                return self._matvec_charged(comm, x)
+        return self._matvec_charged(comm, x)
+
+    def _matvec_charged(self, comm: Communicator, x: np.ndarray) -> np.ndarray:
         pat = self.pm.pattern
         comm.ledger.add_phase(
             self.matvec_flops,

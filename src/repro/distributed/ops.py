@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.comm.communicator import Communicator
 from repro.distributed.layout import Layout
 
@@ -29,6 +30,7 @@ class DistributedOps:
         """Global inner product (charges per-rank flops + one allreduce)."""
         self.comm.ledger.add_phase(2.0 * self.layout.sizes)
         self.comm.ledger.add_allreduce(nbytes=8)
+        obs.event("comm.allreduce", bytes=8)
         return float(np.dot(x, y))
 
     def norm(self, x: np.ndarray) -> float:

@@ -17,6 +17,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.krylov.monitors import ConvergenceMonitor, KrylovResult
 from repro.krylov.ops import KernelOps, SerialOps
 
@@ -148,6 +149,7 @@ def fgmres(
         ops.charge_local_axpy()
         beta = ops.norm(r)
         mon.residuals[-1] = beta  # replace the estimate with the true norm
+        obs.event("krylov.restart", iterations=iters, residual=float(beta))
         converged = beta <= mon.threshold
         if breakdown and not converged and beta >= beta_prev * (1.0 - 1e-12):
             break  # Krylov space exhausted with no progress: stop honestly

@@ -11,6 +11,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
+
 
 @dataclass
 class KrylovResult:
@@ -27,10 +29,25 @@ class KrylovResult:
 
     @property
     def reduction(self) -> float:
-        """Final/initial residual ratio."""
-        if len(self.residuals) < 1 or self.residuals[0] == 0.0:
+        """Final/initial residual ratio ‖r_k‖/‖r_0‖.
+
+        Edge-case semantics (documented, tested):
+
+        * empty history → ``nan`` — the solver recorded nothing, so no
+          reduction claim can be made (*not* 0.0, which would read as a
+          perfect reduction);
+        * zero initial residual → ``0.0`` — the system was solved exactly
+          before the first iteration, the ratio is taken as its limit;
+        * single-entry history → ``1.0`` — only r_0 was recorded (e.g. the
+          initial guess already met the tolerance), i.e. genuinely "no
+          reduction performed", not a solver stall.
+        """
+        if not self.residuals:
+            return float("nan")
+        r0 = self.residuals[0]
+        if r0 == 0.0:
             return 0.0
-        return self.residuals[-1] / self.residuals[0]
+        return self.residuals[-1] / r0
 
 
 @dataclass
@@ -46,6 +63,7 @@ class ConvergenceMonitor:
         """Record the initial residual; returns True if already converged."""
         self.residuals = [r0_norm]
         self._threshold = max(self.rtol * r0_norm, self.atol)
+        obs.event("krylov.start", residual=float(r0_norm))
         return r0_norm <= self.atol
 
     @property
@@ -55,8 +73,18 @@ class ConvergenceMonitor:
         return self._threshold
 
     def check(self, r_norm: float) -> bool:
-        """Record a residual norm; returns True on convergence."""
+        """Record a residual norm; returns True on convergence.
+
+        Each check emits one ``krylov.iteration`` event on the innermost open
+        span (free when tracing is disabled), so traces carry the convergence
+        trajectory of outer *and* inner solves in context.
+        """
         if self._threshold is None:
             raise RuntimeError("monitor not started")
         self.residuals.append(float(r_norm))
+        obs.event(
+            "krylov.iteration",
+            k=len(self.residuals) - 1,
+            residual=float(r_norm),
+        )
         return r_norm <= self._threshold

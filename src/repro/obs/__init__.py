@@ -1,0 +1,71 @@
+"""Solver observability: span tracing, per-phase metrics, trace exporters.
+
+Quickstart (the instrumentation contract lives in ``docs/observability.md``)::
+
+    from repro import obs, poisson2d_case, solve_case, LINUX_CLUSTER
+
+    case = poisson2d_case(n=33)
+    with obs.tracing() as tracer:
+        out = solve_case(case, precond="schur1", nparts=4)
+    print(obs.format_phase_table(tracer.spans, LINUX_CLUSTER, out.nparts))
+    obs.write_json_trace("trace.json", tracer)
+
+Tracing is off by default (:data:`NULL_TRACER` is active) and costs nothing
+measurable when disabled.
+"""
+
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    read_json_trace,
+    trace_to_dict,
+    write_csv_trace,
+    write_json_trace,
+)
+from repro.obs.metrics import (
+    PhaseStat,
+    aggregate_phases,
+    conservation_error,
+    exclusive_deltas,
+    exclusive_walls,
+    format_phase_table,
+    ledger_from_delta,
+    sum_exclusive,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    enabled,
+    event,
+    get_tracer,
+    set_tracer,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "enabled",
+    "span",
+    "event",
+    "tracing",
+    "PhaseStat",
+    "aggregate_phases",
+    "exclusive_deltas",
+    "exclusive_walls",
+    "sum_exclusive",
+    "ledger_from_delta",
+    "format_phase_table",
+    "conservation_error",
+    "TRACE_SCHEMA",
+    "trace_to_dict",
+    "write_json_trace",
+    "write_csv_trace",
+    "read_json_trace",
+]

@@ -1,0 +1,71 @@
+"""Trace serialization: the ``repro.trace.v1`` JSON schema and a flat CSV.
+
+The JSON file is the machine-readable artifact benchmarks and external
+tooling consume; its exact field layout is documented in
+``docs/observability.md`` and guarded by tests.  The CSV is a convenience
+flattening (one row per span) for spreadsheet triage.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.obs.tracer import Tracer
+from repro.perfmodel.costs import COUNT_FIELDS
+
+TRACE_SCHEMA = "repro.trace.v1"
+
+
+def trace_to_dict(tracer: Tracer, meta: dict | None = None) -> dict:
+    """The full trace as a JSON-ready dict."""
+    doc_meta = {"num_ranks": tracer.num_ranks}
+    if meta:
+        doc_meta.update(meta)
+    return {
+        "schema": TRACE_SCHEMA,
+        "meta": doc_meta,
+        "spans": [s.to_dict() for s in tracer.spans],
+        "orphan_events": [dict(e) for e in tracer.orphan_events],
+    }
+
+
+def write_json_trace(
+    path: str | Path, tracer: Tracer, meta: dict | None = None
+) -> Path:
+    """Serialize the trace to ``path``; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(trace_to_dict(tracer, meta), indent=1))
+    return path
+
+
+def read_json_trace(path: str | Path) -> dict:
+    """Load a trace file, validating the schema marker."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != TRACE_SCHEMA:
+        raise ValueError(
+            f"{path}: not a {TRACE_SCHEMA} trace (schema={doc.get('schema')!r})"
+        )
+    return doc
+
+
+_CSV_FIXED = ("id", "parent", "depth", "name", "t_start", "t_end", "wall_s")
+
+
+def write_csv_trace(path: str | Path, tracer: Tracer) -> Path:
+    """One row per span: identity, timing, all ledger counters, JSON attrs."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(_CSV_FIXED) + list(COUNT_FIELDS) + ["attrs", "events"])
+        for s in tracer.spans:
+            d = s.to_dict()
+            writer.writerow(
+                [d[k] for k in _CSV_FIXED]
+                + [d["ledger"][f] for f in COUNT_FIELDS]
+                + [json.dumps(d["attrs"]), len(d["events"])]
+            )
+    return path

@@ -1,0 +1,188 @@
+"""Per-phase metrics derived from recorded spans.
+
+Span ledger deltas are *inclusive* (a parent's delta contains its
+children's).  For a breakdown that sums to the run total, phases are reported
+*exclusively*: each span's delta minus its direct children's deltas.  Summing
+exclusive values over all spans reproduces the inclusive totals of the root
+spans exactly — that identity is the conservation check the trace CLI and the
+tests enforce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import Span
+from repro.perfmodel.costs import COUNT_FIELDS, CostLedger
+
+_ZEROS = {f: 0.0 for f in COUNT_FIELDS}
+
+
+def ledger_from_delta(num_ranks: int, delta: dict[str, float]) -> CostLedger:
+    """Reconstruct a (critical-path-only) ledger from a span's count deltas.
+
+    Per-rank flop vectors are not tracked per span, so ``per_rank_flops`` and
+    ``working_set_bytes`` stay empty; everything a
+    :meth:`repro.perfmodel.machine.Machine.time` pricing needs is restored.
+    """
+    ledger = CostLedger(num_ranks)
+    for key in COUNT_FIELDS:
+        setattr(ledger, key, delta.get(key, 0.0))
+    ledger.allreduces = int(ledger.allreduces)
+    ledger.phases = int(ledger.phases)
+    return ledger
+
+
+def exclusive_deltas(spans: list[Span]) -> dict[int, dict[str, float]]:
+    """Per-span *exclusive* ledger deltas (own delta minus direct children)."""
+    out = {s.span_id: dict(s.ledger) for s in spans}
+    for s in spans:
+        if s.parent_id is not None and s.parent_id in out:
+            parent = out[s.parent_id]
+            for key, value in s.ledger.items():
+                parent[key] -= value
+    return out
+
+
+def exclusive_walls(spans: list[Span]) -> dict[int, float]:
+    """Per-span exclusive wall seconds (own wall minus direct children)."""
+    out = {s.span_id: s.wall for s in spans}
+    for s in spans:
+        if s.parent_id is not None and s.parent_id in out:
+            out[s.parent_id] -= s.wall
+    return out
+
+
+def sum_exclusive(spans: list[Span]) -> dict[str, float]:
+    """Sum of exclusive deltas over all spans.
+
+    Equals the sum of the root spans' inclusive deltas, i.e. every counter
+    increment that happened inside *some* span, counted exactly once.
+    """
+    total = dict(_ZEROS)
+    roots = {s.span_id for s in spans}
+    for s in spans:
+        if s.parent_id is None or s.parent_id not in roots:
+            for key, value in s.ledger.items():
+                total[key] += value
+    return total
+
+
+@dataclass
+class PhaseStat:
+    """Aggregated statistics for all spans sharing one name."""
+
+    name: str
+    count: int = 0
+    wall_incl: float = 0.0
+    wall_excl: float = 0.0
+    ledger_incl: dict[str, float] = field(default_factory=lambda: dict(_ZEROS))
+    ledger_excl: dict[str, float] = field(default_factory=lambda: dict(_ZEROS))
+
+    def sim_time(self, machine, num_ranks: int) -> float:
+        """Machine-priced seconds of this phase's exclusive ledger delta."""
+        return machine.time(ledger_from_delta(num_ranks, self.ledger_excl))
+
+
+def aggregate_phases(spans: list[Span]) -> list[PhaseStat]:
+    """Group spans by name (first-seen order) with exclusive accounting."""
+    excl_l = exclusive_deltas(spans)
+    excl_w = exclusive_walls(spans)
+    stats: dict[str, PhaseStat] = {}
+    order: list[str] = []
+    for s in spans:
+        if s.name not in stats:
+            stats[s.name] = PhaseStat(name=s.name)
+            order.append(s.name)
+        st = stats[s.name]
+        st.count += 1
+        st.wall_incl += s.wall
+        st.wall_excl += excl_w[s.span_id]
+        for key, value in s.ledger.items():
+            st.ledger_incl[key] += value
+            st.ledger_excl[key] += excl_l[s.span_id][key]
+    return [stats[name] for name in order]
+
+
+def _fmt_qty(value: float) -> str:
+    """Compact engineering formatting for counts."""
+    for threshold, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(value) >= threshold:
+            return f"{value / threshold:.2f}{suffix}"
+    return f"{value:.0f}"
+
+
+def format_phase_table(
+    spans: list[Span],
+    machine=None,
+    num_ranks: int | None = None,
+    title: str | None = None,
+) -> str:
+    """Render the per-phase breakdown as an aligned text table.
+
+    Wall times are inclusive per phase name; flops/messages/bytes/allreduce
+    columns are *exclusive*, so the TOTAL row equals the run's overall
+    ledger.  With ``machine`` and ``num_ranks``, a simulated-seconds column
+    prices each phase's exclusive delta on that machine.
+    """
+    stats = aggregate_phases(spans)
+    price = machine is not None and num_ranks is not None
+    header = f"{'phase':<24}{'n':>6}{'wall[s]':>10}"
+    if price:
+        header += f"{'sim[s]':>10}"
+    header += f"{'flops':>10}{'msgs':>8}{'bytes':>10}{'ardc':>6}"
+    lines = [] if title is None else [title]
+    lines.append(header)
+    lines.append("-" * len(header))
+
+    total = dict(_ZEROS)
+    total_sim = 0.0
+    total_wall = 0.0
+    for st in stats:
+        le = st.ledger_excl
+        row = f"{st.name:<24}{st.count:>6}{st.wall_excl:>10.3f}"
+        if price:
+            sim = st.sim_time(machine, num_ranks)
+            total_sim += sim
+            row += f"{sim:>10.3f}"
+        row += (
+            f"{_fmt_qty(le['crit_flops']):>10}"
+            f"{_fmt_qty(le['crit_msgs']):>8}"
+            f"{_fmt_qty(le['crit_bytes']):>10}"
+            f"{le['allreduces']:>6.0f}"
+        )
+        lines.append(row)
+        total_wall += st.wall_excl
+        for key, value in le.items():
+            total[key] += value
+
+    lines.append("-" * len(header))
+    row = f"{'TOTAL':<24}{sum(s.count for s in stats):>6}{total_wall:>10.3f}"
+    if price:
+        row += f"{total_sim:>10.3f}"
+    row += (
+        f"{_fmt_qty(total['crit_flops']):>10}"
+        f"{_fmt_qty(total['crit_msgs']):>8}"
+        f"{_fmt_qty(total['crit_bytes']):>10}"
+        f"{total['allreduces']:>6.0f}"
+    )
+    lines.append(row)
+    return "\n".join(lines)
+
+
+def conservation_error(spans: list[Span], totals: dict[str, float]) -> float:
+    """Largest relative mismatch between span-attributed and run totals.
+
+    ``totals`` is typically ``Communicator.cumulative_counts()`` (or the
+    merged setup+solve ledger counts).  Zero means every ledger charge of the
+    run happened inside exactly one innermost span chain — the invariant the
+    instrumentation contract requires.
+    """
+    attributed = sum_exclusive(spans)
+    worst = 0.0
+    for key in COUNT_FIELDS:
+        want = totals.get(key, 0.0)
+        got = attributed.get(key, 0.0)
+        scale = max(abs(want), abs(got), 1.0)
+        worst = max(worst, abs(want - got) / scale)
+    return worst

@@ -1,0 +1,303 @@
+"""Span-based tracing of solver runs.
+
+The observability layer answers *where time, flops and messages go* inside a
+run — the measurement the paper is built on (setup vs. solve vs. exchange vs.
+inner-Schur iterations).  Instrumented code opens named :class:`Span`\\ s::
+
+    with obs.span("precond.setup", precond="schur1"):
+        ...
+
+Each span records wall time, arbitrary attributes, point events (e.g. one per
+Krylov iteration), and — when the active tracer is bound to a
+:class:`~repro.comm.communicator.Communicator` — the *delta* of every
+:class:`~repro.perfmodel.costs.CostLedger` counter between span entry and
+exit.  Deltas are taken against the communicator's *cumulative* counts, so
+they survive ``reset_ledger`` calls and rebinding to a new communicator
+(e.g. one per solve in a sweep).
+
+The default tracer is :data:`NULL_TRACER`, whose spans are a shared inert
+object: tracing disabled costs one global read and a no-op ``with`` per
+instrumented region, and hot kernels guard even that behind
+:func:`enabled`.  The full span-name contract is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.perfmodel.costs import COUNT_FIELDS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.comm.communicator import Communicator
+
+_ZERO_COUNTS = {f: 0.0 for f in COUNT_FIELDS}
+
+
+class Span:
+    """One traced region: name, wall-clock window, attributes, events, and
+    the ledger-counter deltas accumulated while it was open.
+
+    Spans are context managers; they are created by :meth:`Tracer.span` and
+    record themselves on entry.  ``t_start``/``t_end`` are seconds since the
+    owning tracer was created; ``ledger`` maps every
+    :data:`~repro.perfmodel.costs.COUNT_FIELDS` entry to its *inclusive*
+    delta (children included — see :mod:`repro.obs.metrics` for exclusive
+    accounting).
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "depth",
+        "attrs",
+        "events",
+        "t_start",
+        "t_end",
+        "ledger",
+        "_tracer",
+        "_entry",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.events: list[dict] = []
+        self.span_id: int = -1
+        self.parent_id: int | None = None
+        self.depth: int = 0
+        self.t_start: float = 0.0
+        self.t_end: float = 0.0
+        self.ledger: dict[str, float] = dict(_ZERO_COUNTS)
+        self._tracer = tracer
+        self._entry: dict[str, float] | None = None
+
+    @property
+    def wall(self) -> float:
+        """Inclusive wall-clock seconds (0.0 while still open)."""
+        return max(self.t_end - self.t_start, 0.0)
+
+    def set(self, **attrs) -> "Span":
+        """Attach/overwrite attributes on the span."""
+        self.attrs.update(attrs)
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        """Record a timestamped point event inside the span."""
+        self.events.append(
+            {"name": name, "t": self._tracer.now(), "attrs": attrs}
+        )
+
+    def __enter__(self) -> "Span":
+        self._tracer._enter(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._exit(self)
+        return False
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (trace schema ``repro.trace.v1``)."""
+        return {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "name": self.name,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "wall_s": self.wall,
+            "attrs": dict(self.attrs),
+            "events": [dict(e) for e in self.events],
+            "ledger": dict(self.ledger),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, id={self.span_id}, wall={self.wall:.6f})"
+
+
+class _NullSpan:
+    """Shared inert span: every method is a no-op.  Returned by
+    :class:`NullTracer` so disabled tracing allocates nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullSpan":
+        return self
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: records nothing, costs (almost) nothing."""
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs) -> None:
+        return None
+
+    def bind(self, comm: "Communicator | None") -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Recording tracer.
+
+    Parameters
+    ----------
+    comm:
+        Optional :class:`~repro.comm.communicator.Communicator` whose ledger
+        counters the spans snapshot.  The driver (re)binds the tracer to each
+        communicator it creates via :meth:`bind`; without a binding, spans
+        still record wall time and events but all ledger deltas stay zero.
+    """
+
+    enabled = True
+
+    def __init__(self, comm: "Communicator | None" = None) -> None:
+        self.spans: list[Span] = []
+        self.orphan_events: list[dict] = []
+        self.num_ranks: int | None = None
+        self._stack: list[Span] = []
+        self._comm: "Communicator | None" = None
+        self._base = dict(_ZERO_COUNTS)
+        self._next_id = 0
+        self._t0 = time.perf_counter()
+        self.bind(comm)
+
+    # -- time and ledger bookkeeping ----------------------------------------
+
+    def now(self) -> float:
+        """Seconds since the tracer was created."""
+        return time.perf_counter() - self._t0
+
+    def bind(self, comm: "Communicator | None") -> None:
+        """Start snapshotting ``comm``'s ledger counters.
+
+        Rebinding folds the previous communicator's cumulative counts into a
+        base offset, keeping the tracer's counter view monotone across e.g.
+        the one-communicator-per-solve pattern of a sweep.
+        """
+        if comm is None or comm is self._comm:
+            return
+        if self._comm is not None:
+            prev = self._comm.cumulative_counts()
+            self._base = {k: self._base[k] + prev[k] for k in self._base}
+        self._comm = comm
+        self.num_ranks = comm.size
+
+    def counts(self) -> dict[str, float]:
+        """The tracer's monotone view of the ledger counters."""
+        if self._comm is None:
+            return dict(self._base)
+        cum = self._comm.cumulative_counts()
+        return {k: cum[k] + self._base[k] for k in cum}
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def span(self, name: str, **attrs) -> Span:
+        """Create a span; open it with ``with``."""
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **attrs) -> None:
+        """Record an event on the innermost open span (or as an orphan)."""
+        if self._stack:
+            self._stack[-1].event(name, **attrs)
+        else:
+            self.orphan_events.append(
+                {"name": name, "t": self.now(), "attrs": attrs}
+            )
+
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def _enter(self, span: Span) -> None:
+        span.span_id = self._next_id
+        self._next_id += 1
+        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.depth = len(self._stack)
+        self.spans.append(span)
+        self._stack.append(span)
+        span._entry = self.counts()
+        span.t_start = self.now()
+
+    def _exit(self, span: Span) -> None:
+        span.t_end = self.now()
+        exit_counts = self.counts()
+        entry = span._entry or _ZERO_COUNTS
+        span.ledger = {k: exit_counts[k] - entry[k] for k in exit_counts}
+        if span in self._stack:
+            # tolerate out-of-order exits: close everything above too
+            while self._stack and self._stack[-1] is not span:
+                self._stack.pop()
+            self._stack.pop()
+
+
+# -- module-level active tracer ---------------------------------------------
+
+_ACTIVE: Tracer | NullTracer = NULL_TRACER
+
+
+def get_tracer() -> Tracer | NullTracer:
+    """The currently active tracer (the shared null tracer by default)."""
+    return _ACTIVE
+
+
+def set_tracer(tracer: Tracer | NullTracer) -> Tracer | NullTracer:
+    """Install ``tracer`` as the active tracer; returns the previous one."""
+    global _ACTIVE
+    prev = _ACTIVE
+    _ACTIVE = tracer
+    return prev
+
+
+def enabled() -> bool:
+    """True when a recording tracer is active.  Hot kernels check this
+    before even constructing a span."""
+    return _ACTIVE.enabled
+
+
+def span(name: str, **attrs):
+    """Open a span on the active tracer (inert when tracing is disabled)."""
+    return _ACTIVE.span(name, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """Record an event on the active tracer's innermost open span."""
+    if _ACTIVE.enabled:
+        _ACTIVE.event(name, **attrs)
+
+
+@contextmanager
+def tracing(comm: "Communicator | None" = None) -> Iterator[Tracer]:
+    """Context manager: install a fresh :class:`Tracer`, restore on exit.
+
+    >>> with tracing() as tracer:
+    ...     out = solve_case(case, precond="schur1", nparts=4)
+    >>> len(tracer.spans) > 0
+    """
+    tracer = Tracer(comm)
+    prev = set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(prev)

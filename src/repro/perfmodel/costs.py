@@ -20,6 +20,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+#: the scalar counters a ledger accumulates, in canonical order — the
+#: observability layer snapshots and diffs exactly these fields
+COUNT_FIELDS = (
+    "crit_flops",
+    "crit_msgs",
+    "crit_bytes",
+    "allreduces",
+    "allreduce_bytes",
+    "total_flops",
+    "total_msgs",
+    "total_bytes",
+    "phases",
+)
+
 
 @dataclass
 class CostLedger:
@@ -88,6 +102,10 @@ class CostLedger:
         self.total_bytes += other.total_bytes
         self.phases += other.phases
         self.per_rank_flops = self.per_rank_flops + other.per_rank_flops
+
+    def counts(self) -> dict[str, float]:
+        """The scalar counters as a plain dict (see :data:`COUNT_FIELDS`)."""
+        return {f: float(getattr(self, f)) for f in COUNT_FIELDS}
 
     @property
     def load_imbalance(self) -> float:

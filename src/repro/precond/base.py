@@ -6,6 +6,7 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
+from repro import obs
 from repro.comm.communicator import Communicator
 from repro.distributed.matrix import DistributedMatrix
 
@@ -34,6 +35,15 @@ class ParallelPreconditioner(ABC):
         """Return z ≈ M^{-1} r (distributed ordering)."""
 
     def __call__(self, r: np.ndarray) -> np.ndarray:
+        """``apply`` wrapped in a ``precond.apply`` span.
+
+        Callers that want per-application tracing (the driver does) pass the
+        preconditioner object itself as ``apply_m``; calling ``.apply``
+        directly skips the span but is otherwise identical.
+        """
+        if obs.enabled():
+            with obs.span("precond.apply", precond=self.name):
+                return self.apply(r)
         return self.apply(r)
 
     # -- shared helpers ------------------------------------------------------

@@ -18,6 +18,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro import obs
 from repro.comm.communicator import Communicator
 from repro.distributed.matrix import DistributedMatrix
 from repro.factor.base import ILUFactorization
@@ -100,40 +101,45 @@ class BlockPreconditioner(ParallelPreconditioner):
     def apply(self, r: np.ndarray) -> np.ndarray:
         z = np.empty_like(r)
         if self.variant != "krylov":
-            for rank in range(self.comm.size):
-                loc = self.pm.layout.local_slice(rank)
-                z[loc] = self._local_solve(rank, r[loc])
-            self.comm.ledger.add_phase(self._apply_flops)
+            with obs.span("block.local_solves", variant=self.variant):
+                for rank in range(self.comm.size):
+                    loc = self.pm.layout.local_slice(rank)
+                    z[loc] = self._local_solve(rank, r[loc])
+                self.comm.ledger.add_phase(self._apply_flops)
             return z
 
         # local-Krylov variant: a few ILUT-preconditioned GMRES iterations
+        return self._apply_krylov(r, z)
+
+    def _apply_krylov(self, r: np.ndarray, z: np.ndarray) -> np.ndarray:
         flops = np.zeros(self.comm.size)
-        for rank in range(self.comm.size):
-            loc = self.pm.layout.local_slice(rank)
-            a_own = self.dmat.owned_square[rank]
-            fac = self.factors[rank]
-            counter = CountingOps(a_own.shape[0])
+        with obs.span("block.local_solves", variant=self.variant):
+            for rank in range(self.comm.size):
+                loc = self.pm.layout.local_slice(rank)
+                a_own = self.dmat.owned_square[rank]
+                fac = self.factors[rank]
+                counter = CountingOps(a_own.shape[0])
 
-            def apply_a(v, a=a_own, c=counter):
-                c.add(2.0 * a.nnz)
-                return a @ v
+                def apply_a(v, a=a_own, c=counter):
+                    c.add(2.0 * a.nnz)
+                    return a @ v
 
-            def apply_m(v, f=fac, c=counter):
-                c.add(f.solve_flops())
-                return f.solve(v)
+                def apply_m(v, f=fac, c=counter):
+                    c.add(f.solve_flops())
+                    return f.solve(v)
 
-            res = fgmres(
-                apply_a,
-                r[loc],
-                apply_m=apply_m,
-                restart=max(self.inner_iterations, 1),
-                rtol=1e-12,
-                maxiter=self.inner_iterations,
-                ops=counter,
-            )
-            z[loc] = res.x
-            flops[rank] = counter.flops
-        self.comm.ledger.add_phase(flops)
+                res = fgmres(
+                    apply_a,
+                    r[loc],
+                    apply_m=apply_m,
+                    restart=max(self.inner_iterations, 1),
+                    rtol=1e-12,
+                    maxiter=self.inner_iterations,
+                    ops=counter,
+                )
+                z[loc] = res.x
+                flops[rank] = counter.flops
+            self.comm.ledger.add_phase(flops)
         return z
 
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.comm.communicator import Communicator
 from repro.distributed.matrix import DistributedMatrix
 from repro.distributed.ops import DistributedOps
@@ -135,15 +136,16 @@ class Schur1Preconditioner(ParallelPreconditioner):
         return out
 
     def _solve_schur_system(self, ghat: np.ndarray) -> np.ndarray:
-        res = gmres(
-            self._schur_matvec,
-            ghat,
-            apply_m=self._schur_precond,
-            restart=self.global_iterations,
-            rtol=1e-12,
-            maxiter=self.global_iterations,
-            ops=self._ifc_ops,
-        )
+        with obs.span("schur.solve", iterations=self.global_iterations):
+            res = gmres(
+                self._schur_matvec,
+                ghat,
+                apply_m=self._schur_precond,
+                restart=self.global_iterations,
+                rtol=1e-12,
+                maxiter=self.global_iterations,
+                ops=self._ifc_ops,
+            )
         return res.x
 
     # -- Algorithm 2.1 ---------------------------------------------------------
@@ -156,17 +158,18 @@ class Schur1Preconditioner(ParallelPreconditioner):
         flops = np.zeros(self.comm.size)
 
         # Step 1: ĝ_i = g_i − E_i B̃_i^{-1} f_i
-        for rank, sd in enumerate(pm.subdomains):
-            loc = pm.layout.local(r, rank)
-            f_i, g_i = loc[: sd.n_internal], loc[sd.n_internal :]
-            f_parts.append(f_i)
-            counter = CountingOps(max(sd.n_internal, 1))
-            w = self._solve_b_gmres(rank, f_i, counter)
-            blocks = self.dmat.blocks[rank]
-            self._ifc_layout.local(ghat, rank)[:] = g_i - blocks.E @ w
-            counter.add(2.0 * blocks.E.nnz)
-            flops[rank] = counter.flops
-        self.comm.ledger.add_phase(flops)
+        with obs.span("schur.forward"):
+            for rank, sd in enumerate(pm.subdomains):
+                loc = pm.layout.local(r, rank)
+                f_i, g_i = loc[: sd.n_internal], loc[sd.n_internal :]
+                f_parts.append(f_i)
+                counter = CountingOps(max(sd.n_internal, 1))
+                w = self._solve_b_gmres(rank, f_i, counter)
+                blocks = self.dmat.blocks[rank]
+                self._ifc_layout.local(ghat, rank)[:] = g_i - blocks.E @ w
+                counter.add(2.0 * blocks.E.nnz)
+                flops[rank] = counter.flops
+            self.comm.ledger.add_phase(flops)
 
         # Step 2: solve S y = ĝ approximately (distributed GMRES)
         y = self._solve_schur_system(ghat)
@@ -174,16 +177,17 @@ class Schur1Preconditioner(ParallelPreconditioner):
         # Step 3: u_i = B̃_i^{-1} (f_i − F_i y_i)
         z = np.empty_like(r)
         flops = np.zeros(self.comm.size)
-        for rank, sd in enumerate(pm.subdomains):
-            blocks = self.dmat.blocks[rank]
-            y_i = self._ifc_layout.local(y, rank)
-            counter = CountingOps(max(sd.n_internal, 1))
-            rhs = f_parts[rank] - blocks.F @ y_i
-            counter.add(2.0 * blocks.F.nnz)
-            u_i = self._solve_b_gmres(rank, rhs, counter)
-            loc = pm.layout.local(z, rank)
-            loc[: sd.n_internal] = u_i
-            loc[sd.n_internal :] = y_i
-            flops[rank] = counter.flops
-        self.comm.ledger.add_phase(flops)
+        with obs.span("schur.back"):
+            for rank, sd in enumerate(pm.subdomains):
+                blocks = self.dmat.blocks[rank]
+                y_i = self._ifc_layout.local(y, rank)
+                counter = CountingOps(max(sd.n_internal, 1))
+                rhs = f_parts[rank] - blocks.F @ y_i
+                counter.add(2.0 * blocks.F.nnz)
+                u_i = self._solve_b_gmres(rank, rhs, counter)
+                loc = pm.layout.local(z, rank)
+                loc[: sd.n_internal] = u_i
+                loc[sd.n_internal :] = y_i
+                flops[rank] = counter.flops
+            self.comm.ledger.add_phase(flops)
         return z

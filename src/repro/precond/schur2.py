@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.comm.communicator import Communicator
 from repro.distributed.layout import Layout
 from repro.distributed.matrix import DistributedMatrix
@@ -202,15 +203,16 @@ class Schur2Preconditioner(ParallelPreconditioner):
         return out
 
     def _solve_expanded_system(self, ghat: np.ndarray) -> np.ndarray:
-        res = gmres(
-            self._expanded_matvec,
-            ghat,
-            apply_m=self._expanded_precond,
-            restart=self.global_iterations,
-            rtol=1e-12,
-            maxiter=self.global_iterations,
-            ops=self._exp_ops,
-        )
+        with obs.span("schur.solve", iterations=self.global_iterations):
+            res = gmres(
+                self._expanded_matvec,
+                ghat,
+                apply_m=self._expanded_precond,
+                restart=self.global_iterations,
+                rtol=1e-12,
+                maxiter=self.global_iterations,
+                ops=self._exp_ops,
+            )
         return res.x
 
     # -- Algorithm 2.1, expanded variant ----------------------------------------
@@ -222,13 +224,14 @@ class Schur2Preconditioner(ParallelPreconditioner):
         flops = np.zeros(self.comm.size)
 
         # Step 1: exact group elimination ĝ_i = g_i − Ẽ_i D_i^{-1} f_i
-        for rank in range(self.comm.size):
-            fac = self.arms[rank]
-            f_stack, g_i = fac.forward_eliminate_full(pm.layout.local(r, rank))
-            f_parts.append(f_stack)
-            self._exp_layout.local(ghat, rank)[:] = g_i
-            flops[rank] = fac.forward_full_flops()
-        self.comm.ledger.add_phase(flops)
+        with obs.span("schur.forward"):
+            for rank in range(self.comm.size):
+                fac = self.arms[rank]
+                f_stack, g_i = fac.forward_eliminate_full(pm.layout.local(r, rank))
+                f_parts.append(f_stack)
+                self._exp_layout.local(ghat, rank)[:] = g_i
+                flops[rank] = fac.forward_full_flops()
+            self.comm.ledger.add_phase(flops)
 
         # Step 2: distributed GMRES on the global expanded Schur system
         y = self._solve_expanded_system(ghat)
@@ -236,10 +239,13 @@ class Schur2Preconditioner(ParallelPreconditioner):
         # Step 3: back substitution u_i = D_i^{-1}(f_i − F̃_i y_i)
         z = np.empty_like(r)
         flops = np.zeros(self.comm.size)
-        for rank in range(self.comm.size):
-            fac = self.arms[rank]
-            y_i = self._exp_layout.local(y, rank)
-            pm.layout.local(z, rank)[:] = fac.back_substitute_full(f_parts[rank], y_i)
-            flops[rank] = fac.back_full_flops()
-        self.comm.ledger.add_phase(flops)
+        with obs.span("schur.back"):
+            for rank in range(self.comm.size):
+                fac = self.arms[rank]
+                y_i = self._exp_layout.local(y, rank)
+                pm.layout.local(z, rank)[:] = fac.back_substitute_full(
+                    f_parts[rank], y_i
+                )
+                flops[rank] = fac.back_full_flops()
+            self.comm.ledger.add_phase(flops)
         return z

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.comm.communicator import Communicator
 from repro.distributed.matrix import DistributedMatrix
 from repro.graph.geometric import factor_processor_count
@@ -159,21 +160,26 @@ class AdditiveSchwarzPreconditioner(ParallelPreconditioner):
         r_glob = pm.to_global(r)
         z_glob = np.zeros_like(r_glob)
         flops = np.zeros(self.comm.size)
-        for rank, box in enumerate(self.boxes):
-            counter = CountingOps(len(box.ids))
-            correction = box.solve(r_glob[box.ids], counter)
-            if self.restricted:
-                # RAS: scatter through the non-overlapped core only
-                z_glob[box.ids[box.core_mask]] += correction[box.core_mask]
-            else:
-                z_glob[box.ids] += correction
-            flops[rank] = counter.flops
-        self.comm.ledger.add_phase(flops, msgs_per_rank=self._msgs, bytes_per_rank=self._bytes)
+        with obs.span("schwarz.local_solves", restricted=self.restricted):
+            for rank, box in enumerate(self.boxes):
+                counter = CountingOps(len(box.ids))
+                correction = box.solve(r_glob[box.ids], counter)
+                if self.restricted:
+                    # RAS: scatter through the non-overlapped core only
+                    z_glob[box.ids[box.core_mask]] += correction[box.core_mask]
+                else:
+                    z_glob[box.ids] += correction
+                flops[rank] = counter.flops
+            self.comm.ledger.add_phase(
+                flops, msgs_per_rank=self._msgs, bytes_per_rank=self._bytes
+            )
 
         if self.coarse is not None:
-            z_glob += self.coarse.apply(r_glob)
-            # restriction/prolongation is local; the coarse rhs gather and the
-            # redundant direct solve are charged on every rank
-            self.comm.ledger.add_allreduce(nbytes=8.0 * self.coarse.n_coarse)
-            self.comm.ledger.add_phase(self.coarse.flops())
+            with obs.span("schwarz.coarse"):
+                z_glob += self.coarse.apply(r_glob)
+                # restriction/prolongation is local; the coarse rhs gather and
+                # the redundant direct solve are charged on every rank
+                self.comm.ledger.add_allreduce(nbytes=8.0 * self.coarse.n_coarse)
+                obs.event("comm.allreduce", bytes=8.0 * self.coarse.n_coarse)
+                self.comm.ledger.add_phase(self.coarse.flops())
         return pm.to_distributed(z_glob)

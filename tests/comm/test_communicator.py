@@ -20,3 +20,32 @@ class TestCommunicator:
         assert old.crit_flops == 10.0
         assert c.ledger.crit_flops == 0.0
         assert c.ledger.num_ranks == 2
+
+    def test_reset_separates_phases_exactly(self):
+        # the driver's pattern: charge setup, reset, charge solve; the two
+        # returned ledgers must partition the total with nothing lost
+        c = Communicator(4)
+        c.ledger.add_phase(100.0, msgs_per_rank=2, bytes_per_rank=64.0)
+        setup = c.reset_ledger()
+        c.ledger.add_phase(7.0, msgs_per_rank=1, bytes_per_rank=8.0)
+        c.ledger.add_allreduce(8)
+        solve = c.reset_ledger()
+
+        assert setup.crit_flops == 100.0
+        assert setup.allreduces == 0
+        assert solve.crit_flops == 7.0
+        assert solve.allreduces == 1
+        total = c.cumulative_counts()
+        for key in ("crit_flops", "crit_msgs", "crit_bytes", "allreduces",
+                    "total_flops", "phases"):
+            assert total[key] == setup.counts()[key] + solve.counts()[key]
+
+    def test_cumulative_counts_monotone_across_resets(self):
+        c = Communicator(2)
+        c.ledger.add_phase(5.0)
+        before = c.cumulative_counts()
+        c.reset_ledger()
+        after_reset = c.cumulative_counts()
+        assert after_reset == before  # reset must not lose retired work
+        c.ledger.add_phase(3.0)
+        assert c.cumulative_counts()["crit_flops"] == 8.0

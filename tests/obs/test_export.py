@@ -1,0 +1,67 @@
+import csv
+import json
+
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    read_json_trace,
+    trace_to_dict,
+    write_csv_trace,
+    write_json_trace,
+)
+from repro.obs.tracer import Tracer
+from repro.perfmodel.costs import COUNT_FIELDS
+
+
+def _tracer():
+    comm = Communicator(4)
+    t = Tracer(comm)
+    with t.span("solve", precond="schur1") as s:
+        s.event("krylov.iteration", k=0, residual=1.0)
+        with t.span("apply"):
+            comm.ledger.add_phase(10.0, msgs_per_rank=1, bytes_per_rank=8.0)
+    t.event("orphan")
+    return t
+
+
+class TestJsonTrace:
+    def test_schema_and_layout(self):
+        doc = trace_to_dict(_tracer(), {"case": "tc1"})
+        assert doc["schema"] == TRACE_SCHEMA == "repro.trace.v1"
+        assert doc["meta"] == {"num_ranks": 4, "case": "tc1"}
+        assert len(doc["spans"]) == 2
+        assert len(doc["orphan_events"]) == 1
+        span = doc["spans"][0]
+        assert span["name"] == "solve"
+        assert span["attrs"] == {"precond": "schur1"}
+        assert span["events"][0]["name"] == "krylov.iteration"
+        assert set(span["ledger"]) == set(COUNT_FIELDS)
+
+    def test_roundtrip(self, tmp_path):
+        t = _tracer()
+        path = write_json_trace(tmp_path / "sub" / "t.json", t)
+        doc = read_json_trace(path)
+        assert doc == trace_to_dict(t)
+        json.loads(path.read_text())  # valid JSON on disk
+
+    def test_read_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other.v9"}))
+        with pytest.raises(ValueError, match="repro.trace.v1"):
+            read_json_trace(bad)
+
+
+class TestCsvTrace:
+    def test_one_row_per_span(self, tmp_path):
+        t = _tracer()
+        path = write_csv_trace(tmp_path / "t.csv", t)
+        with path.open() as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        by_name = {r["name"]: r for r in rows}
+        assert float(by_name["apply"]["crit_flops"]) == 10.0
+        assert json.loads(by_name["solve"]["attrs"]) == {"precond": "schur1"}
+        assert int(by_name["solve"]["events"]) == 1
+        assert rows[0]["parent"] == ""  # root has no parent

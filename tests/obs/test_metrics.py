@@ -1,0 +1,115 @@
+import pytest
+
+from repro.comm.communicator import Communicator
+from repro.obs.metrics import (
+    aggregate_phases,
+    conservation_error,
+    exclusive_deltas,
+    format_phase_table,
+    ledger_from_delta,
+    sum_exclusive,
+)
+from repro.obs.tracer import Tracer
+from repro.perfmodel.machine import LINUX_CLUSTER
+
+
+def _traced_run():
+    """Two-level span tree with known charges; returns (tracer, comm)."""
+    comm = Communicator(4)
+    t = Tracer(comm)
+    with t.span("solve"):
+        with t.span("setup"):
+            comm.ledger.add_phase(100.0, msgs_per_rank=1, bytes_per_rank=8.0)
+        with t.span("apply"):
+            comm.ledger.add_phase(10.0)
+        with t.span("apply"):
+            comm.ledger.add_phase(10.0)
+        comm.ledger.add_phase(1.0)  # charged to "solve" exclusively
+    return t, comm
+
+
+class TestExclusiveAccounting:
+    def test_exclusive_subtracts_direct_children(self):
+        t, _ = _traced_run()
+        excl = exclusive_deltas(t.spans)
+        by_name = {}
+        for s in t.spans:
+            by_name.setdefault(s.name, []).append(excl[s.span_id])
+        assert by_name["setup"][0]["crit_flops"] == 100.0
+        assert by_name["solve"][0]["crit_flops"] == 1.0
+        assert sum(d["crit_flops"] for d in by_name["apply"]) == 20.0
+
+    def test_sum_exclusive_equals_root_inclusive(self):
+        t, _ = _traced_run()
+        total = sum_exclusive(t.spans)
+        root = next(s for s in t.spans if s.parent_id is None)
+        assert total == root.ledger
+        assert total["crit_flops"] == 121.0
+
+    def test_conservation_against_communicator(self):
+        t, comm = _traced_run()
+        assert conservation_error(t.spans, comm.cumulative_counts()) == 0.0
+
+    def test_conservation_detects_untrapped_charge(self):
+        t, comm = _traced_run()
+        comm.ledger.add_phase(1000.0)  # outside every span
+        assert conservation_error(t.spans, comm.cumulative_counts()) > 0.1
+
+    def test_empty_span_list(self):
+        assert sum_exclusive([])["crit_flops"] == 0.0
+        assert conservation_error([], {"crit_flops": 0.0}) == 0.0
+
+
+class TestLedgerFromDelta:
+    def test_pricing_roundtrip(self):
+        comm = Communicator(8)
+        comm.ledger.add_phase(1e6, msgs_per_rank=4, bytes_per_rank=4096.0)
+        comm.ledger.add_allreduce(8)
+        rebuilt = ledger_from_delta(8, comm.ledger.counts())
+        assert rebuilt.num_ranks == 8
+        assert rebuilt.allreduces == 1
+        assert isinstance(rebuilt.allreduces, int)
+        assert LINUX_CLUSTER.time(rebuilt) == pytest.approx(
+            LINUX_CLUSTER.time(comm.ledger)
+        )
+
+    def test_missing_keys_default_to_zero(self):
+        ledger = ledger_from_delta(2, {})
+        assert ledger.crit_flops == 0.0
+        assert ledger.phases == 0
+
+
+class TestAggregation:
+    def test_phases_grouped_in_first_seen_order(self):
+        t, _ = _traced_run()
+        stats = aggregate_phases(t.spans)
+        assert [s.name for s in stats] == ["solve", "setup", "apply"]
+        apply_stat = stats[2]
+        assert apply_stat.count == 2
+        assert apply_stat.ledger_excl["crit_flops"] == 20.0
+        assert apply_stat.ledger_incl["crit_flops"] == 20.0
+        solve_stat = stats[0]
+        assert solve_stat.ledger_incl["crit_flops"] == 121.0
+        assert solve_stat.ledger_excl["crit_flops"] == 1.0
+
+    def test_sim_time_positive(self):
+        t, _ = _traced_run()
+        stats = {s.name: s for s in aggregate_phases(t.spans)}
+        assert stats["setup"].sim_time(LINUX_CLUSTER, 4) > 0.0
+
+
+class TestPhaseTable:
+    def test_table_totals_match_run(self):
+        t, comm = _traced_run()
+        table = format_phase_table(t.spans, LINUX_CLUSTER, 4, title="demo")
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert any(line.startswith("setup") for line in lines)
+        total_line = next(l for l in lines if l.startswith("TOTAL"))
+        assert "121" in total_line  # exclusive flops sum to the run total
+
+    def test_table_without_machine_has_no_sim_column(self):
+        t, _ = _traced_run()
+        table = format_phase_table(t.spans)
+        assert "sim[s]" not in table
+        assert "wall[s]" in table

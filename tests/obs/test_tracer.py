@@ -1,0 +1,154 @@
+import pytest
+
+from repro import obs
+from repro.comm.communicator import Communicator
+from repro.obs.tracer import NULL_TRACER, NullTracer, Tracer
+from repro.perfmodel.costs import COUNT_FIELDS
+
+
+class TestDisabledTracing:
+    def test_default_tracer_is_null(self):
+        assert obs.get_tracer() is NULL_TRACER
+        assert not obs.enabled()
+
+    def test_null_span_is_shared_and_inert(self):
+        s1 = obs.span("anything", attr=1)
+        s2 = obs.span("else")
+        assert s1 is s2  # no allocation when disabled
+        with s1 as inner:
+            inner.set(x=1).event("noop")
+
+    def test_module_event_noop(self):
+        obs.event("krylov.iteration", k=0)  # must not raise or record
+
+    def test_null_tracer_api_surface(self):
+        t = NullTracer()
+        assert t.enabled is False
+        t.bind(None)
+
+
+class TestSpans:
+    def test_nesting_and_ids(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                pass
+        assert [s.name for s in t.spans] == ["outer", "inner"]
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert (outer.depth, inner.depth) == (0, 1)
+        assert inner.t_start >= outer.t_start
+        assert outer.t_end >= inner.t_end
+
+    def test_attrs_and_events(self):
+        t = Tracer()
+        with t.span("s", precond="schur1") as s:
+            s.set(iterations=7)
+            s.event("tick", k=1)
+            t.event("via-tracer", k=2)
+        assert s.attrs == {"precond": "schur1", "iterations": 7}
+        assert [e["name"] for e in s.events] == ["tick", "via-tracer"]
+        assert s.events[1]["attrs"] == {"k": 2}
+
+    def test_orphan_events(self):
+        t = Tracer()
+        t.event("lonely", why="no open span")
+        assert t.spans == []
+        assert t.orphan_events[0]["name"] == "lonely"
+
+    def test_current(self):
+        t = Tracer()
+        assert t.current() is None
+        with t.span("a") as a:
+            assert t.current() is a
+        assert t.current() is None
+
+    def test_out_of_order_exit_tolerated(self):
+        t = Tracer()
+        outer = t.span("outer")
+        inner = t.span("inner")
+        outer.__enter__()
+        inner.__enter__()
+        outer.__exit__(None, None, None)  # closes inner too
+        assert t.current() is None
+
+    def test_to_dict_has_all_count_fields(self):
+        t = Tracer()
+        with t.span("s") as s:
+            pass
+        d = s.to_dict()
+        assert set(d["ledger"]) == set(COUNT_FIELDS)
+        assert d["wall_s"] == pytest.approx(s.wall)
+
+
+class TestLedgerDeltas:
+    def test_delta_captured(self):
+        comm = Communicator(4)
+        t = Tracer(comm)
+        with t.span("work") as s:
+            comm.ledger.add_phase(50.0, msgs_per_rank=2, bytes_per_rank=16.0)
+        assert s.ledger["crit_flops"] == 50.0
+        assert s.ledger["crit_msgs"] == 2.0
+        assert s.ledger["phases"] == 1.0
+
+    def test_delta_survives_reset_ledger(self):
+        comm = Communicator(2)
+        t = Tracer(comm)
+        with t.span("run") as s:
+            comm.ledger.add_phase(10.0)
+            comm.reset_ledger()
+            comm.ledger.add_phase(5.0)
+        assert s.ledger["crit_flops"] == 15.0
+
+    def test_delta_survives_rebind(self):
+        # the sweep pattern: one communicator per solve, same tracer
+        t = Tracer()
+        with t.span("sweep") as s:
+            for flops in (3.0, 4.0):
+                comm = Communicator(2)
+                t.bind(comm)
+                comm.ledger.add_phase(flops)
+        assert s.ledger["crit_flops"] == 7.0
+
+    def test_unbound_tracer_records_zero_deltas(self):
+        t = Tracer()
+        with t.span("s") as s:
+            pass
+        assert all(v == 0.0 for v in s.ledger.values())
+
+    def test_sibling_spans_split_charges(self):
+        comm = Communicator(2)
+        t = Tracer(comm)
+        with t.span("parent") as parent:
+            with t.span("a") as a:
+                comm.ledger.add_phase(1.0)
+            with t.span("b") as b:
+                comm.ledger.add_phase(2.0)
+        assert a.ledger["crit_flops"] == 1.0
+        assert b.ledger["crit_flops"] == 2.0
+        assert parent.ledger["crit_flops"] == 3.0  # inclusive
+
+
+class TestTracingContext:
+    def test_installs_and_restores(self):
+        assert obs.get_tracer() is NULL_TRACER
+        with obs.tracing() as tracer:
+            assert obs.get_tracer() is tracer
+            assert obs.enabled()
+            with obs.span("s", a=1) as s:
+                obs.event("e")
+        assert obs.get_tracer() is NULL_TRACER
+        assert s.attrs == {"a": 1}
+        assert tracer.spans == [s]
+
+    def test_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.tracing():
+                raise RuntimeError("boom")
+        assert obs.get_tracer() is NULL_TRACER
+
+    def test_nested_tracing_restores_outer(self):
+        with obs.tracing() as outer:
+            with obs.tracing() as inner:
+                assert obs.get_tracer() is inner
+            assert obs.get_tracer() is outer
