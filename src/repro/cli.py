@@ -6,7 +6,13 @@ paper-style sweep, or a traced run with a per-phase cost breakdown::
     python -m repro solve --case tc1 --precond schur1 --nparts 8
     python -m repro sweep --case tc2 --preconds schur1,block2 --p 2,4,8,16
     python -m repro trace poisson2d --precond schur1 --nparts 8
+    python -m repro faults tc1 --kind bad-pivot --precond schur1
     python -m repro info
+
+``solve`` and ``trace`` exit nonzero when the final status is anything but
+``converged`` and print the classified status; ``faults`` runs a solve under
+deterministic fault injection through the resilient fallback chain
+(docs/robustness.md).
 
 Sizes default to laptop scale; ``--size`` overrides the case's resolution
 parameter (grid points per side, or 1/h for tc3).  Cases are addressable by
@@ -18,11 +24,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import obs
+from repro import faults, obs
 from repro.cases import CASE_BUILDERS
 from repro.core.driver import PRECONDITIONER_NAMES, solve_case
 from repro.core.experiment import run_sweep
 from repro.perfmodel.machine import machine_by_name
+from repro.resilience import ResilientSolver
 
 #: descriptive aliases for the paper's tcN keys
 CASE_ALIASES = {
@@ -78,6 +85,9 @@ def make_parser() -> argparse.ArgumentParser:
     solve.add_argument("--machine", default="linux-cluster")
     solve.add_argument("--rtol", type=float, default=1e-6)
     solve.add_argument("--maxiter", type=int, default=500)
+    solve.add_argument("--resilient", action="store_true",
+                       help="wrap the solve in the retry/fallback chain "
+                       "(docs/robustness.md)")
 
     sweep = sub.add_parser("sweep", help="run a paper-style table")
     sweep.add_argument("--case", default="tc1")
@@ -112,15 +122,48 @@ def make_parser() -> argparse.ArgumentParser:
     trace.add_argument("--csv", default=None,
                        help="also write a flat per-span CSV to this path")
 
+    fault = sub.add_parser(
+        "faults",
+        help="run one case under deterministic fault injection through the "
+        "resilient retry/fallback chain",
+    )
+    fault.add_argument("case", help=f"one of {sorted(CASE_BUILDERS)} or an alias")
+    fault.add_argument("--kind", default="bad-pivot", choices=faults.FAULT_KINDS,
+                       help="fault class to inject")
+    fault.add_argument("--count", type=int, default=1,
+                       help="how many times the fault fires (-1 = unlimited)")
+    fault.add_argument("--start", type=int, default=0,
+                       help="matching opportunities to skip before firing")
+    fault.add_argument("--target", default=None,
+                       help="comma-separated fault scopes (preconditioner "
+                       "short names); default: fault everywhere")
+    fault.add_argument("--value", type=float, default=1e-300,
+                       help="payload for tiny-pivot / ghost-scale")
+    fault.add_argument("--fault-seed", type=int, default=0)
+    fault.add_argument("--precond", default="schur1",
+                       help=f"one of {PRECONDITIONER_NAMES}")
+    fault.add_argument("--nparts", type=int, default=4)
+    fault.add_argument("--size", type=int, default=None, help="resolution override")
+    fault.add_argument("--seed", type=int, default=0, help="partitioning seed")
+    fault.add_argument("--scheme", choices=("general", "box", "spectral"),
+                       default="general")
+    fault.add_argument("--rtol", type=float, default=1e-6)
+    fault.add_argument("--maxiter", type=int, default=500)
+    fault.add_argument("--out", default=None,
+                       help="also write a JSON trace of the faulted run")
+
     sub.add_parser("info", help="list available cases, preconditioners, machines")
     return parser
+
+
+def _status_text(status: str) -> str:
+    return "converged" if status == "converged" else f"NOT CONVERGED [{status}]"
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
     case = _build_case(args.case, args.size)
     machine = machine_by_name(args.machine)
-    out = solve_case(
-        case,
+    kwargs = dict(
         precond=args.precond,
         nparts=args.nparts,
         seed=args.seed,
@@ -128,16 +171,31 @@ def cmd_solve(args: argparse.Namespace) -> int:
         rtol=args.rtol,
         maxiter=args.maxiter,
     )
+    if args.resilient:
+        res = ResilientSolver().solve(case, **kwargs)
+        _print_attempts(res)
+        out = res.outcome
+        if out is None:
+            print(f"  all attempts failed; final status: {res.status}")
+            return 1
+    else:
+        out = solve_case(case, **kwargs)
     print(f"{case.title}: {case.num_dofs} unknowns, P={args.nparts}, "
           f"{out.precond}, {args.scheme} partitioning")
-    status = "converged" if out.converged else "NOT CONVERGED"
-    print(f"  {status} in {out.iterations} FGMRES(20) iterations "
-          f"(reduction {out.residuals[-1] / out.residuals[0]:.2e})")
+    print(f"  {_status_text(out.status)} in {out.iterations} FGMRES(20) "
+          f"iterations (reduction {out.residuals[-1] / out.residuals[0]:.2e})")
     print(f"  simulated time on {machine.name}: {out.sim_time(machine):.3f}s "
           f"(setup {machine.time(out.setup_ledger):.3f}s)")
     if out.error is not None:
         print(f"  max error vs exact solution: {out.error:.3e}")
     return 0 if out.converged else 1
+
+
+def _print_attempts(res) -> None:
+    if len(res.attempts) > 1:
+        for a in res.attempts:
+            detail = a.fault or f"{a.status} after {a.iterations} iterations"
+            print(f"  [{a.kind}] {a.precond}: {detail}")
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -169,9 +227,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
             maxiter=args.maxiter,
         )
 
-    status = "converged" if out.converged else "NOT CONVERGED"
     print(f"{case.title}: {case.num_dofs} unknowns, P={args.nparts}, "
-          f"{out.precond} — {status} in {out.iterations} iterations")
+          f"{out.precond} — {_status_text(out.status)} in {out.iterations} "
+          f"iterations")
     print(obs.format_phase_table(tracer.spans, machine, args.nparts))
 
     # the contract's invariant: span-attributed ledger deltas reproduce the
@@ -197,6 +255,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         "machine": machine.name,
         "iterations": out.iterations,
         "converged": out.converged,
+        "status": out.status,
     }
     written = obs.write_json_trace(out_path, tracer, meta)
     print(f"trace written to {written}")
@@ -205,6 +264,52 @@ def cmd_trace(args: argparse.Namespace) -> int:
     if err >= 1e-9:
         return 2
     return 0 if out.converged else 1
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    case = _build_case(args.case, args.size)
+    spec = faults.FaultSpec(
+        kind=args.kind, count=args.count, start=args.start,
+        target=args.target, value=args.value,
+    )
+    plan = faults.FaultPlan(spec, seed=args.fault_seed)
+    solver = ResilientSolver()
+    kwargs = dict(
+        precond=args.precond, nparts=args.nparts, seed=args.seed,
+        scheme=args.scheme, rtol=args.rtol, maxiter=args.maxiter,
+    )
+    with obs.tracing() as tracer, faults.inject(plan):
+        res = solver.solve(case, **kwargs)
+
+    print(f"{case.title}: {case.num_dofs} unknowns, P={args.nparts}, "
+          f"primary {args.precond}, fault {args.kind} x{args.count}")
+    if plan.injected:
+        for rec in plan.injected[:8]:
+            where = {k: v for k, v in rec.items() if k != "kind"}
+            print(f"  injected {rec['kind']}: {where}")
+        if len(plan.injected) > 8:
+            by_kind = ", ".join(f"{k} x{v}" for k, v in plan.summary().items())
+            print(f"  ... {len(plan.injected)} faults fired in total ({by_kind})")
+    else:
+        print("  no faults fired (check --target / --start against the run)")
+    for a in res.attempts:
+        detail = a.fault or f"{a.status} after {a.iterations} iterations"
+        print(f"  [{a.kind}] {a.precond}: {detail}")
+    verdict = "recovered" if res.recovered else _status_text(res.status)
+    print(f"  final: {verdict} via {res.final_precond} "
+          f"({len(res.attempts)} attempt(s))")
+    if args.out:
+        meta = {
+            "case": case.key,
+            "precond": args.precond,
+            "fault": {"kind": args.kind, "count": args.count,
+                      "start": args.start, "target": args.target},
+            "injected": plan.injected,
+            "status": res.status,
+            "recovered": res.recovered,
+        }
+        print(f"trace written to {obs.write_json_trace(args.out, tracer, meta)}")
+    return 0 if res.converged else 1
 
 
 def cmd_info(_args: argparse.Namespace) -> int:
@@ -222,6 +327,7 @@ def main(argv: list[str] | None = None) -> int:
         "solve": cmd_solve,
         "sweep": cmd_sweep,
         "trace": cmd_trace,
+        "faults": cmd_faults,
         "info": cmd_info,
     }
     return commands[args.command](args)

@@ -10,10 +10,11 @@ static object built once from the partition and reused by every exchange.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.comm.communicator import Communicator
 
 
@@ -34,6 +35,16 @@ class ExchangeSpec:
     @property
     def count(self) -> int:
         return len(self.send_local)
+
+    @cached_property
+    def max_send(self) -> int:
+        """Largest owned index this transfer reads (-1 when empty)."""
+        return int(self.send_local.max()) if len(self.send_local) else -1
+
+    @cached_property
+    def max_recv(self) -> int:
+        """Largest ghost index this transfer writes (-1 when empty)."""
+        return int(self.recv_ghost.max()) if len(self.recv_ghost) else -1
 
 
 @dataclass
@@ -91,8 +102,15 @@ class CommunicationPattern:
 
         ``owned[r]`` and ``ghost[r]`` are rank r's owned and ghost value
         arrays; after the call every ghost slot holds the owner's current
-        value.
+        value.  Mismatched buffers raise a clear ``ValueError`` naming the
+        offending rank and transfer instead of an opaque IndexError.
         """
+        if len(owned) != self.num_ranks or len(ghost) != self.num_ranks:
+            raise ValueError(
+                f"ghost exchange over {self.num_ranks} ranks needs one owned "
+                f"and one ghost array per rank, got {len(owned)} owned / "
+                f"{len(ghost)} ghost"
+            )
         # hot path: skip even null-span construction when tracing is off
         if obs.enabled():
             with obs.span("comm.exchange", transfers=len(self.transfers)):
@@ -106,7 +124,25 @@ class CommunicationPattern:
         owned: list[np.ndarray],
         ghost: list[np.ndarray],
     ) -> None:
+        plan = faults.active()
         for t in self.transfers:
+            if len(ghost[t.dst]) <= t.max_recv or len(owned[t.src]) <= t.max_send:
+                raise ValueError(
+                    f"ghost exchange {t.src}->{t.dst}: transfer targets ghost "
+                    f"index {t.max_recv} / owned index {t.max_send}, but rank "
+                    f"{t.dst} has {len(ghost[t.dst])} ghost slots and rank "
+                    f"{t.src} has {len(owned[t.src])} owned values"
+                )
+            if plan is not None:
+                action, value = plan.transfer_action(t.src, t.dst)
+                if action == "drop":
+                    continue  # ghost slots keep whatever (stale) values they had
+                ghost[t.dst][t.recv_ghost] = owned[t.src][t.send_local]
+                if action == "corrupt":
+                    ghost[t.dst][t.recv_ghost] = np.nan
+                elif action == "scale":
+                    ghost[t.dst][t.recv_ghost] *= value
+                continue
             ghost[t.dst][t.recv_ghost] = owned[t.src][t.send_local]
         comm.ledger.add_phase(
             0.0, msgs_per_rank=self._msgs_per_rank, bytes_per_rank=self._bytes_per_rank

@@ -14,18 +14,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.cases.base import TestCase
 from repro.comm.communicator import Communicator
 from repro.distributed.matrix import DistributedMatrix, distribute_matrix
 from repro.distributed.ops import DistributedOps
 from repro.distributed.partition_map import PartitionMap
 from repro.krylov.fgmres import fgmres
+from repro.krylov.monitors import STATUSES
 from repro.perfmodel.costs import CostLedger
 from repro.perfmodel.machine import Machine
 from repro.precond.base import ParallelPreconditioner
 from repro.precond.block_jacobi import block1, block2, block_krylov
 from repro.precond.identity import IdentityPreconditioner
+from repro.precond.jacobi import jacobi
 from repro.precond.overlapping_block import OverlappingBlockPreconditioner
 from repro.precond.polynomial import ChebyshevPreconditioner
 from repro.precond.schur1 import Schur1Preconditioner
@@ -44,6 +46,7 @@ PRECONDITIONER_NAMES = (
     "as+cgc",
     "ras+cgc",
     "cheb",
+    "jacobi",
     "none",
 )
 
@@ -58,7 +61,7 @@ def make_preconditioner(
     """Instantiate one of the paper's preconditioners by short name."""
     params = dict(params or {})
     if name == "block1":
-        return block1(dmat, comm)
+        return block1(dmat, comm, **params)
     if name == "block2":
         return block2(dmat, comm, **params)
     if name == "blockk":
@@ -92,6 +95,8 @@ def make_preconditioner(
         )
     if name == "cheb":
         return ChebyshevPreconditioner(dmat, comm, **params)
+    if name == "jacobi":
+        return jacobi(dmat, comm)
     if name == "none":
         return IdentityPreconditioner(dmat, comm)
     raise ValueError(f"unknown preconditioner {name!r}; pick from {PRECONDITIONER_NAMES}")
@@ -99,7 +104,12 @@ def make_preconditioner(
 
 @dataclass
 class SolveOutcome:
-    """Everything the paper's tables report, plus diagnostics."""
+    """Everything the paper's tables report, plus diagnostics.
+
+    ``status`` carries the classified solver termination (one of
+    :data:`repro.krylov.STATUSES`); ``converged`` stays available as a
+    derived property so table-building code keeps reading naturally.
+    """
 
     case_key: str
     precond: str
@@ -107,13 +117,21 @@ class SolveOutcome:
     scheme: str
     seed: int
     iterations: int
-    converged: bool
+    status: str
     setup_ledger: CostLedger
     solve_ledger: CostLedger
     wall_seconds: float
     residuals: list[float] = field(repr=False)
     x_global: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
     error: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(f"unknown status {self.status!r}; pick from {STATUSES}")
+
+    @property
+    def converged(self) -> bool:
+        return self.status == "converged"
 
     def sim_time(self, machine: Machine, include_setup: bool = True) -> float:
         """Simulated parallel wall-clock seconds on ``machine``."""
@@ -163,9 +181,12 @@ def solve_case(
         )
 
         with obs.span("precond.setup", precond=precond):
-            preconditioner = make_preconditioner(
-                precond, dmat, comm, case, precond_params
-            )
+            # scope the fault plan so targeted factorization faults hit this
+            # preconditioner's setup but not a fallback's
+            with faults.scope(precond):
+                preconditioner = make_preconditioner(
+                    precond, dmat, comm, case, precond_params
+                )
         setup_ledger = comm.reset_ledger()
         setup_ledger.working_set_bytes = working_set
         comm.ledger.working_set_bytes = working_set
@@ -175,7 +196,8 @@ def solve_case(
         x0_dist = pm.to_distributed(case.x0)
 
         t0 = time.perf_counter()
-        with obs.span("krylov.solve", solver=f"fgmres({restart})", rtol=rtol):
+        with obs.span("krylov.solve", solver=f"fgmres({restart})", rtol=rtol), \
+                faults.scope(precond):
             result = fgmres(
                 lambda v: dmat.matvec(comm, v),
                 b_dist,
@@ -189,7 +211,11 @@ def solve_case(
         wall = time.perf_counter() - t0
 
         x_global = pm.to_global(result.x)
-        root.set(iterations=result.iterations, converged=result.converged)
+        root.set(
+            iterations=result.iterations,
+            converged=result.converged,
+            status=result.status,
+        )
     return SolveOutcome(
         case_key=case.key,
         precond=preconditioner.name,
@@ -197,7 +223,7 @@ def solve_case(
         scheme=scheme,
         seed=seed,
         iterations=result.iterations,
-        converged=result.converged,
+        status=result.status,
         setup_ledger=setup_ledger,
         solve_ledger=comm.ledger,
         wall_seconds=wall,

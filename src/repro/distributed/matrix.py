@@ -14,9 +14,10 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro import obs
+from repro import faults, obs
 from repro.comm.communicator import Communicator
 from repro.distributed.partition_map import PartitionMap
+from repro.resilience.errors import NumericalFault
 from repro.sparse.blocksplit import BlockSplit, split_2x2
 from repro.utils.validation import ensure_csr
 
@@ -107,7 +108,22 @@ class DistributedMatrix:
             msgs_per_rank=pat.msgs_per_rank,
             bytes_per_rank=pat.bytes_per_rank,
         )
-        return self._fused @ x
+        y = self._fused @ x
+        plan = faults.active()
+        if plan is not None:
+            plan.kernel_output("dist.matvec", y)
+        # NaN/Inf guard: a cheap sum test first (NaN/Inf propagate through
+        # it), the exact elementwise check only to rule out a benign sum
+        # overflow before raising
+        if not np.isfinite(y.sum()) and not np.all(np.isfinite(y)):
+            obs.event("resilience.detected", kind="nonfinite", where="dist.matvec")
+            raise NumericalFault(
+                "distributed matvec produced non-finite values",
+                where="dist.matvec",
+                bad=int(np.count_nonzero(~np.isfinite(y))),
+                n=int(y.size),
+            )
+        return y
 
     def matvec_explicit(self, comm: Communicator, x: np.ndarray) -> np.ndarray:
         """Per-rank matvec with an explicit ghost exchange (test/reference path)."""

@@ -7,7 +7,7 @@ two-level ARMS solver, and plain dense LU (Gaussian elimination) for coarse
 grids and ARMS's small group blocks.
 """
 
-from repro.factor.base import ILUFactorization
+from repro.factor.base import FactorStats, ILUFactorization
 from repro.factor.ilu0 import ilu0
 from repro.factor.ilut import ilut
 from repro.factor.schur_extract import SchurBlocks, extract_schur_blocks
@@ -15,6 +15,7 @@ from repro.factor.dense import DenseLU, dense_lu
 from repro.factor.arms import ArmsFactorization, arms_factor
 
 __all__ = [
+    "FactorStats",
     "ILUFactorization",
     "ilu0",
     "ilut",

@@ -22,6 +22,7 @@ import scipy.sparse as sp
 from repro.factor.dense import DenseLU, dense_lu
 from repro.factor.ilu0 import ilu0
 from repro.graph.adjacency import graph_from_matrix
+from repro.resilience.errors import FactorizationBreakdown
 from repro.graph.independent_sets import find_group_independent_sets
 from repro.sparse.csr import drop_small
 from repro.sparse.reorder import apply_symmetric_permutation, inverse_permutation
@@ -55,6 +56,8 @@ class ArmsFactorization:
         seed: int | np.random.Generator | None = 0,
         levels: int = 2,
         min_coarse_size: int = 64,
+        shift: float = 0.0,
+        breakdown_frac: float | None = None,
     ) -> None:
         a_local = ensure_csr(a_local)
         check_square(a_local, "a_local")
@@ -63,6 +66,11 @@ class ArmsFactorization:
             raise ValueError("n_internal out of range")
         if levels < 2:
             raise ValueError("levels must be >= 2")
+        if shift and n:
+            # the post-breakdown remedy: factor A + shift·I instead of A
+            a_local = ensure_csr((a_local + shift * sp.eye(n, format="csr")).tocsr())
+        self.shift = shift
+        self.breakdown_frac = breakdown_frac
 
         graph = graph_from_matrix(a_local)
         gis = find_group_independent_sets(
@@ -94,9 +102,16 @@ class ArmsFactorization:
         for k in range(len(gis.groups)):
             lo, hi = int(ptr[k]), int(ptr[k + 1])
             dg = self.D[lo:hi, lo:hi].toarray()
-            lu = dense_lu(dg)
+            try:
+                lu = dense_lu(dg)
+                inv = np.linalg.inv(dg)
+            except (ZeroDivisionError, np.linalg.LinAlgError) as exc:
+                raise FactorizationBreakdown(
+                    f"ARMS group block {k} is singular",
+                    group=k, size=hi - lo, shift=shift,
+                ) from exc
             self._group_lus.append(lu)
-            blocks.append(np.linalg.inv(dg))
+            blocks.append(inv)
         if blocks:
             self.d_inv = ensure_csr(sp.block_diag(blocks, format="csr"))
         else:
@@ -109,7 +124,11 @@ class ArmsFactorization:
             exact = self.C
         self.s_hat = drop_small(ensure_csr(exact.tocsr()), drop_tol)
         # the distributed-ILU(0) local factor on the expanded Schur block
-        self.s_ilu = ilu0(self.s_hat) if self.n_expanded else None
+        self.s_ilu = (
+            ilu0(self.s_hat, breakdown_frac=breakdown_frac)
+            if self.n_expanded
+            else None
+        )
 
         # expanded-interface bookkeeping (original local indices); the
         # separator is sorted, so local-interface unknowns (< n_internal)
@@ -137,6 +156,7 @@ class ArmsFactorization:
                 seed=seed,
                 levels=levels - 1,
                 min_coarse_size=min_coarse_size,
+                breakdown_frac=breakdown_frac,
             )
             if self.child.n_grouped == 0:
                 self.child = None  # recursion made no progress; stop here

@@ -2,11 +2,34 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 import scipy.sparse as sp
 
 from repro.sparse.triangular import TriangularFactor
 from repro.utils.validation import ensure_csr
+
+
+@dataclass(frozen=True)
+class FactorStats:
+    """Health diagnostics of one incomplete factorization.
+
+    ``floored_pivots`` counts diagonal entries that collapsed below the
+    pivot floor and were replaced — each one is a row whose elimination the
+    factorization essentially gave up on.  A nonzero count is survivable; a
+    large fraction means the factors are untrustworthy (see
+    ``breakdown_frac`` in :func:`repro.factor.ilu0.ilu0` /
+    :func:`repro.factor.ilut.ilut` and ``docs/robustness.md``).
+    """
+
+    n: int = 0
+    floored_pivots: int = 0
+    shift: float = 0.0
+
+    @property
+    def floored_fraction(self) -> float:
+        return self.floored_pivots / max(self.n, 1)
 
 
 class ILUFactorization:
@@ -15,15 +38,24 @@ class ILUFactorization:
     ``l_strict`` holds the strictly lower triangle of L (unit diagonal
     implicit); ``u_upper`` holds U including its diagonal.  Solves use the
     level-scheduled vectorized kernels of :mod:`repro.sparse.triangular`.
+    ``stats`` carries the producing algorithm's health counters (pivot
+    floors, diagonal shift); factorizations built directly from L/U parts
+    get zeroed stats.
     """
 
-    def __init__(self, l_strict: sp.csr_matrix, u_upper: sp.csr_matrix) -> None:
+    def __init__(
+        self,
+        l_strict: sp.csr_matrix,
+        u_upper: sp.csr_matrix,
+        stats: FactorStats | None = None,
+    ) -> None:
         self.l_strict = ensure_csr(l_strict)
         self.u_upper = ensure_csr(u_upper)
         n = self.l_strict.shape[0]
         if self.l_strict.shape != (n, n) or self.u_upper.shape != (n, n):
             raise ValueError("L and U must be square and the same size")
         self.n = n
+        self.stats = stats if stats is not None else FactorStats(n=n)
         u_strict = sp.triu(self.u_upper, k=1, format="csr")
         diag = self.u_upper.diagonal()
         self.L = TriangularFactor(self.l_strict, None, lower=True)
@@ -49,3 +81,11 @@ class ILUFactorization:
         """Explicit L @ U (testing aid; O(n·nnz), small matrices only)."""
         eye = sp.eye(self.n, format="csr")
         return ensure_csr((self.l_strict + eye) @ self.u_upper)
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.stats.floored_pivots:
+            extra = f", floored_pivots={self.stats.floored_pivots}"
+        if self.stats.shift:
+            extra += f", shift={self.stats.shift:g}"
+        return f"ILUFactorization(n={self.n}, nnz={self.nnz}{extra})"

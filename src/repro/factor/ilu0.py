@@ -12,19 +12,33 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.factor.base import ILUFactorization
+from repro import faults, obs
+from repro.factor.base import FactorStats, ILUFactorization
+from repro.resilience.errors import FactorizationBreakdown
 from repro.utils.validation import check_square, ensure_csr
 
 _PIVOT_FLOOR = 1e-12
 
 
-def ilu0(a: sp.csr_matrix, modified: bool = False) -> ILUFactorization:
+def ilu0(
+    a: sp.csr_matrix,
+    modified: bool = False,
+    *,
+    shift: float = 0.0,
+    breakdown_frac: float | None = None,
+) -> ILUFactorization:
     """Compute the ILU(0) factorization of ``a``.
 
     Rows must have a stored diagonal (always true for FE matrices after
     boundary treatment).  A pivot that collapses below ``1e-12`` times the
     row norm is replaced by a sign-preserving floor — the usual safeguard
-    against breakdown on indefinite rows.
+    against breakdown on indefinite rows.  Floored pivots are counted in the
+    returned factorization's ``stats``; when ``breakdown_frac`` is set and
+    more than that fraction of rows needed flooring, the factorization is
+    untrustworthy and a :class:`FactorizationBreakdown` is raised instead.
+
+    ``shift`` adds ``shift`` to every diagonal entry before elimination
+    (factor A + shift·I) — the classical remedy after a breakdown.
 
     ``modified=True`` gives MILU(0): every update that falls outside the
     pattern is subtracted from the row's diagonal instead of being dropped,
@@ -37,6 +51,7 @@ def ilu0(a: sp.csr_matrix, modified: bool = False) -> ILUFactorization:
     n = a.shape[0]
     indptr, indices = a.indptr, a.indices
     data = a.data.copy()
+    plan = faults.active()
 
     # position of each column within each row, and of the diagonal
     colpos: list[dict[int, int]] = []
@@ -48,10 +63,12 @@ def ilu0(a: sp.csr_matrix, modified: bool = False) -> ILUFactorization:
         if i not in d:
             raise ValueError(f"row {i} has no stored diagonal entry")
         diag_pos[i] = d[i]
+        if shift:
+            data[diag_pos[i]] += shift
 
+    floored = 0
     for i in range(n):
         lo, hi = indptr[i], indptr[i + 1]
-        row_cols = indices[lo:hi]
         rownorm = float(np.abs(data[lo:hi]).max()) or 1.0
         dropped = 0.0
         for p in range(lo, hi):
@@ -75,10 +92,34 @@ def ilu0(a: sp.csr_matrix, modified: bool = False) -> ILUFactorization:
         dp = diag_pos[i]
         if modified:
             data[dp] -= dropped
+        if plan is not None:
+            data[dp] = plan.pivot_pre(i, float(data[dp]))
         if abs(data[dp]) < _PIVOT_FLOOR * rownorm:
+            floored += 1
             data[dp] = _PIVOT_FLOOR * rownorm if data[dp] >= 0 else -_PIVOT_FLOOR * rownorm
+        if plan is not None:
+            data[dp] = plan.pivot_post(i, float(data[dp]))
 
+    _check_breakdown("ilu0", floored, n, breakdown_frac, shift)
     lu = sp.csr_matrix((data, indices.copy(), indptr.copy()), shape=a.shape)
     l_strict = sp.tril(lu, k=-1, format="csr")
     u_upper = sp.triu(lu, k=0, format="csr")
-    return ILUFactorization(l_strict, u_upper)
+    stats = FactorStats(n=n, floored_pivots=floored, shift=shift)
+    return ILUFactorization(l_strict, u_upper, stats=stats)
+
+
+def _check_breakdown(
+    where: str, floored: int, n: int, breakdown_frac: float | None, shift: float
+) -> None:
+    """Shared floored-fraction breakdown test for the ILU variants."""
+    if breakdown_frac is None or floored <= breakdown_frac * n:
+        return
+    obs.event(
+        "resilience.detected", kind="breakdown", where=where,
+        floored=floored, n=n,
+    )
+    raise FactorizationBreakdown(
+        f"{where}: {floored}/{n} pivots collapsed to the floor "
+        f"(> breakdown_frac={breakdown_frac:g})",
+        floored=floored, n=n, breakdown_frac=breakdown_frac, shift=shift,
+    )

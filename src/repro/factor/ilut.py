@@ -14,17 +14,30 @@ import heapq
 import numpy as np
 import scipy.sparse as sp
 
-from repro.factor.base import ILUFactorization
+from repro import faults
+from repro.factor.base import FactorStats, ILUFactorization
+from repro.factor.ilu0 import _check_breakdown
 from repro.utils.validation import check_square, ensure_csr
 
 _PIVOT_FLOOR = 1e-12
 
 
-def ilut(a: sp.csr_matrix, drop_tol: float = 1e-3, fill: int = 10) -> ILUFactorization:
+def ilut(
+    a: sp.csr_matrix,
+    drop_tol: float = 1e-3,
+    fill: int = 10,
+    *,
+    shift: float = 0.0,
+    breakdown_frac: float | None = None,
+) -> ILUFactorization:
     """Compute ILUT(τ=``drop_tol``, p=``fill``) of ``a``.
 
     ``fill`` bounds the number of off-diagonal entries kept per row in each
-    of L and U.  Zero pivots are floored to preserve solvability.
+    of L and U.  Zero pivots are floored to preserve solvability; floors are
+    counted in the result's ``stats`` and, when ``breakdown_frac`` is set
+    and exceeded, reported as a :class:`FactorizationBreakdown` (see
+    :func:`repro.factor.ilu0.ilu0` for the contract).  ``shift`` factors
+    A + shift·I instead of A.
     """
     a = ensure_csr(a)
     check_square(a, "a")
@@ -34,6 +47,7 @@ def ilut(a: sp.csr_matrix, drop_tol: float = 1e-3, fill: int = 10) -> ILUFactori
         raise ValueError("fill must be >= 1")
     n = a.shape[0]
     indptr, indices, adata = a.indptr, a.indices, a.data
+    plan = faults.active()
 
     # U rows stored as (cols ndarray, vals ndarray, diag value); L rows likewise
     u_cols: list[np.ndarray] = [None] * n  # type: ignore[list-item]
@@ -42,6 +56,7 @@ def ilut(a: sp.csr_matrix, drop_tol: float = 1e-3, fill: int = 10) -> ILUFactori
     l_cols: list[np.ndarray] = [None] * n  # type: ignore[list-item]
     l_vals: list[np.ndarray] = [None] * n  # type: ignore[list-item]
 
+    floored = 0
     for i in range(n):
         lo, hi = indptr[i], indptr[i + 1]
         cols_i = indices[lo:hi]
@@ -52,7 +67,7 @@ def ilut(a: sp.csr_matrix, drop_tol: float = 1e-3, fill: int = 10) -> ILUFactori
         tau = drop_tol * rownorm
 
         w: dict[int, float] = dict(zip(cols_i.tolist(), vals_i.tolist()))
-        w.setdefault(i, 0.0)
+        w[i] = w.get(i, 0.0) + shift
 
         # eliminate lower entries in increasing column order (heap with
         # lazy re-push handles fill-in below the current minimum)
@@ -87,18 +102,25 @@ def ilut(a: sp.csr_matrix, drop_tol: float = 1e-3, fill: int = 10) -> ILUFactori
         lower = sorted(lower[:fill])
         upper = sorted(upper[:fill])
 
+        if plan is not None:
+            diag = plan.pivot_pre(i, diag)
         if abs(diag) < _PIVOT_FLOOR * rownorm:
+            floored += 1
             diag = _PIVOT_FLOOR * rownorm if diag >= 0 else -_PIVOT_FLOOR * rownorm
+        if plan is not None:
+            diag = plan.pivot_post(i, diag)
         u_diag[i] = diag
         l_cols[i] = np.asarray([c for c, _ in lower], dtype=np.int64)
         l_vals[i] = np.asarray([v for _, v in lower])
         u_cols[i] = np.asarray([c for c, _ in upper], dtype=np.int64)
         u_vals[i] = np.asarray([v for _, v in upper])
 
+    _check_breakdown("ilut", floored, n, breakdown_frac, shift)
     l_csr = _rows_to_csr(l_cols, l_vals, n)
     u_strict = _rows_to_csr(u_cols, u_vals, n)
     u_upper = (u_strict + sp.diags(u_diag, format="csr")).tocsr()
-    return ILUFactorization(l_csr, ensure_csr(u_upper))
+    stats = FactorStats(n=n, floored_pivots=floored, shift=shift)
+    return ILUFactorization(l_csr, ensure_csr(u_upper), stats=stats)
 
 
 def _rows_to_csr(cols: list[np.ndarray], vals: list[np.ndarray], n: int) -> sp.csr_matrix:

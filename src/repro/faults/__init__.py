@@ -1,0 +1,91 @@
+"""Deterministic fault injection — ``repro.faults``.
+
+The test harness for the resilience layer (``docs/robustness.md``): a
+:class:`FaultPlan` injects seeded, reproducible faults at three hook points
+in the solve stack —
+
+* factorization pivots (``bad-pivot``, ``tiny-pivot``),
+* the distributed matvec output (``nan-kernel``),
+* the ghost exchange (``ghost-corrupt``, ``ghost-drop``, ``ghost-scale``).
+
+Usage::
+
+    from repro import faults
+    plan = faults.FaultPlan(faults.FaultSpec("nan-kernel", count=1))
+    with faults.inject(plan):
+        outcome = ResilientSolver().solve(case, precond="schur1")
+    print(plan.injected)   # exactly which faults fired, and where
+
+Injection is off by default and the hooks cost one module-attribute read
+when inactive.  ``inject`` also enters ``np.errstate(...="ignore")``: fault
+plans *intentionally* provoke non-finite arithmetic, and detection is the
+job of the resilience guards, not of numpy warnings (the test suite runs
+with ``-W error::RuntimeWarning`` to keep accidental NaN arithmetic loud).
+
+Hook sites target faults by *scope*: the driver wraps preconditioner
+construction in ``faults.scope(name)``, so a spec with
+``target=("schur1",)`` corrupts Schur 1's factorization but leaves the
+fallback preconditioners clean.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro.faults.plan import FAULT_KINDS, FaultPlan, FaultSpec
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active() -> FaultPlan | None:
+    """The active fault plan, or None when injection is off (the default)."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    return _ACTIVE is not None
+
+
+@contextmanager
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Activate ``plan`` for the duration of the block (not reentrant)."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a fault plan is already active")
+    _ACTIVE = plan
+    # injected faults legitimately overflow / produce NaN downstream; the
+    # guards classify them, so silence numpy's warnings inside the window
+    with np.errstate(over="ignore", invalid="ignore", divide="ignore"):
+        try:
+            yield plan
+        finally:
+            _ACTIVE = None
+
+
+@contextmanager
+def scope(name: str) -> Iterator[None]:
+    """Label the current region as fault scope ``name`` (e.g. a
+    preconditioner short name); no-op when injection is off."""
+    plan = _ACTIVE
+    if plan is None:
+        yield
+        return
+    plan.scope_stack.append(name)
+    try:
+        yield
+    finally:
+        plan.scope_stack.pop()
+
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "active",
+    "enabled",
+    "inject",
+    "scope",
+]

@@ -1,0 +1,186 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a list of :class:`FaultSpec` entries plus counters.
+Instrumented code (factorizations, the distributed matvec, the ghost
+exchange) calls the plan's hooks at well-defined *opportunities*; each spec
+decides per opportunity whether to fire based only on its counters and its
+targeting scope — never on wall-clock time or global randomness — so a run
+with the same plan, case, and seeds injects exactly the same faults.
+
+Fault kinds and their hook points (see ``docs/robustness.md``):
+
+``bad-pivot``
+    Fired *before* the pivot floor in ILU(0)/ILUT: the pivot is zeroed, so
+    it gets floored and counted — enough of them trips the
+    ``breakdown_frac`` detector (:class:`FactorizationBreakdown`).
+``tiny-pivot``
+    Fired *after* the pivot floor: the stored pivot is replaced by
+    ``value`` (default 1e-300), modeling a corrupted factor entry that the
+    floor safeguard cannot see.  Applying the factor then amplifies by
+    ~1e300 and the outer solve's non-finite detectors classify the run as
+    ``diverged``.
+``nan-kernel``
+    Fired on the distributed matvec output: one entry is set to NaN, which
+    the matvec guard reports as a :class:`NumericalFault`.
+``ghost-corrupt`` / ``ghost-drop`` / ``ghost-scale``
+    Fired per transfer of a ghost exchange: the received values are
+    overwritten with NaN, left stale (the transfer is dropped), or scaled
+    by ``value``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+
+FAULT_KINDS = (
+    "bad-pivot",
+    "tiny-pivot",
+    "nan-kernel",
+    "ghost-corrupt",
+    "ghost-drop",
+    "ghost-scale",
+)
+
+#: fault kinds whose hook is the factorization pivot loop
+_PIVOT_PRE = ("bad-pivot",)
+_PIVOT_POST = ("tiny-pivot",)
+_KERNEL = ("nan-kernel",)
+_GHOST = ("ghost-corrupt", "ghost-drop", "ghost-scale")
+
+
+@dataclass
+class FaultSpec:
+    """One injected fault pattern.
+
+    ``count`` bounds how many times the spec fires (``-1`` = unlimited);
+    ``start`` skips that many matching opportunities first, and ``stride``
+    then fires on every ``stride``-th one — together they aim a fault at
+    e.g. "the pivots of the second factorization" without the hook sites
+    knowing anything about attempts.  ``target`` restricts the spec to
+    fault scopes (preconditioner short names — see
+    :func:`repro.faults.scope`); ``None`` matches everywhere.
+    """
+
+    kind: str
+    count: int = 1
+    start: int = 0
+    stride: int = 1
+    target: tuple[str, ...] | None = None
+    value: float = 1e-300
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; pick from {FAULT_KINDS}")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        if isinstance(self.target, str):
+            self.target = tuple(t for t in self.target.split(",") if t)
+
+    def matches_scope(self, scope: str | None) -> bool:
+        return self.target is None or (scope is not None and scope in self.target)
+
+
+@dataclass
+class _SpecState:
+    """Mutable firing counters of one spec within a plan."""
+
+    spec: FaultSpec
+    opportunities: int = 0
+    fired: int = 0
+
+    def should_fire(self, scope: str | None) -> bool:
+        if not self.spec.matches_scope(scope):
+            return False
+        k = self.opportunities
+        self.opportunities += 1
+        if k < self.spec.start or (k - self.spec.start) % self.spec.stride:
+            return False
+        if self.spec.count >= 0 and self.fired >= self.spec.count:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultPlan:
+    """A seeded, deterministic set of faults to inject into one run.
+
+    Activate with :func:`repro.faults.inject`; inspect ``injected`` (a list
+    of dicts, one per fired fault) afterwards to see exactly what happened.
+    """
+
+    def __init__(self, specs: list[FaultSpec] | FaultSpec, seed: int = 0) -> None:
+        if isinstance(specs, FaultSpec):
+            specs = [specs]
+        self.specs = list(specs)
+        self.seed = seed
+        self.rng = np.random.default_rng(seed)
+        self.injected: list[dict] = []
+        self._states = [_SpecState(s) for s in self.specs]
+        self.scope_stack: list[str] = []
+
+    @property
+    def scope(self) -> str | None:
+        return self.scope_stack[-1] if self.scope_stack else None
+
+    def _fire(self, state: _SpecState, **attrs) -> None:
+        record = {"kind": state.spec.kind, "scope": self.scope, **attrs}
+        self.injected.append(record)
+        obs.event("faults.injected", **record)
+
+    def _firing(self, kinds: tuple[str, ...]):
+        scope = self.scope
+        for state in self._states:
+            if state.spec.kind in kinds and state.should_fire(scope):
+                yield state
+
+    # -- hooks (called by instrumented code; must stay cheap) ----------------
+
+    def pivot_pre(self, i: int, value: float) -> float:
+        """Factorization pivot before the floor safeguard."""
+        for state in self._firing(_PIVOT_PRE):
+            self._fire(state, row=int(i), old=float(value))
+            value = 0.0
+        return value
+
+    def pivot_post(self, i: int, value: float) -> float:
+        """Factorization pivot after the floor safeguard."""
+        for state in self._firing(_PIVOT_POST):
+            self._fire(state, row=int(i), old=float(value))
+            value = state.spec.value
+        return value
+
+    def kernel_output(self, name: str, y: np.ndarray) -> None:
+        """Mutate a kernel output vector in place (distributed matvec)."""
+        for state in self._firing(_KERNEL):
+            if y.size == 0:
+                continue
+            idx = int(self.rng.integers(y.size))
+            self._fire(state, kernel=name, index=idx)
+            y[idx] = np.nan
+
+    def transfer_action(self, src: int, dst: int) -> tuple[str, float]:
+        """Action for one ghost-exchange transfer: ("ok"|"drop"|"corrupt"|"scale", value)."""
+        for state in self._firing(_GHOST):
+            kind = state.spec.kind
+            self._fire(state, src=int(src), dst=int(dst))
+            if kind == "ghost-drop":
+                return "drop", 0.0
+            if kind == "ghost-scale":
+                return "scale", state.spec.value
+            return "corrupt", 0.0
+        return "ok", 0.0
+
+    def summary(self) -> dict[str, int]:
+        """Fired-fault counts by kind."""
+        out: dict[str, int] = {}
+        for rec in self.injected:
+            out[rec["kind"]] = out.get(rec["kind"], 0) + 1
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kinds = ",".join(s.kind for s in self.specs)
+        return f"FaultPlan([{kinds}], seed={self.seed}, fired={len(self.injected)})"

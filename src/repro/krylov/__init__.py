@@ -7,7 +7,7 @@ so every inner product is charged as an allreduce.
 """
 
 from repro.krylov.ops import CountingOps, KernelOps, SerialOps
-from repro.krylov.monitors import ConvergenceMonitor, KrylovResult
+from repro.krylov.monitors import STATUSES, ConvergenceMonitor, KrylovResult
 from repro.krylov.gmres import gmres
 from repro.krylov.fgmres import fgmres
 from repro.krylov.cg import cg
@@ -25,6 +25,7 @@ __all__ = [
     "CountingOps",
     "ConvergenceMonitor",
     "KrylovResult",
+    "STATUSES",
     "gmres",
     "fgmres",
     "cg",

@@ -51,19 +51,24 @@ def bicgstab(
     ops.charge_local_axpy()
     rnorm = ops.norm(r)
     if mon.start(rnorm) or rnorm <= mon.threshold:
-        return KrylovResult(x=x, iterations=0, converged=True, residuals=mon.residuals)
+        return KrylovResult(x=x, iterations=0, status="converged", residuals=mon.residuals)
 
     r_shadow = r.copy()
     rho_old = alpha = omega = 1.0
     v = np.zeros_like(b)
     p = np.zeros_like(b)
     iters = 0
+    status = "maxiter"
     converged = False
 
     while iters < maxiter:
         rho = ops.dot(r_shadow, r)
+        if not np.isfinite(rho):
+            status = "diverged"
+            break
         if abs(rho) < _BREAKDOWN or abs(omega) < _BREAKDOWN:
-            break  # serious breakdown: return best-so-far honestly
+            status = "breakdown"  # serious breakdown: return best-so-far honestly
+            break
         beta = (rho / rho_old) * (alpha / omega)
         p = r + beta * (p - omega * v)
         ops.charge_local_axpy(2)
@@ -71,6 +76,7 @@ def bicgstab(
         v = apply_a(phat)
         denom = ops.dot(r_shadow, v)
         if abs(denom) < _BREAKDOWN:
+            status = "breakdown"
             break
         alpha = rho / denom
         s = r - alpha * v
@@ -81,12 +87,16 @@ def bicgstab(
             ops.charge_local_axpy()
             converged = True
             break
+        if mon.diverged():
+            status = "diverged"
+            break
         shat = precond(s)
         t = apply_a(shat)
         tt = ops.dot(t, t)
         if tt < _BREAKDOWN:
             x += alpha * phat
             ops.charge_local_axpy()
+            status = "breakdown"
             break
         omega = ops.dot(t, s) / tt
         x += alpha * phat + omega * shat
@@ -95,12 +105,18 @@ def bicgstab(
         if mon.check(ops.norm(r)):
             converged = True
             break
+        verdict = mon.verdict()
+        if verdict is not None:
+            status = verdict
+            break
         rho_old = rho
 
-    if not converged:
+    if not converged and status != "diverged":
         # report the true residual on exit (estimates may have drifted)
         true_norm = ops.norm(b - apply_a(x))
         ops.charge_local_axpy()
         mon.residuals[-1] = true_norm
         converged = true_norm <= mon.threshold
-    return KrylovResult(x=x, iterations=iters, converged=converged, residuals=mon.residuals)
+    if converged:
+        status = "converged"
+    return KrylovResult(x=x, iterations=iters, status=status, residuals=mon.residuals)

@@ -37,25 +37,33 @@ def cg(
     ops.charge_local_axpy()
     rnorm = ops.norm(r)
     if mon.start(rnorm) or rnorm <= mon.threshold:
-        return KrylovResult(x=x, iterations=0, converged=True, residuals=mon.residuals)
+        return KrylovResult(x=x, iterations=0, status="converged", residuals=mon.residuals)
 
     z = precond(r)
     p = z.copy()
     rz = ops.dot(r, z)
     iters = 0
-    converged = False
+    status = "maxiter"
     while iters < maxiter:
         ap = apply_a(p)
         pap = ops.dot(p, ap)
+        if not np.isfinite(pap):
+            status = "diverged"
+            break
         if pap <= 0.0:
-            break  # operator not SPD along p: bail out honestly
+            status = "breakdown"  # operator not SPD along p: bail out honestly
+            break
         alpha = rz / pap
         x += alpha * p
         r -= alpha * ap
         ops.charge_local_axpy(2)
         iters += 1
         if mon.check(ops.norm(r)):
-            converged = True
+            status = "converged"
+            break
+        verdict = mon.verdict()
+        if verdict is not None:
+            status = verdict
             break
         z = precond(r)
         rz_new = ops.dot(r, z)
@@ -63,4 +71,4 @@ def cg(
         rz = rz_new
         p = z + beta * p
         ops.charge_local_axpy()
-    return KrylovResult(x=x, iterations=iters, converged=converged, residuals=mon.residuals)
+    return KrylovResult(x=x, iterations=iters, status=status, residuals=mon.residuals)

@@ -13,6 +13,7 @@ and recomputed exactly at each restart).
 
 from __future__ import annotations
 
+import math
 from typing import Callable
 
 import numpy as np
@@ -73,10 +74,16 @@ def fgmres(
     r = b - apply_a(x)
     ops.charge_local_axpy()
     beta = ops.norm(r)
+    if not math.isfinite(beta):
+        # the operator (or x0) is already producing non-finite values
+        obs.event("resilience.detected", kind="diverged", where="fgmres.r0")
+        mon.start(beta)
+        return KrylovResult(x=x, iterations=0, status="diverged", residuals=mon.residuals)
     if mon.start(beta) or beta <= mon.threshold:
-        return KrylovResult(x=x, iterations=0, converged=True, residuals=mon.residuals)
+        return KrylovResult(x=x, iterations=0, status="converged", residuals=mon.residuals)
 
     iters = 0
+    status = "maxiter"
     converged = False
     while iters < maxiter and not converged:
         m = restart
@@ -102,6 +109,20 @@ def fgmres(
                 w -= H[i, j] * V[i]
             ops.charge_local_axpy(j + 1)
             h_next = ops.norm(w)
+            if not math.isfinite(h_next):
+                # the Hessenberg update went non-finite (NaN operator output,
+                # overflow in the orthogonalization): propagating it through
+                # the Givens rotations would poison x — return the last
+                # finite iterate with an honest classification instead
+                obs.event(
+                    "resilience.detected", kind="diverged",
+                    where="fgmres.hessenberg", iteration=iters,
+                )
+                mon.residuals.append(float(h_next))
+                return KrylovResult(
+                    x=x, iterations=iters, status="diverged",
+                    residuals=mon.residuals,
+                )
             H[j + 1, j] = h_next
             if h_next != 0.0 and j + 1 < m + 1:
                 V[j + 1] = w / h_next
@@ -138,6 +159,7 @@ def fgmres(
                 y[i] = 0.0
                 continue
             y[i] = (g[i] - H[i, i + 1 : k] @ y[i + 1 : k]) / H[i, i]
+        x_prev = x.copy()
         x += Z[:k].T @ y
         ops.charge_local_axpy(k)
 
@@ -150,8 +172,30 @@ def fgmres(
         beta = ops.norm(r)
         mon.residuals[-1] = beta  # replace the estimate with the true norm
         obs.event("krylov.restart", iterations=iters, residual=float(beta))
+        if mon.diverged():
+            # non-finite or exploded true residual: the cycle update is
+            # untrustworthy — hand back the previous (finite) iterate
+            obs.event(
+                "resilience.detected", kind="diverged",
+                where="fgmres.restart", iteration=iters,
+            )
+            return KrylovResult(
+                x=x_prev, iterations=iters, status="diverged",
+                residuals=mon.residuals,
+            )
         converged = beta <= mon.threshold
-        if breakdown and not converged and beta >= beta_prev * (1.0 - 1e-12):
-            break  # Krylov space exhausted with no progress: stop honestly
+        if not converged:
+            if breakdown and beta >= beta_prev * (1.0 - 1e-12):
+                status = "stagnated"  # Krylov space exhausted with no progress
+                break
+            if mon.stagnated():
+                obs.event(
+                    "resilience.detected", kind="stagnated",
+                    where="fgmres.restart", iteration=iters,
+                )
+                status = "stagnated"
+                break
 
-    return KrylovResult(x=x, iterations=iters, converged=converged, residuals=mon.residuals)
+    if converged:
+        status = "converged"
+    return KrylovResult(x=x, iterations=iters, status=status, residuals=mon.residuals)

@@ -1,27 +1,50 @@
 """Convergence monitoring (Diffpack-style convergence monitors).
 
 The paper's criterion: the 2-norm of the residual reduced by 1e-6 relative to
-its initial value.  :class:`ConvergenceMonitor` owns that test and the
-residual history; :class:`KrylovResult` is what every solver returns.
+its initial value.  :class:`ConvergenceMonitor` owns that test, the residual
+history, and the divergence/stagnation detectors of the resilience layer;
+:class:`KrylovResult` is what every solver returns.  A solve no longer ends
+in a bare converged/not-converged bool: ``KrylovResult.status`` is one of
+:data:`STATUSES`, so callers (and the resilient driver) can tell an honest
+iteration-budget exhaustion from a numerical explosion.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro import obs
 
+#: the classified outcomes of a Krylov solve (docs/robustness.md)
+STATUSES = ("converged", "maxiter", "stagnated", "diverged", "breakdown")
+
 
 @dataclass
 class KrylovResult:
-    """Outcome of a Krylov solve."""
+    """Outcome of a Krylov solve.
+
+    ``status`` classifies the termination (one of :data:`STATUSES`);
+    ``converged`` is kept as a derived property for the common boolean
+    question.
+    """
 
     x: np.ndarray
     iterations: int
-    converged: bool
+    status: str
     residuals: list[float]
+
+    def __post_init__(self) -> None:
+        if self.status not in STATUSES:
+            raise ValueError(
+                f"unknown status {self.status!r}; pick from {STATUSES}"
+            )
+
+    @property
+    def converged(self) -> bool:
+        return self.status == "converged"
 
     @property
     def final_residual(self) -> float:
@@ -52,10 +75,25 @@ class KrylovResult:
 
 @dataclass
 class ConvergenceMonitor:
-    """Relative-reduction convergence test with history recording."""
+    """Relative-reduction convergence test with history recording.
+
+    Besides the convergence test, the monitor carries the resilience layer's
+    two failure detectors:
+
+    * **divergence** — the residual became non-finite, or grew past
+      ``divtol`` times the initial residual (``divtol=None`` disables the
+      growth test; non-finite always counts as divergence);
+    * **stagnation** — over the last ``stall_window`` recorded residuals the
+      best value improved by less than a relative factor ``stall_rtol``
+      (``stall_window=0`` disables the detector; it is opt-in because short
+      plateaus are normal for restarted GMRES).
+    """
 
     rtol: float = 1e-6
     atol: float = 0.0
+    divtol: float | None = 1e10
+    stall_window: int = 0
+    stall_rtol: float = 1e-3
     residuals: list[float] = field(default_factory=list)
     _threshold: float | None = None
 
@@ -88,3 +126,36 @@ class ConvergenceMonitor:
             residual=float(r_norm),
         )
         return r_norm <= self._threshold
+
+    # -- failure detectors ---------------------------------------------------
+
+    def diverged(self) -> bool:
+        """True when the last recorded residual is non-finite or exploded."""
+        if not self.residuals:
+            return False
+        last = self.residuals[-1]
+        if not math.isfinite(last):
+            return True
+        if self.divtol is None:
+            return False
+        r0 = self.residuals[0]
+        return math.isfinite(r0) and last > self.divtol * max(r0, 1e-300)
+
+    def stagnated(self) -> bool:
+        """True when the best residual stopped improving over the window."""
+        w = self.stall_window
+        if w <= 0 or len(self.residuals) <= w:
+            return False
+        recent = min(self.residuals[-w:])
+        past = min(self.residuals[:-w])
+        if not (math.isfinite(recent) and math.isfinite(past)):
+            return False  # non-finite is divergence, not stagnation
+        return recent > (1.0 - self.stall_rtol) * past
+
+    def verdict(self) -> str | None:
+        """The detector classification of the current history, if any."""
+        if self.diverged():
+            return "diverged"
+        if self.stagnated():
+            return "stagnated"
+        return None

@@ -9,6 +9,7 @@ import numpy as np
 from repro import obs
 from repro.comm.communicator import Communicator
 from repro.distributed.matrix import DistributedMatrix
+from repro.resilience.errors import NumericalFault
 
 
 class ParallelPreconditioner(ABC):
@@ -35,16 +36,34 @@ class ParallelPreconditioner(ABC):
         """Return z ≈ M^{-1} r (distributed ordering)."""
 
     def __call__(self, r: np.ndarray) -> np.ndarray:
-        """``apply`` wrapped in a ``precond.apply`` span.
+        """``apply`` wrapped in a ``precond.apply`` span and a NaN/Inf guard.
 
-        Callers that want per-application tracing (the driver does) pass the
-        preconditioner object itself as ``apply_m``; calling ``.apply``
-        directly skips the span but is otherwise identical.
+        Callers that want per-application tracing and the guard (the driver
+        does) pass the preconditioner object itself as ``apply_m``; calling
+        ``.apply`` directly skips both but is otherwise identical.
         """
         if obs.enabled():
             with obs.span("precond.apply", precond=self.name):
-                return self.apply(r)
-        return self.apply(r)
+                return self._guarded_apply(r)
+        return self._guarded_apply(r)
+
+    def _guarded_apply(self, r: np.ndarray) -> np.ndarray:
+        z = self.apply(r)
+        # same two-stage NaN/Inf guard as the distributed matvec: cheap sum
+        # test, exact check only before raising
+        if not np.isfinite(z.sum()) and not np.all(np.isfinite(z)):
+            obs.event(
+                "resilience.detected", kind="nonfinite", where="precond.apply",
+                precond=self.name,
+            )
+            raise NumericalFault(
+                f"{self.name} preconditioner produced non-finite values",
+                where="precond.apply",
+                precond=self.name,
+                bad=int(np.count_nonzero(~np.isfinite(z))),
+                n=int(z.size),
+            )
+        return z
 
     # -- shared helpers ------------------------------------------------------
 

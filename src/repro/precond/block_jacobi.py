@@ -27,6 +27,7 @@ from repro.factor.ilut import ilut
 from repro.krylov.fgmres import fgmres
 from repro.krylov.ops import CountingOps
 from repro.precond.base import ParallelPreconditioner
+from repro.resilience.errors import InnerSolveDivergence
 
 
 def estimate_ilu_setup_flops(fac: ILUFactorization) -> float:
@@ -49,6 +50,8 @@ class BlockPreconditioner(ParallelPreconditioner):
         fill: int = 10,
         inner_iterations: int = 3,
         ordering: str = "natural",
+        shift: float = 0.0,
+        breakdown_frac: float | None = 0.25,
     ) -> None:
         """``variant``: "ilu0" (Block 1), "ilut" (Block 2), or "krylov".
 
@@ -56,6 +59,10 @@ class BlockPreconditioner(ParallelPreconditioner):
         "rcm" factors each subdomain in reverse Cuthill–McKee order
         (bandwidth-reducing — a fixed-fill ILUT captures more of the true
         factors; ablation bench A7).
+
+        ``shift`` factors A_i + shift·I (post-breakdown remedy);
+        ``breakdown_frac`` bounds the tolerated floored-pivot fraction per
+        subdomain before :class:`FactorizationBreakdown` is raised.
         """
         super().__init__(dmat, comm)
         if variant not in ("ilu0", "ilut", "krylov"):
@@ -83,7 +90,18 @@ class BlockPreconditioner(ParallelPreconditioner):
                 perm = reverse_cuthill_mckee(graph_from_matrix(a_own))
                 a_own = apply_symmetric_permutation(a_own, perm)
             self._perms.append(perm)
-            fac = ilu0(a_own) if variant == "ilu0" else ilut(a_own, drop_tol, fill)
+            if variant == "ilu0":
+                fac = ilu0(a_own, shift=shift, breakdown_frac=breakdown_frac)
+            else:
+                fac = ilut(
+                    a_own, drop_tol, fill,
+                    shift=shift, breakdown_frac=breakdown_frac,
+                )
+            if fac.stats.floored_pivots:
+                obs.event(
+                    "factor.stats", rank=r, precond=variant,
+                    floored_pivots=fac.stats.floored_pivots, n=fac.stats.n,
+                )
             self.factors.append(fac)
             setup[r] = estimate_ilu_setup_flops(fac)
         self._charge_setup(setup)
@@ -137,15 +155,23 @@ class BlockPreconditioner(ParallelPreconditioner):
                     maxiter=self.inner_iterations,
                     ops=counter,
                 )
+                if res.status == "diverged":
+                    raise InnerSolveDivergence(
+                        "Block K local Krylov solve diverged",
+                        rank=rank, where="blockk.local",
+                        residual=float(res.final_residual),
+                    )
                 z[loc] = res.x
                 flops[rank] = counter.flops
             self.comm.ledger.add_phase(flops)
         return z
 
 
-def block1(dmat: DistributedMatrix, comm: Communicator) -> BlockPreconditioner:
+def block1(
+    dmat: DistributedMatrix, comm: Communicator, **params
+) -> BlockPreconditioner:
     """Block 1: block Jacobi with ILU(0) subdomain solves."""
-    return BlockPreconditioner(dmat, comm, variant="ilu0")
+    return BlockPreconditioner(dmat, comm, variant="ilu0", **params)
 
 
 def block2(
@@ -154,10 +180,12 @@ def block2(
     drop_tol: float = 1e-3,
     fill: int = 10,
     ordering: str = "natural",
+    **params,
 ) -> BlockPreconditioner:
     """Block 2: block Jacobi with ILUT(τ,p) subdomain solves."""
     return BlockPreconditioner(
-        dmat, comm, variant="ilut", drop_tol=drop_tol, fill=fill, ordering=ordering
+        dmat, comm, variant="ilut", drop_tol=drop_tol, fill=fill,
+        ordering=ordering, **params,
     )
 
 
@@ -167,6 +195,7 @@ def block_krylov(
     inner_iterations: int = 3,
     drop_tol: float = 1e-3,
     fill: int = 10,
+    **params,
 ) -> BlockPreconditioner:
     """Block preconditioner with local preconditioned-GMRES subdomain solves."""
     return BlockPreconditioner(
@@ -176,4 +205,5 @@ def block_krylov(
         drop_tol=drop_tol,
         fill=fill,
         inner_iterations=inner_iterations,
+        **params,
     )

@@ -32,6 +32,7 @@ from repro.krylov.gmres import gmres
 from repro.krylov.ops import CountingOps
 from repro.precond.base import ParallelPreconditioner
 from repro.precond.block_jacobi import estimate_ilu_setup_flops
+from repro.resilience.errors import InnerSolveDivergence
 
 
 class Schur1Preconditioner(ParallelPreconditioner):
@@ -48,6 +49,8 @@ class Schur1Preconditioner(ParallelPreconditioner):
         fill: int = 10,
         global_iterations: int = 5,
         local_iterations: int = 3,
+        shift: float = 0.0,
+        breakdown_frac: float | None = 0.25,
     ) -> None:
         super().__init__(dmat, comm)
         if global_iterations < 1 or local_iterations < 1:
@@ -58,7 +61,15 @@ class Schur1Preconditioner(ParallelPreconditioner):
         self.schur_blocks: list[SchurBlocks] = []
         setup = np.zeros(comm.size)
         for r, sd in enumerate(self.pm.subdomains):
-            fac = ilut(dmat.owned_square[r], drop_tol, fill)
+            fac = ilut(
+                dmat.owned_square[r], drop_tol, fill,
+                shift=shift, breakdown_frac=breakdown_frac,
+            )
+            if fac.stats.floored_pivots:
+                obs.event(
+                    "factor.stats", rank=r, precond="schur1",
+                    floored_pivots=fac.stats.floored_pivots, n=fac.stats.n,
+                )
             self.schur_blocks.append(extract_schur_blocks(fac, sd.n_internal))
             setup[r] = estimate_ilu_setup_flops(fac)
         self._charge_setup(setup)
@@ -93,6 +104,12 @@ class Schur1Preconditioner(ParallelPreconditioner):
             maxiter=self.local_iterations,
             ops=counter,
         )
+        if res.status == "diverged":
+            raise InnerSolveDivergence(
+                "Schur 1 local B-block solve diverged",
+                rank=rank, where="schur1.local",
+                residual=float(res.final_residual),
+            )
         return res.x
 
     # -- the distributed global Schur solve (step 2) --------------------------
@@ -145,6 +162,12 @@ class Schur1Preconditioner(ParallelPreconditioner):
                 rtol=1e-12,
                 maxiter=self.global_iterations,
                 ops=self._ifc_ops,
+            )
+        if res.status == "diverged":
+            raise InnerSolveDivergence(
+                "Schur 1 global interface solve diverged",
+                where="schur1.global",
+                residual=float(res.final_residual),
             )
         return res.x
 

@@ -27,6 +27,7 @@ from repro.distributed.ops import DistributedOps
 from repro.factor.arms import ArmsFactorization
 from repro.krylov.gmres import gmres
 from repro.precond.base import ParallelPreconditioner
+from repro.resilience.errors import InnerSolveDivergence
 
 
 class Schur2Preconditioner(ParallelPreconditioner):
@@ -45,6 +46,8 @@ class Schur2Preconditioner(ParallelPreconditioner):
         seed: int = 0,
         levels: int = 2,
         global_ilu: str = "block",
+        shift: float = 0.0,
+        breakdown_frac: float | None = 0.25,
     ) -> None:
         """``global_ilu`` selects the realization of the paper's "global
         ILU(0)" on the expanded Schur system:
@@ -76,6 +79,8 @@ class Schur2Preconditioner(ParallelPreconditioner):
                 drop_tol=drop_tol,
                 seed=seed + r,
                 levels=levels,
+                shift=shift,
+                breakdown_frac=breakdown_frac,
             )
             if fac.final_n_interdomain != sd.n_interface:
                 raise AssertionError(
@@ -212,6 +217,12 @@ class Schur2Preconditioner(ParallelPreconditioner):
                 rtol=1e-12,
                 maxiter=self.global_iterations,
                 ops=self._exp_ops,
+            )
+        if res.status == "diverged":
+            raise InnerSolveDivergence(
+                "Schur 2 global expanded-interface solve diverged",
+                where="schur2.global",
+                residual=float(res.final_residual),
             )
         return res.x
 

@@ -1,0 +1,73 @@
+"""Typed solver faults — the failure taxonomy of the resilience layer.
+
+Every abnormal termination inside the solve stack is raised as a
+:class:`SolverFault` subclass carrying enough context to classify the outcome
+and decide a remedy (see ``docs/robustness.md``).  The mapping onto
+:data:`repro.krylov.monitors.STATUSES` is::
+
+    FactorizationBreakdown -> "breakdown"
+    NumericalFault         -> "diverged"
+    InnerSolveDivergence   -> "diverged"
+
+Plain ``ValueError``/``TypeError`` (bad shapes, unknown names) are *not*
+solver faults: they signal caller bugs and are never retried.
+"""
+
+from __future__ import annotations
+
+
+class SolverFault(RuntimeError):
+    """Base class of all recoverable solver failures.
+
+    ``context`` is a flat dict of diagnostic attributes (counts, ranks,
+    values); it is attached verbatim to ``resilience.*`` trace events.
+    """
+
+    #: the KrylovResult-style status this fault classifies as
+    status = "diverged"
+
+    def __init__(self, message: str, **context) -> None:
+        super().__init__(message)
+        self.context = context
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        base = super().__str__()
+        if not self.context:
+            return base
+        details = ", ".join(f"{k}={v}" for k, v in sorted(self.context.items()))
+        return f"{base} ({details})"
+
+
+class FactorizationBreakdown(SolverFault):
+    """An incomplete factorization floored too many pivots to be trusted.
+
+    Raised by :func:`repro.factor.ilu0.ilu0` / :func:`repro.factor.ilut.ilut`
+    when ``breakdown_frac`` is set and the floored-pivot fraction exceeds it.
+    Typical remedies: refactorize with a diagonal shift, relax ILUT drop
+    thresholds, or fall back to a more robust preconditioner.
+    """
+
+    status = "breakdown"
+
+
+class NumericalFault(SolverFault):
+    """A kernel produced non-finite (NaN/Inf) values.
+
+    Raised by the NaN/Inf guards on the distributed matvec and on every
+    preconditioner application.  ``where`` in the context names the guard
+    that fired.
+    """
+
+    status = "diverged"
+
+
+class InnerSolveDivergence(SolverFault):
+    """An inner (subdomain or interface) Krylov solve diverged.
+
+    The Schur preconditioners run inner GMRES iterations; when such an inner
+    solve reports ``status == "diverged"`` (non-finite Hessenberg entries or
+    a residual explosion), the preconditioner application cannot be trusted
+    and the whole apply is abandoned.
+    """
+
+    status = "diverged"

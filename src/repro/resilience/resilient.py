@@ -1,0 +1,196 @@
+"""Retry and fallback orchestration around :func:`repro.core.driver.solve_case`.
+
+The contract (docs/robustness.md): a solve that fails — by raising a typed
+:class:`~repro.resilience.errors.SolverFault` or by ending with a
+``diverged``/``stagnated``/``breakdown`` status — is first **retried** on the
+same preconditioner with breakdown remedies (a diagonal shift, tightened ILUT
+dropping), then walked down a **fallback chain** of progressively simpler
+preconditioners until one completes.  ``maxiter`` is an honest budget
+exhaustion, not a fault, and is returned as-is.
+
+Every decision is visible: ``resilience.retry`` and ``resilience.fallback``
+events land in the active trace, and the returned
+:class:`ResilientOutcome` carries one :class:`AttemptRecord` per attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import obs
+from repro.cases.base import TestCase
+from repro.core.driver import PRECONDITIONER_NAMES, SolveOutcome, solve_case
+from repro.resilience.errors import SolverFault
+
+#: default fallback order: strongest first, the unbreakable Jacobi last
+FALLBACK_CHAIN = ("schur2", "schur1", "block2", "block1", "jacobi")
+
+#: preconditioners whose factorizations accept the diagonal-shift remedy
+_SHIFT_CAPABLE = frozenset({"schur1", "schur2", "block1", "block2", "blockk"})
+
+#: statuses that trigger recovery (vs. being returned as the final answer)
+_FAILURE_STATUSES = frozenset({"diverged", "stagnated", "breakdown"})
+
+
+@dataclass
+class AttemptRecord:
+    """One solve attempt inside a resilient run."""
+
+    precond: str
+    kind: str  # "primary" | "retry" | "fallback"
+    status: str
+    iterations: int = 0
+    fault: str | None = None  # message of the raised SolverFault, if any
+    params: dict = field(default_factory=dict)
+
+
+@dataclass
+class ResilientOutcome:
+    """What a resilient solve produced, plus the full attempt history."""
+
+    outcome: SolveOutcome | None
+    attempts: list[AttemptRecord]
+
+    @property
+    def status(self) -> str:
+        if self.outcome is not None:
+            return self.outcome.status
+        return self.attempts[-1].status if self.attempts else "breakdown"
+
+    @property
+    def converged(self) -> bool:
+        return self.outcome is not None and self.outcome.converged
+
+    @property
+    def recovered(self) -> bool:
+        """Converged after at least one failed attempt."""
+        return self.converged and len(self.attempts) > 1
+
+    @property
+    def final_precond(self) -> str | None:
+        return self.attempts[-1].precond if self.attempts else None
+
+
+class ResilientSolver:
+    """Bounded-retry + fallback-chain wrapper around ``solve_case``.
+
+    Parameters
+    ----------
+    max_retries:
+        Same-preconditioner retries (with remedies applied) before walking
+        the fallback chain.
+    fallback_chain:
+        Preconditioner short names tried in order after the primary fails;
+        the primary itself is skipped if it appears in the chain.
+    shift_scale:
+        The retry diagonal shift is ``shift_scale * mean(|diag(A)|)``.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_retries: int = 1,
+        fallback_chain: tuple[str, ...] = FALLBACK_CHAIN,
+        shift_scale: float = 1e-2,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        unknown = [n for n in fallback_chain if n not in PRECONDITIONER_NAMES]
+        if unknown:
+            raise ValueError(f"unknown fallback preconditioners {unknown}")
+        self.max_retries = max_retries
+        self.fallback_chain = tuple(fallback_chain)
+        self.shift_scale = shift_scale
+
+    # -- single attempt -------------------------------------------------------
+
+    def _attempt(
+        self,
+        case: TestCase,
+        precond: str,
+        kind: str,
+        params: dict,
+        kwargs: dict,
+        attempts: list[AttemptRecord],
+    ) -> SolveOutcome | None:
+        """Run one solve; record it; return the outcome unless it raised."""
+        try:
+            out = solve_case(case, precond=precond, precond_params=params, **kwargs)
+        except SolverFault as exc:
+            attempts.append(
+                AttemptRecord(
+                    precond=precond, kind=kind, status=exc.status,
+                    fault=str(exc), params=dict(params),
+                )
+            )
+            return None
+        attempts.append(
+            AttemptRecord(
+                precond=precond, kind=kind, status=out.status,
+                iterations=out.iterations, params=dict(params),
+            )
+        )
+        return out
+
+    def _remedy_params(self, case: TestCase, params: dict) -> dict:
+        """Breakdown remedies: diagonal shift + tightened ILUT dropping."""
+        remedied = dict(params)
+        diag = np.abs(case.matrix.diagonal())
+        remedied["shift"] = self.shift_scale * float(diag.mean() if diag.size else 1.0)
+        if "drop_tol" in remedied:
+            remedied["drop_tol"] = remedied["drop_tol"] * 0.1
+        return remedied
+
+    # -- the resilient solve --------------------------------------------------
+
+    def solve(
+        self,
+        case: TestCase,
+        precond: str = "schur1",
+        precond_params: dict | None = None,
+        **kwargs,
+    ) -> ResilientOutcome:
+        """``solve_case`` with recovery; accepts its keyword arguments."""
+        attempts: list[AttemptRecord] = []
+        params = dict(precond_params or {})
+
+        with obs.span("resilience.solve", precond=precond):
+            out = self._attempt(case, precond, "primary", params, kwargs, attempts)
+            if out is not None and out.status not in _FAILURE_STATUSES:
+                return ResilientOutcome(outcome=out, attempts=attempts)
+
+            # bounded retry on the same preconditioner, remedies applied
+            if precond in _SHIFT_CAPABLE:
+                retry_params = self._remedy_params(case, params)
+                for k in range(self.max_retries):
+                    obs.event(
+                        "resilience.retry",
+                        precond=precond, attempt=k + 1,
+                        shift=retry_params["shift"],
+                        reason=attempts[-1].fault or attempts[-1].status,
+                    )
+                    out = self._attempt(
+                        case, precond, "retry", retry_params, kwargs, attempts
+                    )
+                    if out is not None and out.status not in _FAILURE_STATUSES:
+                        return ResilientOutcome(outcome=out, attempts=attempts)
+
+            # walk the fallback chain; fallbacks run with default parameters
+            # (the primary's tuning rarely transfers across preconditioners)
+            for name in self.fallback_chain:
+                if name == precond:
+                    continue
+                obs.event(
+                    "resilience.fallback",
+                    from_=attempts[-1].precond, to=name,
+                    reason=attempts[-1].fault or attempts[-1].status,
+                )
+                out = self._attempt(case, name, "fallback", {}, kwargs, attempts)
+                if out is not None and out.status not in _FAILURE_STATUSES:
+                    return ResilientOutcome(outcome=out, attempts=attempts)
+
+        # chain exhausted: return the last completed outcome (if any) with the
+        # honest failure classification
+        return ResilientOutcome(outcome=out, attempts=attempts)

@@ -39,25 +39,25 @@ class TestConvergenceMonitor:
 
 class TestKrylovResult:
     def test_reduction(self):
-        r = KrylovResult(np.zeros(1), 3, True, [10.0, 1.0, 0.1])
+        r = KrylovResult(np.zeros(1), 3, "converged", [10.0, 1.0, 0.1])
         assert r.reduction == pytest.approx(0.01)
         assert r.final_residual == 0.1
 
     def test_empty_history_is_nan_not_perfect(self):
         # no residuals recorded -> no reduction claim can be made; 0.0 would
         # read as a perfect reduction
-        r = KrylovResult(np.zeros(1), 0, True, [])
+        r = KrylovResult(np.zeros(1), 0, "converged", [])
         assert np.isnan(r.final_residual)
         assert np.isnan(r.reduction)
 
     def test_zero_initial_residual(self):
         # solved exactly before the first iteration: ratio taken as its limit
-        r = KrylovResult(np.zeros(1), 0, True, [0.0])
+        r = KrylovResult(np.zeros(1), 0, "converged", [0.0])
         assert r.reduction == 0.0
 
     def test_single_entry_history(self):
         # only r_0 recorded (initial guess already met the tolerance):
         # genuinely "no reduction performed"
-        r = KrylovResult(np.zeros(1), 0, True, [3.5])
+        r = KrylovResult(np.zeros(1), 0, "converged", [3.5])
         assert r.reduction == 1.0
         assert r.final_residual == 3.5

@@ -1,0 +1,62 @@
+"""CLI surface of the resilience layer: status exit codes, the faults command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSolveStatusReporting:
+    def test_failure_prints_classified_status(self, capsys):
+        rc = main(["solve", "--case", "tc1", "--size", "17", "--precond",
+                   "none", "--maxiter", "3", "--nparts", "2"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "NOT CONVERGED" in out
+        assert "maxiter" in out
+
+    def test_resilient_flag_on_clean_run(self, capsys):
+        rc = main(["solve", "--case", "tc1", "--size", "17", "--precond",
+                   "schur1", "--nparts", "2", "--resilient"])
+        assert rc == 0
+        assert "converged" in capsys.readouterr().out
+
+
+class TestFaultsCommand:
+    def test_bad_pivot_recovery_reported(self, capsys):
+        rc = main(["faults", "tc1", "--size", "17", "--precond", "schur1",
+                   "--nparts", "2", "--kind", "bad-pivot", "--count", "-1",
+                   "--target", "schur1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "injected bad-pivot" in out
+        assert "[primary] schur1" in out
+        assert "recovered" in out
+
+    def test_nan_kernel_retry(self, capsys):
+        rc = main(["faults", "tc1", "--size", "17", "--precond", "schur1",
+                   "--nparts", "2", "--kind", "nan-kernel"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "injected nan-kernel" in out
+        assert "[retry] schur1" in out
+
+    def test_trace_output_includes_resilience_events(self, tmp_path, capsys):
+        out_path = tmp_path / "faulted.json"
+        rc = main(["faults", "tc1", "--size", "17", "--precond", "schur1",
+                   "--nparts", "2", "--kind", "ghost-corrupt", "--count", "3",
+                   "--out", str(out_path)])
+        assert rc == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["meta"]["recovered"] is True
+        assert doc["meta"]["injected"]
+        names = set()
+        for span in doc["spans"]:
+            names.update(e["name"] for e in span["events"])
+        assert "faults.injected" in names
+        assert "resilience.retry" in names
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["faults", "tc1", "--kind", "meteor-strike"])

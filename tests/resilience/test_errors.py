@@ -1,0 +1,40 @@
+"""The typed failure taxonomy (docs/robustness.md)."""
+
+import pytest
+
+from repro.krylov import STATUSES
+from repro.resilience import (
+    FactorizationBreakdown,
+    InnerSolveDivergence,
+    NumericalFault,
+    SolverFault,
+)
+
+
+class TestTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(FactorizationBreakdown, SolverFault)
+        assert issubclass(NumericalFault, SolverFault)
+        assert issubclass(InnerSolveDivergence, SolverFault)
+        assert issubclass(SolverFault, RuntimeError)
+
+    def test_statuses_are_valid(self):
+        for cls in (SolverFault, FactorizationBreakdown, NumericalFault,
+                    InnerSolveDivergence):
+            assert cls.status in STATUSES
+
+    def test_breakdown_maps_to_breakdown_status(self):
+        assert FactorizationBreakdown.status == "breakdown"
+        assert NumericalFault.status == "diverged"
+        assert InnerSolveDivergence.status == "diverged"
+
+    def test_context_lands_in_message(self):
+        exc = NumericalFault("matvec exploded", where="dist.matvec", bad=3)
+        assert exc.context == {"where": "dist.matvec", "bad": 3}
+        text = str(exc)
+        assert "matvec exploded" in text
+        assert "where=dist.matvec" in text and "bad=3" in text
+
+    def test_catchable_as_runtime_error(self):
+        with pytest.raises(RuntimeError):
+            raise FactorizationBreakdown("collapsed", floored=9, n=10)

@@ -1,0 +1,145 @@
+"""Deterministic fault injection: counters, targeting, reproducibility."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import faults
+from repro.cases.poisson2d import poisson2d_case
+from repro.core.driver import solve_case
+from repro.factor.ilu0 import ilu0
+from repro.factor.ilut import ilut
+from repro.resilience import FactorizationBreakdown
+
+
+def _spd(n=12, seed=0):
+    rng = np.random.default_rng(seed)
+    a = sp.random(n, n, density=0.3, random_state=rng, format="csr")
+    return sp.csr_matrix(a + a.T + n * sp.eye(n))
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            faults.FaultSpec("meteor-strike")
+
+    def test_target_string_normalized(self):
+        spec = faults.FaultSpec("bad-pivot", target="schur1,block1")
+        assert spec.target == ("schur1", "block1")
+
+    def test_counter_logic(self):
+        # count=2, start=1, stride=2: fires on opportunities 1 and 3 only
+        plan = faults.FaultPlan(
+            faults.FaultSpec("bad-pivot", count=2, start=1, stride=2)
+        )
+        fired = [plan.pivot_pre(i, 5.0) == 0.0 for i in range(6)]
+        assert fired == [False, True, False, True, False, False]
+
+    def test_scope_targeting(self):
+        plan = faults.FaultPlan(
+            faults.FaultSpec("bad-pivot", count=-1, target="schur1")
+        )
+        with faults.inject(plan):
+            assert plan.pivot_pre(0, 5.0) == 5.0  # no scope: spec inert
+            with faults.scope("schur1"):
+                assert plan.pivot_pre(0, 5.0) == 0.0
+            with faults.scope("block1"):
+                assert plan.pivot_pre(0, 5.0) == 5.0
+
+
+class TestInjectionContext:
+    def test_off_by_default(self):
+        assert faults.active() is None and not faults.enabled()
+
+    def test_inject_activates_and_restores(self):
+        plan = faults.FaultPlan(faults.FaultSpec("nan-kernel"))
+        with faults.inject(plan) as active:
+            assert active is plan and faults.active() is plan
+        assert faults.active() is None
+
+    def test_not_reentrant(self):
+        plan = faults.FaultPlan(faults.FaultSpec("nan-kernel"))
+        with faults.inject(plan):
+            with pytest.raises(RuntimeError, match="already active"):
+                with faults.inject(plan):
+                    pass
+
+
+class TestDeterminism:
+    def _run(self):
+        case = poisson2d_case(n=14)
+        plan = faults.FaultPlan(
+            faults.FaultSpec("nan-kernel", count=1, start=3), seed=7
+        )
+        with faults.inject(plan):
+            try:
+                out = solve_case(case, precond="block1", nparts=2, maxiter=50)
+                status = out.status
+            except RuntimeError as exc:
+                status = getattr(exc, "status", "raised")
+        return plan.injected, status
+
+    def test_same_plan_injects_identical_faults(self):
+        first, status1 = self._run()
+        second, status2 = self._run()
+        assert first == second
+        assert status1 == status2
+        assert len(first) == 1
+        assert first[0]["kernel"] == "dist.matvec"
+
+
+class TestFactorizationFaults:
+    def test_bad_pivot_trips_breakdown_detector(self):
+        a = _spd(16)
+        with faults.inject(faults.FaultPlan(faults.FaultSpec("bad-pivot", count=-1))):
+            with pytest.raises(FactorizationBreakdown, match="pivots collapsed"):
+                ilu0(a, breakdown_frac=0.25)
+
+    def test_breakdown_context_counts(self):
+        a = _spd(16)
+        with faults.inject(faults.FaultPlan(faults.FaultSpec("bad-pivot", count=-1))):
+            with pytest.raises(FactorizationBreakdown) as info:
+                ilut(a, breakdown_frac=0.25)
+        assert info.value.context["floored"] == 16
+        assert info.value.context["n"] == 16
+
+    def test_no_breakdown_frac_never_raises(self):
+        # raw factorizations keep the historical floor-and-continue contract
+        a = _spd(16)
+        with faults.inject(faults.FaultPlan(faults.FaultSpec("bad-pivot", count=-1))):
+            fac = ilu0(a)
+        assert fac.stats.floored_pivots == 16
+
+    def test_tiny_pivot_survives_floor(self):
+        # a diagonal matrix: no fill updates, the corrupted pivot is stored
+        # verbatim — the floor safeguard cannot see it (it fires post-floor)
+        a = sp.csr_matrix(2.0 * sp.eye(5))
+        spec = faults.FaultSpec("tiny-pivot", count=1, value=1e-300)
+        plan = faults.FaultPlan(spec)
+        with faults.inject(plan):
+            fac = ilu0(a)
+        assert plan.summary() == {"tiny-pivot": 1}
+        assert np.abs(fac.u_upper.diagonal()).min() == pytest.approx(1e-300)
+
+
+class TestFactorStats:
+    def test_clean_factorization_has_zero_floored(self):
+        fac = ilut(_spd(16), 1e-3, 10)
+        assert fac.stats.floored_pivots == 0
+        assert fac.stats.n == 16
+        assert fac.stats.floored_fraction == 0.0
+        assert "floored" not in repr(fac)
+
+    def test_floored_pivots_counted_and_shown(self):
+        # an explicitly stored zero diagonal with no fill reaching it
+        data = np.array([1.0, 1.0, 0.0, 1.0, 1.0])
+        diag = np.arange(5)
+        a = sp.csr_matrix((data, (diag, diag)), shape=(5, 5))
+        fac = ilu0(a)
+        assert fac.stats.floored_pivots == 1
+        assert fac.stats.floored_fraction == pytest.approx(0.2)
+        assert "floored_pivots=1" in repr(fac)
+
+    def test_shift_recorded_in_stats(self):
+        fac = ilut(_spd(16), 1e-3, 10, shift=0.5)
+        assert fac.stats.shift == 0.5
