@@ -16,6 +16,10 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
+# re-exported so bench files writing their own artifacts get atomicity from
+# the same helper the checkpoint writer uses
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text  # noqa: F401
+
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
@@ -30,10 +34,15 @@ def scaled_n(base: int) -> int:
 
 
 def emit(table_id: str, text: str) -> None:
-    """Persist and echo one reproduced table."""
+    """Persist and echo one reproduced table.
+
+    Atomic (write-temp + rename, same helper the checkpoint writer uses):
+    an interrupted bench run leaves the previous table intact, never a
+    half-written one.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{table_id}.txt"
-    path.write_text(text + "\n")
+    atomic_write_text(path, text + "\n")
     print(f"\n{text}\n[written to {path}]")
 
 

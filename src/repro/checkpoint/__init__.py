@@ -1,0 +1,42 @@
+"""Checkpoint/restart for long solves — ``repro.checkpoint``.
+
+Atomic, CRC-validated snapshots of solver state in the versioned
+``repro.ckpt.v1`` format (see ``docs/robustness.md``):
+
+* :func:`write_checkpoint` / :func:`read_checkpoint` — one self-validating
+  file of arrays + JSON metadata; any single corrupted byte raises
+  :class:`CheckpointCorruption` on load.
+* :class:`CheckpointManager` — numbered snapshots in a directory with
+  retention and newest-intact-first recovery.
+
+The solve stack builds on this: ``solve_case(..., checkpoint_dir=...)``
+snapshots the FGMRES iterate at every restart,
+:class:`~repro.core.transient.TransientHeatSolver` snapshots time-step
+state every ``checkpoint_every`` steps, and the recovery paths in
+``repro.resilience`` restore from the latest intact snapshot after a
+confirmed rank failure.
+"""
+
+from repro.checkpoint.errors import (
+    CheckpointCorruption,
+    CheckpointError,
+    CheckpointNotFound,
+)
+from repro.checkpoint.format import (
+    FORMAT,
+    Checkpoint,
+    read_checkpoint,
+    write_checkpoint,
+)
+from repro.checkpoint.manager import CheckpointManager
+
+__all__ = [
+    "FORMAT",
+    "Checkpoint",
+    "CheckpointManager",
+    "CheckpointError",
+    "CheckpointCorruption",
+    "CheckpointNotFound",
+    "read_checkpoint",
+    "write_checkpoint",
+]

@@ -1,0 +1,37 @@
+"""Typed checkpoint failures.
+
+Kept import-light (no numpy) so callers can catch these without pulling in
+the format machinery.  Like the solver-fault taxonomy, every error carries a
+``context`` dict of diagnostics that is rendered into ``str(exc)``.
+"""
+
+from __future__ import annotations
+
+
+class CheckpointError(RuntimeError):
+    """Base class of all checkpoint read/write failures."""
+
+    def __init__(self, message: str, **context) -> None:
+        super().__init__(message)
+        self.context = context
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        base = super().__str__()
+        if not self.context:
+            return base
+        details = ", ".join(f"{k}={v}" for k, v in sorted(self.context.items()))
+        return f"{base} ({details})"
+
+
+class CheckpointCorruption(CheckpointError):
+    """A checkpoint file failed integrity validation on load.
+
+    Any single flipped byte in a ``repro.ckpt.v1`` file — header line,
+    metadata, or payload — lands here: the header line self-describes the
+    section lengths and CRC-32 checksums, so truncation, bit rot and
+    mismatched magic are all detected before any array is deserialized.
+    """
+
+
+class CheckpointNotFound(CheckpointError):
+    """No (valid) checkpoint exists where one was requested."""

@@ -1,0 +1,127 @@
+"""The ``repro.ckpt.v1`` checkpoint file format.
+
+A checkpoint is one self-validating file::
+
+    repro.ckpt.v1 <header_len> <header_crc> <payload_len> <payload_crc>\\n
+    <header: UTF-8 JSON, header_len bytes>
+    <payload: npz archive, payload_len bytes>
+
+The first line is ASCII and fixed-field so a reader can validate the rest
+before trusting any of it: both sections carry their byte length and CRC-32
+checksum.  The header JSON holds the caller's ``meta`` dict plus the array
+manifest; the payload is a standard ``numpy.savez_compressed`` archive, so a
+checkpoint survives numpy version skew as well as any npz file does.
+
+Writes are atomic (write-temp + fsync + rename via
+:func:`repro.utils.atomic.atomic_write_bytes`): a crash mid-save leaves the
+previous checkpoint intact, never a prefix.  Loads re-verify both CRCs, so a
+single flipped byte anywhere in the file raises
+:class:`~repro.checkpoint.errors.CheckpointCorruption` instead of returning
+silently wrong state.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.checkpoint.errors import CheckpointCorruption
+from repro.utils.atomic import atomic_write_bytes
+
+FORMAT = "repro.ckpt.v1"
+
+#: upper bound on the header line; a corrupted length field cannot make the
+#: reader swallow the whole payload as "the first line"
+_MAX_LINE = 256
+
+
+@dataclass
+class Checkpoint:
+    """One loaded checkpoint: caller metadata plus the saved arrays."""
+
+    meta: dict
+    arrays: dict[str, np.ndarray] = field(repr=False)
+    path: Path | None = None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+
+def write_checkpoint(
+    path: str | Path, arrays: dict[str, np.ndarray], meta: dict | None = None
+) -> Path:
+    """Atomically write ``arrays`` + ``meta`` as a ``repro.ckpt.v1`` file."""
+    if not arrays:
+        raise ValueError("a checkpoint needs at least one array")
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **arrays)
+    payload = buf.getvalue()
+    header = json.dumps(
+        {"format": FORMAT, "meta": dict(meta or {}), "arrays": sorted(arrays)},
+        sort_keys=True,
+    ).encode("utf-8")
+    line = (
+        f"{FORMAT} {len(header)} {zlib.crc32(header)} "
+        f"{len(payload)} {zlib.crc32(payload)}\n"
+    ).encode("ascii")
+    return atomic_write_bytes(path, line + header + payload)
+
+
+def read_checkpoint(path: str | Path) -> Checkpoint:
+    """Load and integrity-check a ``repro.ckpt.v1`` file.
+
+    Raises :class:`CheckpointCorruption` on any validation failure —
+    unrecognized magic, truncated sections, or CRC mismatch — and
+    ``FileNotFoundError`` when the file simply is not there.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    newline = raw.find(b"\n", 0, _MAX_LINE)
+    if newline < 0:
+        raise CheckpointCorruption(
+            "not a repro.ckpt file: no header line", path=str(path)
+        )
+    fields = raw[:newline].split()
+    if len(fields) != 5 or fields[0] != FORMAT.encode("ascii"):
+        raise CheckpointCorruption(
+            f"bad checkpoint magic (expected {FORMAT!r})",
+            path=str(path), got=raw[:newline][:40].decode("ascii", "replace"),
+        )
+    try:
+        header_len, header_crc, payload_len, payload_crc = (int(f) for f in fields[1:])
+    except ValueError:
+        raise CheckpointCorruption(
+            "corrupt checkpoint header line", path=str(path)
+        ) from None
+    body = raw[newline + 1 :]
+    if len(body) != header_len + payload_len:
+        raise CheckpointCorruption(
+            "checkpoint truncated or padded",
+            path=str(path), expected=header_len + payload_len, got=len(body),
+        )
+    header, payload = body[:header_len], body[header_len:]
+    if zlib.crc32(header) != header_crc:
+        raise CheckpointCorruption(
+            "checkpoint header checksum mismatch",
+            path=str(path), expected=header_crc, got=zlib.crc32(header),
+        )
+    if zlib.crc32(payload) != payload_crc:
+        raise CheckpointCorruption(
+            "checkpoint payload checksum mismatch",
+            path=str(path), expected=payload_crc, got=zlib.crc32(payload),
+        )
+    meta = json.loads(header.decode("utf-8"))
+    with np.load(io.BytesIO(payload)) as z:
+        arrays = {name: z[name] for name in z.files}
+    manifest = meta.get("arrays", sorted(arrays))
+    if sorted(arrays) != sorted(manifest):
+        raise CheckpointCorruption(
+            "checkpoint array manifest mismatch",
+            path=str(path), expected=sorted(manifest), got=sorted(arrays),
+        )
+    return Checkpoint(meta=meta.get("meta", {}), arrays=arrays, path=path)

@@ -26,7 +26,7 @@ import sys
 
 from repro import faults, obs
 from repro.cases import CASE_BUILDERS
-from repro.core.driver import PRECONDITIONER_NAMES, solve_case
+from repro.core.driver import PRECONDITIONER_NAMES, SOLVER_NAMES, solve_case
 from repro.core.experiment import run_sweep
 from repro.perfmodel.machine import machine_by_name
 from repro.resilience import ResilientSolver
@@ -85,9 +85,19 @@ def make_parser() -> argparse.ArgumentParser:
     solve.add_argument("--machine", default="linux-cluster")
     solve.add_argument("--rtol", type=float, default=1e-6)
     solve.add_argument("--maxiter", type=int, default=500)
+    solve.add_argument("--solver", choices=SOLVER_NAMES, default="fgmres",
+                       help="outer Krylov method")
     solve.add_argument("--resilient", action="store_true",
                        help="wrap the solve in the retry/fallback chain "
                        "(docs/robustness.md)")
+    solve.add_argument("--checkpoint-dir", default=None,
+                       help="snapshot the FGMRES iterate at restarts into "
+                       "this directory (repro.ckpt.v1)")
+    solve.add_argument("--checkpoint-every", type=int, default=1,
+                       help="restart cycles between snapshots")
+    solve.add_argument("--restore", action="store_true",
+                       help="seed x0 from the newest intact checkpoint in "
+                       "--checkpoint-dir")
 
     sweep = sub.add_parser("sweep", help="run a paper-style table")
     sweep.add_argument("--case", default="tc1")
@@ -129,7 +139,8 @@ def make_parser() -> argparse.ArgumentParser:
     )
     fault.add_argument("case", help=f"one of {sorted(CASE_BUILDERS)} or an alias")
     fault.add_argument("--kind", default="bad-pivot", choices=faults.FAULT_KINDS,
-                       help="fault class to inject")
+                       type=lambda s: s.replace("_", "-"),
+                       help="fault class to inject (underscores accepted)")
     fault.add_argument("--count", type=int, default=1,
                        help="how many times the fault fires (-1 = unlimited)")
     fault.add_argument("--start", type=int, default=0,
@@ -139,6 +150,14 @@ def make_parser() -> argparse.ArgumentParser:
                        "short names); default: fault everywhere")
     fault.add_argument("--value", type=float, default=1e-300,
                        help="payload for tiny-pivot / ghost-scale")
+    fault.add_argument("--rank", type=int, default=None,
+                       help="target rank for rank-dead / message faults "
+                       "(rank-dead default: nparts - 1)")
+    fault.add_argument("--delay", type=float, default=5e-3,
+                       help="per-exchange straggler delay in seconds")
+    fault.add_argument("--checkpoint-dir", default=None,
+                       help="checkpoint the solve so rank-dead recovery "
+                       "resumes from the newest intact snapshot")
     fault.add_argument("--fault-seed", type=int, default=0)
     fault.add_argument("--precond", default="schur1",
                        help=f"one of {PRECONDITIONER_NAMES}")
@@ -170,7 +189,13 @@ def cmd_solve(args: argparse.Namespace) -> int:
         scheme=args.scheme,
         rtol=args.rtol,
         maxiter=args.maxiter,
+        solver=args.solver,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        restore=args.restore,
     )
+    if args.restore and args.checkpoint_dir is None:
+        raise SystemExit("--restore requires --checkpoint-dir")
     if args.resilient:
         res = ResilientSolver().solve(case, **kwargs)
         _print_attempts(res)
@@ -182,7 +207,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         out = solve_case(case, **kwargs)
     print(f"{case.title}: {case.num_dofs} unknowns, P={args.nparts}, "
           f"{out.precond}, {args.scheme} partitioning")
-    print(f"  {_status_text(out.status)} in {out.iterations} FGMRES(20) "
+    print(f"  {_status_text(out.status)} in {out.iterations} {args.solver} "
           f"iterations (reduction {out.residuals[-1] / out.residuals[0]:.2e})")
     print(f"  simulated time on {machine.name}: {out.sim_time(machine):.3f}s "
           f"(setup {machine.time(out.setup_ledger):.3f}s)")
@@ -268,9 +293,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_faults(args: argparse.Namespace) -> int:
     case = _build_case(args.case, args.size)
+    rank = args.rank
+    if rank is None and args.kind == "rank-dead":
+        rank = args.nparts - 1
     spec = faults.FaultSpec(
         kind=args.kind, count=args.count, start=args.start,
-        target=args.target, value=args.value,
+        target=args.target, value=args.value, rank=rank, delay=args.delay,
     )
     plan = faults.FaultPlan(spec, seed=args.fault_seed)
     solver = ResilientSolver()
@@ -278,6 +306,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
         precond=args.precond, nparts=args.nparts, seed=args.seed,
         scheme=args.scheme, rtol=args.rtol, maxiter=args.maxiter,
     )
+    if args.checkpoint_dir is not None:
+        kwargs["checkpoint_dir"] = args.checkpoint_dir
     with obs.tracing() as tracer, faults.inject(plan):
         res = solver.solve(case, **kwargs)
 

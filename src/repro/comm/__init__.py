@@ -9,12 +9,14 @@ price the run.  The API mirrors the MPI idioms of the mpi4py guide
 allreduce/allgather collectives).
 """
 
-from repro.comm.communicator import Communicator
+from repro.comm.communicator import Communicator, CommStats, RetryPolicy
 from repro.comm.pattern import CommunicationPattern, ExchangeSpec
 from repro.comm.collectives import allgather_concat, allreduce_sum
 
 __all__ = [
     "Communicator",
+    "CommStats",
+    "RetryPolicy",
     "CommunicationPattern",
     "ExchangeSpec",
     "allreduce_sum",

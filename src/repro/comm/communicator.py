@@ -2,7 +2,60 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from repro.perfmodel.costs import COUNT_FIELDS, CostLedger
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded timeout/retry/backoff policy of the integrity envelope.
+
+    A transfer is attempted up to ``1 + max_retries`` times; a failed
+    attempt (drop, checksum mismatch, dead peer) costs a ``timeout``-second
+    wait that grows by ``backoff``× per successive retry.  Exhausting the
+    budget raises a typed :class:`~repro.resilience.errors.CommFault`.
+    """
+
+    max_retries: int = 3
+    timeout: float = 2e-3
+    backoff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout < 0.0:
+            raise ValueError("timeout must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+
+    def wait(self, attempt: int) -> float:
+        """The timeout window charged for failed delivery ``attempt`` (0-based)."""
+        return self.timeout * self.backoff**attempt
+
+
+@dataclass
+class CommStats:
+    """Lifetime message-level counters of one communicator.
+
+    ``messages`` counts envelope deliveries that succeeded on the first
+    try as well; the failure counters only move under fault injection.
+    """
+
+    messages: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    checksum_failures: int = 0
+    rank_dead: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "messages": self.messages,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "checksum_failures": self.checksum_failures,
+            "rank_dead": self.rank_dead,
+        }
 
 
 class Communicator:
@@ -14,14 +67,28 @@ class Communicator:
     retired ledger are folded into a running total so
     :meth:`cumulative_counts` is monotone across resets — this is what the
     observability layer diffs to attribute costs to spans.
+
+    The communicator also owns the integrity-envelope state: a per-directed-
+    pair sequence counter (:meth:`next_seq`), the :class:`RetryPolicy` the
+    ghost exchange enforces, and :class:`CommStats` message counters.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, retry_policy: RetryPolicy | None = None) -> None:
         if size < 1:
             raise ValueError("communicator size must be >= 1")
         self.size = size
         self.ledger = CostLedger(size)
         self._retired = {f: 0.0 for f in COUNT_FIELDS}
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.comm_stats = CommStats()
+        self._seq: dict[tuple[int, int], int] = {}
+
+    def next_seq(self, src: int, dst: int) -> int:
+        """Monotone per-(src, dst) envelope sequence number (starts at 0)."""
+        key = (src, dst)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        return seq
 
     def reset_ledger(self) -> CostLedger:
         """Replace the ledger with a fresh one; returns the old ledger."""

@@ -5,10 +5,22 @@ owned interface values its neighbors need (sends) and where incoming external
 interface values land in its ghost buffer (receives).  Diffpack's parallel
 toolbox calls this "communication pattern recognition"; here the pattern is a
 static object built once from the partition and reused by every exchange.
+
+Every transfer travels inside an **integrity envelope**: a per-(src, dst)
+sequence number plus a CRC-32 payload checksum.  Under fault injection the
+receiver validates the envelope and a failed delivery (drop, corruption,
+dead peer) is retransmitted under the communicator's bounded
+:class:`~repro.comm.communicator.RetryPolicy`; each failed attempt charges
+its timeout window to the cost ledger and emits a ``resilience.comm.retry``
+trace event.  Exhausting the budget raises a typed
+:class:`~repro.resilience.errors.CommFault` (``docs/robustness.md``).
+Without an active fault plan nothing can be lost or corrupted in a simulated
+exchange, so the checksum computation is elided from the clean hot path.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from functools import cached_property
 
@@ -16,6 +28,7 @@ import numpy as np
 
 from repro import faults, obs
 from repro.comm.communicator import Communicator
+from repro.resilience.errors import MessageCorruption, MessageTimeout, RankDeadError
 
 
 @dataclass(frozen=True)
@@ -125,6 +138,9 @@ class CommunicationPattern:
         ghost: list[np.ndarray],
     ) -> None:
         plan = faults.active()
+        if plan is not None:
+            plan.exchange_begin()
+        comm.comm_stats.messages += len(self.transfers)
         for t in self.transfers:
             if len(ghost[t.dst]) <= t.max_recv or len(owned[t.src]) <= t.max_send:
                 raise ValueError(
@@ -134,16 +150,130 @@ class CommunicationPattern:
                     f"{t.src} has {len(owned[t.src])} owned values"
                 )
             if plan is not None:
+                # legacy silent kinds: corruption past the envelope — the
+                # checksum has already validated, detection falls to the
+                # numerical guards downstream
                 action, value = plan.transfer_action(t.src, t.dst)
                 if action == "drop":
                     continue  # ghost slots keep whatever (stale) values they had
-                ghost[t.dst][t.recv_ghost] = owned[t.src][t.send_local]
-                if action == "corrupt":
-                    ghost[t.dst][t.recv_ghost] = np.nan
-                elif action == "scale":
-                    ghost[t.dst][t.recv_ghost] *= value
+                if action != "ok":
+                    ghost[t.dst][t.recv_ghost] = owned[t.src][t.send_local]
+                    if action == "corrupt":
+                        ghost[t.dst][t.recv_ghost] = np.nan
+                    else:  # "scale"
+                        ghost[t.dst][t.recv_ghost] *= value
+                    continue
+                self._deliver_envelope(comm, plan, t, owned, ghost)
                 continue
             ghost[t.dst][t.recv_ghost] = owned[t.src][t.send_local]
         comm.ledger.add_phase(
             0.0, msgs_per_rank=self._msgs_per_rank, bytes_per_rank=self._bytes_per_rank
         )
+
+    def _deliver_envelope(
+        self,
+        comm: Communicator,
+        plan,
+        t: ExchangeSpec,
+        owned: list[np.ndarray],
+        ghost: list[np.ndarray],
+    ) -> None:
+        """Deliver one transfer through the integrity envelope.
+
+        Sequence number + CRC-32 checksum, bounded retransmission under
+        ``comm.retry_policy``.  Failed attempts charge their timeout window
+        (and the retransmission's messages/bytes) to the ledger; exhausting
+        the budget raises the matching :class:`CommFault`.
+        """
+        policy = comm.retry_policy
+        stats = comm.comm_stats
+        seq = comm.next_seq(t.src, t.dst)
+        payload = owned[t.src][t.send_local]
+        checksum = zlib.crc32(payload.tobytes())
+        delay = 0.0
+        retransmits = 0
+        last_reason = "timeout"
+        for attempt in range(policy.max_retries + 1):
+            if attempt:
+                stats.retries += 1
+                retransmits += 1
+            dead = plan.dead_ranks.intersection((t.src, t.dst))
+            if dead:
+                # no ack will ever come: the receiver burns the full
+                # timeout window on every attempt
+                last_reason = "timeout"
+                stats.timeouts += 1
+                delay += policy.wait(attempt)
+                obs.event(
+                    "resilience.comm.retry", src=t.src, dst=t.dst, seq=seq,
+                    attempt=attempt, reason="timeout",
+                )
+                continue
+            action = plan.delivery_action(t.src, t.dst, attempt)
+            if action == "drop":
+                last_reason = "timeout"
+                stats.timeouts += 1
+                delay += policy.wait(attempt)
+                obs.event(
+                    "resilience.comm.retry", src=t.src, dst=t.dst, seq=seq,
+                    attempt=attempt, reason="timeout",
+                )
+                continue
+            if action == "corrupt":
+                # the payload arrived, but its CRC does not match the
+                # envelope's: discard and request retransmission
+                wire = bytearray(payload.tobytes())
+                if wire:
+                    wire[0] ^= 0xFF  # one flipped bit is enough for CRC-32
+                corrupted = zlib.crc32(bytes(wire))
+                last_reason = "checksum"
+                stats.checksum_failures += 1
+                obs.event(
+                    "resilience.comm.retry", src=t.src, dst=t.dst, seq=seq,
+                    attempt=attempt, reason="checksum",
+                    expected=checksum, got=corrupted,
+                )
+                continue
+            lateness = plan.straggler_delay(t.src, t.dst)
+            if lateness > 0.0:
+                delay += lateness
+            ghost[t.dst][t.recv_ghost] = payload
+            self._charge_recovery(comm, t, retransmits, delay)
+            return
+        self._charge_recovery(comm, t, retransmits, delay)
+        dead = plan.dead_ranks.intersection((t.src, t.dst))
+        if dead:
+            rank = min(dead)
+            stats.rank_dead += 1
+            obs.event("resilience.comm.rank_dead", rank=rank, src=t.src, dst=t.dst, seq=seq)
+            raise RankDeadError(
+                f"rank {rank} stopped responding: transfer {t.src}->{t.dst} "
+                f"timed out {policy.max_retries + 1} times",
+                rank=rank, src=t.src, dst=t.dst, seq=seq,
+                attempts=policy.max_retries + 1,
+            )
+        cls = MessageCorruption if last_reason == "checksum" else MessageTimeout
+        obs.event(
+            "resilience.comm.give_up", src=t.src, dst=t.dst, seq=seq,
+            reason=last_reason,
+        )
+        raise cls(
+            f"transfer {t.src}->{t.dst} failed {last_reason} validation "
+            f"{policy.max_retries + 1} times",
+            src=t.src, dst=t.dst, seq=seq, attempts=policy.max_retries + 1,
+        )
+
+    def _charge_recovery(
+        self, comm: Communicator, t: ExchangeSpec, retransmits: int, delay: float
+    ) -> None:
+        """Charge retransmission traffic and timeout/straggler waits."""
+        if retransmits:
+            msgs = np.zeros(self.num_ranks)
+            nbytes = np.zeros(self.num_ranks)
+            msgs[[t.src, t.dst]] += retransmits
+            nbytes[[t.src, t.dst]] += 8.0 * t.count * retransmits
+            comm.ledger.add_phase(0.0, msgs_per_rank=msgs, bytes_per_rank=nbytes)
+        if delay > 0.0:
+            waits = np.zeros(self.num_ranks)
+            waits[t.dst] = delay
+            comm.ledger.add_delay(waits)

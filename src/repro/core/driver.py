@@ -20,6 +20,8 @@ from repro.comm.communicator import Communicator
 from repro.distributed.matrix import DistributedMatrix, distribute_matrix
 from repro.distributed.ops import DistributedOps
 from repro.distributed.partition_map import PartitionMap
+from repro.krylov.bicgstab import bicgstab
+from repro.krylov.cg import cg
 from repro.krylov.fgmres import fgmres
 from repro.krylov.monitors import STATUSES
 from repro.perfmodel.costs import CostLedger
@@ -102,6 +104,9 @@ def make_preconditioner(
     raise ValueError(f"unknown preconditioner {name!r}; pick from {PRECONDITIONER_NAMES}")
 
 
+SOLVER_NAMES = ("fgmres", "cg", "bicgstab")
+
+
 @dataclass
 class SolveOutcome:
     """Everything the paper's tables report, plus diagnostics.
@@ -155,8 +160,41 @@ def solve_case(
     maxiter: int = 500,
     precond_params: dict | None = None,
     keep_solution: bool = True,
+    solver: str = "fgmres",
+    x0: np.ndarray | None = None,
+    membership: np.ndarray | None = None,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = 1,
+    restore: bool = False,
 ) -> SolveOutcome:
-    """Run the full pipeline on ``case`` and return the measurements."""
+    """Run the full pipeline on ``case`` and return the measurements.
+
+    Parameters beyond the paper's measurement procedure:
+
+    solver:
+        Outer Krylov method — ``"fgmres"`` (paper default), ``"cg"`` or
+        ``"bicgstab"``.
+    x0 / membership:
+        Global-numbering initial guess and explicit partition override.
+        The recovery paths use these to resume a solve on a *remapped*
+        layout after a rank failure (see ``repro.resilience``).
+    checkpoint_dir / checkpoint_every / restore:
+        FGMRES-only checkpoint/restart: snapshot the global-numbered
+        iterate every ``checkpoint_every`` restart cycles into
+        ``checkpoint_dir`` (``repro.ckpt.v1`` files, prefix ``solve``);
+        with ``restore=True`` the newest intact snapshot seeds ``x0``.
+        Checkpoints store global numbering, so a restore survives a
+        partition remap.
+    """
+    if solver not in SOLVER_NAMES:
+        raise ValueError(f"unknown solver {solver!r}; pick from {SOLVER_NAMES}")
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint_every must be >= 1")
+    manager = None
+    if checkpoint_dir is not None:
+        from repro.checkpoint import CheckpointManager
+
+        manager = CheckpointManager(checkpoint_dir, prefix="solve")
     comm = Communicator(nparts)
     tracer = obs.get_tracer()
     tracer.bind(comm)
@@ -166,7 +204,8 @@ def solve_case(
         scheme=scheme, seed=seed,
     ) as root:
         with obs.span("partition", scheme=scheme):
-            membership = case.membership(nparts, seed=seed, scheme=scheme)
+            if membership is None:
+                membership = case.membership(nparts, seed=seed, scheme=scheme)
             pm = PartitionMap(case.coupling_graph, membership, num_ranks=nparts)
         with obs.span("distribute"):
             dmat = distribute_matrix(case.matrix, pm)
@@ -193,21 +232,72 @@ def solve_case(
 
         ops = DistributedOps(comm, pm.layout)
         b_dist = pm.to_distributed(case.rhs)
-        x0_dist = pm.to_distributed(case.x0)
+        x0_global = case.x0 if x0 is None else np.asarray(x0, dtype=np.float64)
+        atol = 0.0
+        target = 0.0
+        if manager is not None:
+            # the target the run is aiming for, anchored to the *original*
+            # start: a restored solve must finish the old job, not chase a
+            # fresh rtol reduction relative to its (already nearly
+            # converged) restart point
+            r0 = b_dist - dmat.matvec(comm, pm.to_distributed(x0_global))
+            target = rtol * float(np.linalg.norm(r0))
+            if restore:
+                ckpt = manager.load_latest()
+                if ckpt is not None:
+                    x0_global = ckpt["x"]
+                    atol = float(ckpt.meta.get("target", 0.0))
+        x0_dist = pm.to_distributed(x0_global)
+
+        on_restart = None
+        if manager is not None and solver == "fgmres":
+            cycle = 0
+
+            def on_restart(iters: int, x_dist: np.ndarray) -> None:
+                nonlocal cycle
+                cycle += 1
+                if cycle % checkpoint_every == 0:
+                    manager.save(
+                        iters,
+                        {"x": pm.to_global(x_dist), "b": np.asarray(case.rhs)},
+                        meta={
+                            "kind": "solve",
+                            "case": case.key,
+                            "precond": precond,
+                            "nparts": nparts,
+                            "iterations": int(iters),
+                            "target": target,
+                        },
+                    )
 
         t0 = time.perf_counter()
-        with obs.span("krylov.solve", solver=f"fgmres({restart})", rtol=rtol), \
+        with obs.span("krylov.solve", solver=f"{solver}({restart})", rtol=rtol), \
                 faults.scope(precond):
-            result = fgmres(
-                lambda v: dmat.matvec(comm, v),
-                b_dist,
-                apply_m=preconditioner,
-                x0=x0_dist,
-                restart=restart,
-                rtol=rtol,
-                maxiter=maxiter,
-                ops=ops,
-            )
+            if solver == "fgmres":
+                result = fgmres(
+                    lambda v: dmat.matvec(comm, v),
+                    b_dist,
+                    apply_m=preconditioner,
+                    x0=x0_dist,
+                    restart=restart,
+                    rtol=rtol,
+                    atol=atol,
+                    maxiter=maxiter,
+                    ops=ops,
+                    on_restart=on_restart,
+                )
+            else:
+                short = cg if solver == "cg" else bicgstab
+                result = short(
+                    lambda v: dmat.matvec(comm, v),
+                    b_dist,
+                    apply_m=preconditioner,
+                    x0=x0_dist,
+                    rtol=rtol,
+                    atol=atol,
+                    maxiter=maxiter,
+                    ops=ops,
+                )
         wall = time.perf_counter() - t0
 
         x_global = pm.to_global(result.x)

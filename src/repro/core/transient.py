@@ -6,6 +6,21 @@ simulations run many.  :class:`TransientHeatSolver` packages the pattern the
 once, then advance any number of steps, reusing the distributed operator and
 the parallel preconditioner, with all per-step costs accumulated on one
 ledger so the amortized parallel cost is measurable.
+
+Long marches are fault-tolerant (docs/robustness.md):
+
+* every completed step is classified (:attr:`StepRecord.status`), and a
+  step that ends anything but ``converged`` raises a typed
+  :class:`~repro.resilience.errors.TransientStepFailure` instead of
+  silently marching on;
+* with ``checkpoint_dir`` set, time-step state is snapshotted every
+  ``checkpoint_every`` steps (``repro.ckpt.v1``, prefix ``transient``) and
+  :meth:`restore` resumes a fresh process from the newest intact snapshot;
+* a confirmed :class:`~repro.resilience.errors.RankDeadError` mid-march
+  triggers in-place recovery: survivors absorb the dead subdomain
+  (:func:`~repro.distributed.partition_map.absorb_rank`), the operator and
+  preconditioner are rebuilt on the shrunk layout, and the march rewinds to
+  the last checkpoint (or retries the current step when not checkpointed).
 """
 
 from __future__ import annotations
@@ -14,15 +29,17 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import faults, obs
 from repro.comm.communicator import Communicator
 from repro.core.driver import make_preconditioner
 from repro.distributed.matrix import distribute_matrix
 from repro.distributed.ops import DistributedOps
-from repro.distributed.partition_map import PartitionMap
+from repro.distributed.partition_map import PartitionMap, absorb_rank
 from repro.fem.boundary import apply_dirichlet
 from repro.fem.timestepping import ImplicitEulerOperator
 from repro.krylov.fgmres import fgmres
 from repro.mesh.mesh import Mesh
+from repro.resilience.errors import RankDeadError, TransientStepFailure
 
 
 @dataclass
@@ -33,6 +50,7 @@ class StepRecord:
     iterations: int
     converged: bool
     max_abs: float
+    status: str = "converged"
 
 
 class TransientHeatSolver:
@@ -49,6 +67,10 @@ class TransientHeatSolver:
         natural elsewhere).
     precond, nparts, seed, scheme:
         Parallel setup, as in :func:`repro.core.solve_case`.
+    checkpoint_dir, checkpoint_every:
+        When ``checkpoint_dir`` is set, snapshot ``(u, membership)`` every
+        ``checkpoint_every`` completed steps; :meth:`restore` and the
+        rank-failure recovery path resume from the newest intact snapshot.
     """
 
     def __init__(
@@ -64,6 +86,8 @@ class TransientHeatSolver:
         rtol: float = 1e-8,
         maxiter: int = 300,
         precond_params: dict | None = None,
+        checkpoint_dir: str | None = None,
+        checkpoint_every: int = 1,
     ) -> None:
         from repro.graph.adjacency import graph_from_elements
         from repro.graph.geometric import box_partition_2d, box_partition_3d
@@ -76,10 +100,18 @@ class TransientHeatSolver:
         )
         self.rtol = rtol
         self.maxiter = maxiter
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        self.checkpoint_every = checkpoint_every
+        self.checkpoints = None
+        if checkpoint_dir is not None:
+            from repro.checkpoint import CheckpointManager
 
-        graph = graph_from_elements(mesh.num_points, mesh.elements)
+            self.checkpoints = CheckpointManager(checkpoint_dir, prefix="transient")
+
+        self.graph = graph_from_elements(mesh.num_points, mesh.elements)
         if scheme == "general":
-            membership = partition_graph(graph, nparts, seed=seed)
+            membership = partition_graph(self.graph, nparts, seed=seed)
         elif scheme == "box":
             shape = mesh.structured_shape
             if shape is None:
@@ -91,57 +123,157 @@ class TransientHeatSolver:
             )
         else:
             raise ValueError(f"unknown scheme {scheme!r}")
-        self.pm = PartitionMap(graph, membership, num_ranks=nparts)
-        self.dmat = distribute_matrix(self.matrix, self.pm)
-        self.comm = Communicator(nparts)
+        self.precond_name = precond
+        self.precond_params = precond_params
+        self.nparts = nparts
 
         # a minimal stand-in TestCase is not needed: only the Schwarz
         # preconditioners read case.mesh/case.matrix, and they are valid here
         class _CaseShim:
             pass
 
-        shim = _CaseShim()
-        shim.mesh = mesh
-        shim.matrix = self.matrix
-        self.precond = make_preconditioner(
-            precond, self.dmat, self.comm, shim, precond_params
-        )
+        self._shim = _CaseShim()
+        self._shim.mesh = mesh
+        self._shim.matrix = self.matrix
+        self._build(np.asarray(membership, dtype=np.int64))
         self.setup_ledger = self.comm.reset_ledger()
-        self._ops = DistributedOps(self.comm, self.pm.layout)
         self.history: list[StepRecord] = []
+        self.step = 0
+
+    # -- layout (re)construction -------------------------------------------
+
+    def _build(self, membership: np.ndarray) -> None:
+        """(Re)build the distributed operator stack for ``membership``."""
+        self.membership = membership
+        self.nparts = int(membership.max()) + 1
+        self.pm = PartitionMap(self.graph, membership, num_ranks=self.nparts)
+        self.dmat = distribute_matrix(self.matrix, self.pm)
+        self.comm = Communicator(self.nparts)
+        self.precond = make_preconditioner(
+            self.precond_name, self.dmat, self.comm, self._shim, self.precond_params
+        )
+        self._ops = DistributedOps(self.comm, self.pm.layout)
+
+    def _recover(self, exc: RankDeadError, u: np.ndarray) -> np.ndarray:
+        """Absorb a confirmed-dead rank, rewind to the last checkpoint.
+
+        Returns the state to resume from: the newest intact checkpointed
+        ``u`` (with ``self.step`` and the history rewound to match) when
+        checkpointing is on, else the in-memory start-of-step state.
+        """
+        if self.nparts < 2:
+            raise exc
+        dead = exc.rank
+        obs.event("resilience.comm.rank_dead", rank=dead, step=self.step + 1)
+        with obs.span(
+            "resilience.comm.recover", rank=dead, survivors=self.nparts - 1
+        ):
+            self._build(absorb_rank(self.graph, self.membership, dead))
+            plan = faults.active()
+            if plan is not None:
+                plan.mark_recovered(dead)
+            if self.checkpoints is not None:
+                ckpt = self.checkpoints.load_latest()
+                if ckpt is not None and int(ckpt.meta.get("step", 0)) <= self.step:
+                    self.step = int(ckpt.meta.get("step", 0))
+                    del self.history[self.step :]
+                    return np.asarray(ckpt["u"], dtype=np.float64)
+        return u
+
+    def restore(self) -> tuple[np.ndarray, int] | None:
+        """Resume a fresh process from the newest intact checkpoint.
+
+        Returns ``(u, step)`` — the state to pass to :meth:`advance` and the
+        number of steps already completed — or ``None`` when no intact
+        checkpoint exists.  If the snapshot was taken after a rank-failure
+        recovery, its (shrunk) partition layout is re-adopted, so survivors
+        keep marching as survivors.
+        """
+        if self.checkpoints is None:
+            raise ValueError("restore() requires checkpoint_dir")
+        ckpt = self.checkpoints.load_latest()
+        if ckpt is None:
+            return None
+        membership = ckpt.arrays.get("membership")
+        if membership is not None:
+            membership = np.asarray(membership, dtype=np.int64)
+            if not np.array_equal(membership, self.membership):
+                self._build(membership)
+                rebuild = self.comm.reset_ledger()
+                if rebuild.num_ranks == self.setup_ledger.num_ranks:
+                    self.setup_ledger.merge(rebuild)
+                else:
+                    # the snapshot came from a shrunk (post-recovery) world;
+                    # per-rank setup vectors for the old layout no longer
+                    # describe anything that exists, so start fresh
+                    self.setup_ledger = rebuild
+        self.step = int(ckpt.meta.get("step", 0))
+        del self.history[self.step :]
+        return np.asarray(ckpt["u"], dtype=np.float64), self.step
+
+    # -- marching -----------------------------------------------------------
 
     def advance(self, u: np.ndarray, steps: int = 1) -> np.ndarray:
-        """March ``steps`` implicit Euler steps from state ``u``."""
+        """March ``steps`` implicit Euler steps from state ``u``.
+
+        A step that ends anything but ``converged`` is recorded in
+        ``history`` with its classification and raised as
+        :class:`TransientStepFailure`.  A confirmed rank failure triggers
+        in-place recovery (see :meth:`_recover`) and the march continues —
+        possibly rewound to an earlier checkpointed step — until the
+        original target step is reached.
+        """
         u = np.asarray(u, dtype=np.float64).copy()
-        for _ in range(steps):
+        target = self.step + steps
+        while self.step < target:
             rhs = self.op.rhs(u)
             rhs[self.dirichlet] = 0.0
             # symmetric elimination: subtract prescribed couplings (all zero
             # values here, so only the row replacement matters)
-            res = fgmres(
-                lambda v: self.dmat.matvec(self.comm, v),
-                self.pm.to_distributed(rhs),
-                apply_m=self.precond,
-                x0=self.pm.to_distributed(u),
-                restart=20,
-                rtol=self.rtol,
-                maxiter=self.maxiter,
-                ops=self._ops,
-            )
-            if not res.converged:
-                raise RuntimeError(
-                    f"step {len(self.history) + 1} failed to converge in "
-                    f"{self.maxiter} iterations"
+            try:
+                res = fgmres(
+                    lambda v: self.dmat.matvec(self.comm, v),
+                    self.pm.to_distributed(rhs),
+                    apply_m=self.precond,
+                    x0=self.pm.to_distributed(u),
+                    restart=20,
+                    rtol=self.rtol,
+                    maxiter=self.maxiter,
+                    ops=self._ops,
                 )
-            u = self.pm.to_global(res.x)
+            except RankDeadError as exc:
+                u = self._recover(exc, u)
+                continue
+            step = self.step + 1
+            u_next = self.pm.to_global(res.x)
             self.history.append(
                 StepRecord(
-                    step=len(self.history) + 1,
+                    step=step,
                     iterations=res.iterations,
                     converged=res.converged,
-                    max_abs=float(np.abs(u).max()),
+                    max_abs=float(np.abs(u_next).max()),
+                    status=res.status,
                 )
             )
+            if not res.converged:
+                raise TransientStepFailure(
+                    f"step {step} ended {res.status!r} after "
+                    f"{res.iterations} iterations",
+                    step=step, step_status=res.status,
+                    iterations=res.iterations,
+                )
+            u = u_next
+            self.step = step
+            if self.checkpoints is not None and step % self.checkpoint_every == 0:
+                self.checkpoints.save(
+                    step,
+                    {"u": u, "membership": self.membership},
+                    meta={
+                        "kind": "transient",
+                        "nparts": self.nparts,
+                        "precond": self.precond_name,
+                    },
+                )
         return u
 
     @property

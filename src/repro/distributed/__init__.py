@@ -9,7 +9,7 @@ Eq. (4)-(5).
 """
 
 from repro.distributed.layout import Layout
-from repro.distributed.partition_map import PartitionMap, Subdomain
+from repro.distributed.partition_map import PartitionMap, Subdomain, absorb_rank
 from repro.distributed.matrix import DistributedMatrix, distribute_matrix
 from repro.distributed.vector import DistributedVector
 from repro.distributed.ops import DistributedOps
@@ -19,6 +19,7 @@ __all__ = [
     "Layout",
     "PartitionMap",
     "Subdomain",
+    "absorb_rank",
     "DistributedMatrix",
     "distribute_matrix",
     "DistributedVector",

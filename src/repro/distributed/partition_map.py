@@ -42,6 +42,54 @@ class Subdomain:
         return self.owned[self.n_internal :]
 
 
+def absorb_rank(
+    graph: Graph, membership: np.ndarray, dead_rank: int
+) -> np.ndarray:
+    """Reassign a dead rank's vertices to surviving neighbors, compact ids.
+
+    The recovery primitive for confirmed rank failures: every vertex owned
+    by ``dead_rank`` migrates to the surviving rank that owns the most of
+    its graph neighbors (smallest rank id on ties — fully deterministic).
+    Vertices whose neighbors are all dead resolve in later passes, once a
+    neighbor has itself been reassigned; any still-isolated leftovers go to
+    the smallest surviving rank.  Surviving ranks above ``dead_rank`` shift
+    down by one, so the result is a valid membership over ``P - 1`` ranks
+    ready for a fresh :class:`PartitionMap`.
+    """
+    membership = np.asarray(membership, dtype=np.int64)
+    if membership.shape != (graph.num_vertices,):
+        raise ValueError("membership must assign every vertex a rank")
+    num_ranks = int(membership.max()) + 1 if membership.size else 0
+    if not 0 <= dead_rank < num_ranks:
+        raise ValueError(f"dead_rank {dead_rank} not in [0, {num_ranks})")
+    if num_ranks < 2:
+        raise ValueError("cannot absorb the only rank")
+
+    new = membership.copy()
+    orphans = list(np.flatnonzero(membership == dead_rank))
+    while orphans:
+        still_orphaned = []
+        progressed = False
+        for v in orphans:
+            nbr_ranks = new[graph.indices[graph.indptr[v] : graph.indptr[v + 1]]]
+            nbr_ranks = nbr_ranks[nbr_ranks != dead_rank]
+            if nbr_ranks.size == 0:
+                still_orphaned.append(v)
+                continue
+            new[v] = np.bincount(nbr_ranks).argmax()
+            progressed = True
+        if not progressed:
+            # an entirely isolated component: park it on the smallest survivor
+            survivors = np.flatnonzero(np.bincount(new, minlength=num_ranks) > 0)
+            fallback = int(survivors[survivors != dead_rank][0])
+            for v in still_orphaned:
+                new[v] = fallback
+            break
+        orphans = still_orphaned
+    new[new > dead_rank] -= 1
+    return new
+
+
 class PartitionMap:
     """Global → (rank, local) mapping plus the derived exchange pattern."""
 

@@ -25,7 +25,31 @@ Fault kinds and their hook points (see ``docs/robustness.md``):
 ``ghost-corrupt`` / ``ghost-drop`` / ``ghost-scale``
     Fired per transfer of a ghost exchange: the received values are
     overwritten with NaN, left stale (the transfer is dropped), or scaled
-    by ``value``.
+    by ``value``.  These model corruption *past* the integrity envelope
+    (e.g. memory corruption after checksum validation): they are silent,
+    never retried, and detection falls to the numerical guards.
+``message-drop`` / ``message-corrupt``
+    Fired per *delivery attempt* of an envelope-protected transfer: the
+    attempt is dropped (times out) or its payload arrives with a failing
+    checksum.  The envelope detects both and retransmits with backoff, so a
+    bounded spec (``count=1``) costs only a visible retry while an
+    unbounded one (``count=-1``) exhausts the retry budget and raises a
+    typed :class:`~repro.resilience.errors.CommFault`.
+``rank-dead``
+    Fired once per ghost *exchange* (``start=k`` aims at the k-th exchange
+    of the run): the targeted ``rank`` stops responding, permanently.
+    Every transfer touching it then times out through the full retry
+    budget and the exchange raises
+    :class:`~repro.resilience.errors.RankDeadError`; recovery layers call
+    :meth:`FaultPlan.mark_recovered` once the dead subdomain has been
+    absorbed by the survivors.
+``straggler``
+    Fired per transfer sent by ``rank`` (any sender when ``rank`` is
+    None): the message is delivered but ``delay`` seconds late, charged to
+    the :class:`~repro.perfmodel.costs.CostLedger` delay counter — slow
+    ranks cost simulated time, they do not corrupt data.
+
+Kind names accept ``_`` as a separator alias (``rank_dead`` == ``rank-dead``).
 """
 
 from __future__ import annotations
@@ -43,6 +67,10 @@ FAULT_KINDS = (
     "ghost-corrupt",
     "ghost-drop",
     "ghost-scale",
+    "message-drop",
+    "message-corrupt",
+    "rank-dead",
+    "straggler",
 )
 
 #: fault kinds whose hook is the factorization pivot loop
@@ -50,6 +78,9 @@ _PIVOT_PRE = ("bad-pivot",)
 _PIVOT_POST = ("tiny-pivot",)
 _KERNEL = ("nan-kernel",)
 _GHOST = ("ghost-corrupt", "ghost-drop", "ghost-scale")
+_DELIVERY = ("message-drop", "message-corrupt")
+_RANK_DEAD = ("rank-dead",)
+_STRAGGLER = ("straggler",)
 
 
 @dataclass
@@ -63,6 +94,12 @@ class FaultSpec:
     knowing anything about attempts.  ``target`` restricts the spec to
     fault scopes (preconditioner short names — see
     :func:`repro.faults.scope`); ``None`` matches everywhere.
+
+    ``rank`` aims the communication kinds: the rank that dies
+    (``rank-dead``, required), the slow sender (``straggler``, None = every
+    sender), or an endpoint filter for ``message-drop``/``message-corrupt``
+    (None = any transfer).  ``delay`` is the straggler's per-message
+    lateness in seconds.
     """
 
     kind: str
@@ -71,12 +108,19 @@ class FaultSpec:
     stride: int = 1
     target: tuple[str, ...] | None = None
     value: float = 1e-300
+    rank: int | None = None
+    delay: float = 5e-3
 
     def __post_init__(self) -> None:
+        self.kind = self.kind.replace("_", "-")
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; pick from {FAULT_KINDS}")
         if self.stride < 1:
             raise ValueError("stride must be >= 1")
+        if self.kind in _RANK_DEAD and self.rank is None:
+            raise ValueError("rank-dead needs an explicit rank to kill")
+        if self.delay < 0.0:
+            raise ValueError("delay must be >= 0")
         if isinstance(self.target, str):
             self.target = tuple(t for t in self.target.split(",") if t)
 
@@ -121,6 +165,10 @@ class FaultPlan:
         self.injected: list[dict] = []
         self._states = [_SpecState(s) for s in self.specs]
         self.scope_stack: list[str] = []
+        #: ranks confirmed dead by a fired ``rank-dead`` spec; membership is
+        #: persistent until a recovery layer absorbs the subdomain and calls
+        #: :meth:`mark_recovered`
+        self.dead_ranks: set[int] = set()
 
     @property
     def scope(self) -> str | None:
@@ -173,6 +221,57 @@ class FaultPlan:
                 return "scale", state.spec.value
             return "corrupt", 0.0
         return "ok", 0.0
+
+    # -- communication-level hooks (the integrity envelope consults these) ---
+
+    def exchange_begin(self) -> None:
+        """Called once at the start of every ghost exchange.
+
+        The opportunity counter of a ``rank-dead`` spec counts *exchanges*,
+        so ``start=k`` kills the rank at the k-th exchange of the run.
+        """
+        for state in self._firing(_RANK_DEAD):
+            rank = int(state.spec.rank)  # type: ignore[arg-type]
+            self.dead_ranks.add(rank)
+            self._fire(state, rank=rank)
+
+    def delivery_action(self, src: int, dst: int, attempt: int) -> str:
+        """Fate of one envelope delivery attempt: "ok" | "drop" | "corrupt"."""
+        scope = self.scope
+        for state in self._states:
+            spec = state.spec
+            if spec.kind not in _DELIVERY:
+                continue
+            if spec.rank is not None and spec.rank not in (src, dst):
+                continue
+            if state.should_fire(scope):
+                self._fire(state, src=int(src), dst=int(dst), attempt=int(attempt))
+                return "drop" if spec.kind == "message-drop" else "corrupt"
+        return "ok"
+
+    def straggler_delay(self, src: int, dst: int) -> float:
+        """Seconds a delivered transfer arrives late (0.0 = on time)."""
+        scope = self.scope
+        total = 0.0
+        for state in self._states:
+            spec = state.spec
+            if spec.kind not in _STRAGGLER:
+                continue
+            if spec.rank is not None and spec.rank != src:
+                continue
+            if state.should_fire(scope):
+                self._fire(state, src=int(src), dst=int(dst), delay=spec.delay)
+                total += spec.delay
+        return total
+
+    def mark_recovered(self, rank: int) -> None:
+        """Forget a dead rank after its subdomain was absorbed by survivors.
+
+        The remapped world renumbers ranks, so the old identity must not
+        leak into the new communicator; recovery layers call this exactly
+        once per absorbed rank.
+        """
+        self.dead_ranks.discard(int(rank))
 
     def summary(self) -> dict[str, int]:
         """Fired-fault counts by kind."""

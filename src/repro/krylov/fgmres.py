@@ -47,6 +47,7 @@ def fgmres(
     maxiter: int = 1000,
     ops: KernelOps | None = None,
     monitor: ConvergenceMonitor | None = None,
+    on_restart: Callable[[int, np.ndarray], None] | None = None,
 ) -> KrylovResult:
     """Solve ``A x = b`` with restarted flexible GMRES.
 
@@ -61,6 +62,11 @@ def fgmres(
         Krylov cycle length m (paper default 20).
     rtol:
         Relative residual reduction target (paper: 1e-6).
+    on_restart:
+        Called as ``on_restart(iterations, x)`` after the true-residual
+        recompute at the end of each cycle, once the iterate is known to be
+        finite.  The checkpoint hook: callers snapshot ``x`` here so a later
+        fault can resume from the last completed cycle.
     """
     if restart < 1:
         raise ValueError("restart must be >= 1")
@@ -183,6 +189,8 @@ def fgmres(
                 x=x_prev, iterations=iters, status="diverged",
                 residuals=mon.residuals,
             )
+        if on_restart is not None:
+            on_restart(iters, x)
         converged = beta <= mon.threshold
         if not converged:
             if breakdown and beta >= beta_prev * (1.0 - 1e-12):

@@ -9,11 +9,13 @@ flattening (one row per span) for spreadsheet triage.
 from __future__ import annotations
 
 import csv
+import io
 import json
 from pathlib import Path
 
 from repro.obs.tracer import Tracer
 from repro.perfmodel.costs import COUNT_FIELDS
+from repro.utils.atomic import atomic_write_text
 
 TRACE_SCHEMA = "repro.trace.v1"
 
@@ -34,10 +36,10 @@ def trace_to_dict(tracer: Tracer, meta: dict | None = None) -> dict:
 def write_json_trace(
     path: str | Path, tracer: Tracer, meta: dict | None = None
 ) -> Path:
-    """Serialize the trace to ``path``; returns the path written."""
+    """Serialize the trace to ``path`` (atomically); returns the path written."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(trace_to_dict(tracer, meta), indent=1))
+    atomic_write_text(path, json.dumps(trace_to_dict(tracer, meta), indent=1))
     return path
 
 
@@ -55,17 +57,21 @@ _CSV_FIXED = ("id", "parent", "depth", "name", "t_start", "t_end", "wall_s")
 
 
 def write_csv_trace(path: str | Path, tracer: Tracer) -> Path:
-    """One row per span: identity, timing, all ledger counters, JSON attrs."""
+    """One row per span: identity, timing, all ledger counters, JSON attrs.
+
+    Written atomically (compose in memory, write-temp + rename).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as fh:
-        writer = csv.writer(fh)
-        writer.writerow(list(_CSV_FIXED) + list(COUNT_FIELDS) + ["attrs", "events"])
-        for s in tracer.spans:
-            d = s.to_dict()
-            writer.writerow(
-                [d[k] for k in _CSV_FIXED]
-                + [d["ledger"][f] for f in COUNT_FIELDS]
-                + [json.dumps(d["attrs"]), len(d["events"])]
-            )
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(list(_CSV_FIXED) + list(COUNT_FIELDS) + ["attrs", "events"])
+    for s in tracer.spans:
+        d = s.to_dict()
+        writer.writerow(
+            [d[k] for k in _CSV_FIXED]
+            + [d["ledger"][f] for f in COUNT_FIELDS]
+            + [json.dumps(d["attrs"]), len(d["events"])]
+        )
+    atomic_write_text(path, buf.getvalue())
     return path

@@ -32,6 +32,7 @@ COUNT_FIELDS = (
     "total_msgs",
     "total_bytes",
     "phases",
+    "delay_seconds",
 )
 
 
@@ -49,6 +50,11 @@ class CostLedger:
     total_msgs: float = 0.0
     total_bytes: float = 0.0
     phases: int = 0
+    #: machine-independent injected wall-clock seconds on the critical path —
+    #: straggler delays and retry-timeout windows from the communication
+    #: fault layer land here (a phase waits for its slowest rank, so the
+    #: per-phase maximum over ranks is what accumulates)
+    delay_seconds: float = 0.0
     per_rank_flops: np.ndarray = field(default=None)  # type: ignore[assignment]
     #: per-rank resident working-set bytes (local matrix + factors + vectors);
     #: optional — set by the driver so cache-aware machines (paper Sec. 4.3's
@@ -88,6 +94,17 @@ class CostLedger:
         self.allreduces += 1
         self.allreduce_bytes += nbytes
 
+    def add_delay(self, seconds_per_rank: np.ndarray | float) -> None:
+        """Record injected wall-clock delay (straggler / retry timeout).
+
+        The bulk-synchronous model waits for the slowest rank, so only the
+        per-rank maximum enters the critical path.
+        """
+        d = np.broadcast_to(
+            np.asarray(seconds_per_rank, dtype=np.float64), (self.num_ranks,)
+        )
+        self.delay_seconds += float(d.max())
+
     def merge(self, other: "CostLedger") -> None:
         """Fold another ledger (e.g. a setup phase) into this one."""
         if other.num_ranks != self.num_ranks:
@@ -101,6 +118,7 @@ class CostLedger:
         self.total_msgs += other.total_msgs
         self.total_bytes += other.total_bytes
         self.phases += other.phases
+        self.delay_seconds += other.delay_seconds
         self.per_rank_flops = self.per_rank_flops + other.per_rank_flops
 
     def counts(self) -> dict[str, float]:

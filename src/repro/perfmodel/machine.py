@@ -69,7 +69,9 @@ class Machine:
         if ledger.allreduces:
             avg_bytes = ledger.allreduce_bytes / ledger.allreduces
             t += ledger.allreduces * self.allreduce_time(p, avg_bytes)
-        return t * self.load_factor
+        # injected delays (stragglers, retry-timeout windows) are literal
+        # wall-clock seconds, independent of the machine's load factor
+        return t * self.load_factor + ledger.delay_seconds
 
     def speedup(self, ledger: CostLedger, serial_flops: float | None = None) -> float:
         """Speedup vs. a single processor of the same machine."""

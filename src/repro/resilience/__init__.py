@@ -15,10 +15,15 @@ is re-exported lazily.
 from __future__ import annotations
 
 from repro.resilience.errors import (
+    CommFault,
     FactorizationBreakdown,
     InnerSolveDivergence,
+    MessageCorruption,
+    MessageTimeout,
     NumericalFault,
+    RankDeadError,
     SolverFault,
+    TransientStepFailure,
 )
 
 __all__ = [
@@ -26,6 +31,11 @@ __all__ = [
     "FactorizationBreakdown",
     "NumericalFault",
     "InnerSolveDivergence",
+    "CommFault",
+    "MessageTimeout",
+    "MessageCorruption",
+    "RankDeadError",
+    "TransientStepFailure",
     "ResilientSolver",
     "ResilientOutcome",
     "AttemptRecord",

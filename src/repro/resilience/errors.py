@@ -8,6 +8,16 @@ and decide a remedy (see ``docs/robustness.md``).  The mapping onto
     FactorizationBreakdown -> "breakdown"
     NumericalFault         -> "diverged"
     InnerSolveDivergence   -> "diverged"
+    MessageTimeout         -> "diverged"
+    MessageCorruption      -> "diverged"
+    RankDeadError          -> "breakdown"
+    TransientStepFailure   -> carries the failed step's status
+
+The ``CommFault`` branch covers the *distributed* layer: a fault is raised
+only after the integrity envelope (sequence number + checksum, bounded
+retry with backoff — see ``docs/robustness.md``) has exhausted its retry
+budget, so every raise represents a confirmed communication failure, not a
+transient glitch.
 
 Plain ``ValueError``/``TypeError`` (bad shapes, unknown names) are *not*
 solver faults: they signal caller bugs and are never retried.
@@ -71,3 +81,70 @@ class InnerSolveDivergence(SolverFault):
     """
 
     status = "diverged"
+
+
+class CommFault(SolverFault):
+    """Base class of confirmed communication failures.
+
+    Raised by the ghost-exchange integrity envelope
+    (:meth:`repro.comm.CommunicationPattern.exchange`) only after the
+    bounded timeout/retry/backoff policy (:class:`repro.comm.RetryPolicy`)
+    is exhausted.  ``context`` always carries ``src``, ``dst`` and ``seq``
+    (the envelope sequence number of the failed transfer).
+    """
+
+    status = "diverged"
+
+
+class MessageTimeout(CommFault):
+    """A message was never acknowledged within the retry budget.
+
+    Every delivery attempt of the transfer was dropped; the sender gave up
+    after ``max_retries`` retransmissions.  ``attempts`` in the context
+    counts the deliveries tried.
+    """
+
+    status = "diverged"
+
+
+class MessageCorruption(CommFault):
+    """A message repeatedly failed its checksum validation.
+
+    The envelope CRC detected payload corruption on every delivery attempt;
+    retransmission did not produce a clean copy within the retry budget.
+    """
+
+    status = "diverged"
+
+
+class RankDeadError(CommFault):
+    """A rank stopped responding — confirmed dead after retries.
+
+    Every exchange with the rank timed out across the full retry budget, so
+    the failure is process-level, not message-level.  ``rank`` in the
+    context names the dead rank; recovery (survivors absorb the dead
+    subdomain, rebuild, restore from checkpoint) is the job of
+    :class:`repro.resilience.ResilientSolver` and
+    :class:`repro.core.transient.TransientHeatSolver`.
+    """
+
+    status = "breakdown"
+
+    @property
+    def rank(self) -> int:
+        return int(self.context["rank"])
+
+
+class TransientStepFailure(SolverFault):
+    """A transient time step ended with a non-converged status.
+
+    Raised by :meth:`repro.core.transient.TransientHeatSolver.advance`
+    instead of silently marching on; ``step`` and ``step_status`` in the
+    context identify the failed step and its classification, and the
+    exception's own ``status`` mirrors ``step_status`` so the resilience
+    layer can classify the run.
+    """
+
+    def __init__(self, message: str, **context) -> None:
+        super().__init__(message, **context)
+        self.status = context.get("step_status", "diverged")

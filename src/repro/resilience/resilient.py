@@ -8,9 +8,16 @@ dropping), then walked down a **fallback chain** of progressively simpler
 preconditioners until one completes.  ``maxiter`` is an honest budget
 exhaustion, not a fault, and is returned as-is.
 
-Every decision is visible: ``resilience.retry`` and ``resilience.fallback``
-events land in the active trace, and the returned
-:class:`ResilientOutcome` carries one :class:`AttemptRecord` per attempt.
+A :class:`~repro.resilience.errors.RankDeadError` is handled before either
+remedy: the dead subdomain is absorbed by its surviving neighbors
+(:func:`~repro.distributed.partition_map.absorb_rank`), the world shrinks by
+one rank, and the solve resumes — from the newest intact checkpoint when
+``checkpoint_dir`` is in play.
+
+Every decision is visible: ``resilience.retry``, ``resilience.fallback``
+and ``resilience.comm.recover`` events land in the active trace, and the
+returned :class:`ResilientOutcome` carries one :class:`AttemptRecord` per
+attempt.
 """
 
 from __future__ import annotations
@@ -19,10 +26,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import obs
+from repro import faults, obs
 from repro.cases.base import TestCase
 from repro.core.driver import PRECONDITIONER_NAMES, SolveOutcome, solve_case
-from repro.resilience.errors import SolverFault
+from repro.distributed.partition_map import absorb_rank
+from repro.resilience.errors import RankDeadError, SolverFault
 
 #: default fallback order: strongest first, the unbreakable Jacobi last
 FALLBACK_CHAIN = ("schur2", "schur1", "block2", "block1", "jacobi")
@@ -39,11 +47,12 @@ class AttemptRecord:
     """One solve attempt inside a resilient run."""
 
     precond: str
-    kind: str  # "primary" | "retry" | "fallback"
+    kind: str  # "primary" | "retry" | "fallback" | "rank-recovery"
     status: str
     iterations: int = 0
     fault: str | None = None  # message of the raised SolverFault, if any
     params: dict = field(default_factory=dict)
+    error: SolverFault | None = field(default=None, repr=False)
 
 
 @dataclass
@@ -122,7 +131,7 @@ class ResilientSolver:
             attempts.append(
                 AttemptRecord(
                     precond=precond, kind=kind, status=exc.status,
-                    fault=str(exc), params=dict(params),
+                    fault=str(exc), params=dict(params), error=exc,
                 )
             )
             return None
@@ -132,6 +141,57 @@ class ResilientSolver:
                 iterations=out.iterations, params=dict(params),
             )
         )
+        return out
+
+    def _recover_ranks(
+        self,
+        case: TestCase,
+        precond: str,
+        params: dict,
+        kwargs: dict,
+        attempts: list[AttemptRecord],
+        out: SolveOutcome | None,
+    ) -> SolveOutcome | None:
+        """Absorb confirmed-dead ranks and resume from the last checkpoint.
+
+        Runs after any failed attempt whose fault was a
+        :class:`RankDeadError`: survivors absorb the dead subdomain
+        (``absorb_rank``), the world shrinks by one, preconditioners are
+        rebuilt on the new layout by the re-attempt, and — when the solve is
+        checkpointed — the iterate resumes from the newest intact snapshot
+        (checkpoints store global numbering, so they survive the remap).
+        The loop is bounded by the survivor count: each pass removes one
+        rank, and a 1-rank world has no one left to absorb into.
+        """
+        while attempts and isinstance(attempts[-1].error, RankDeadError):
+            nparts = int(kwargs.get("nparts", 4))
+            if nparts < 2:
+                break
+            dead = attempts[-1].error.rank
+            membership = kwargs.get("membership")
+            if membership is None:
+                membership = case.membership(
+                    nparts,
+                    seed=kwargs.get("seed", 0),
+                    scheme=kwargs.get("scheme", "general"),
+                )
+            with obs.span(
+                "resilience.comm.recover", rank=dead, survivors=nparts - 1
+            ):
+                kwargs["membership"] = absorb_rank(
+                    case.coupling_graph, membership, dead
+                )
+                kwargs["nparts"] = nparts - 1
+                if kwargs.get("checkpoint_dir") is not None:
+                    kwargs["restore"] = True
+                plan = faults.active()
+                if plan is not None:
+                    plan.mark_recovered(dead)
+                out = self._attempt(
+                    case, precond, "rank-recovery", params, kwargs, attempts
+                )
+            if out is not None and out.status not in _FAILURE_STATUSES:
+                return out
         return out
 
     def _remedy_params(self, case: TestCase, params: dict) -> dict:
@@ -158,6 +218,12 @@ class ResilientSolver:
 
         with obs.span("resilience.solve", precond=precond):
             out = self._attempt(case, precond, "primary", params, kwargs, attempts)
+            if out is not None and out.status not in _FAILURE_STATUSES:
+                return ResilientOutcome(outcome=out, attempts=attempts)
+
+            # confirmed rank failure: shrink the world before anything else —
+            # retrying on a layout with a dead rank would just time out again
+            out = self._recover_ranks(case, precond, params, kwargs, attempts, out)
             if out is not None and out.status not in _FAILURE_STATUSES:
                 return ResilientOutcome(outcome=out, attempts=attempts)
 

@@ -27,6 +27,7 @@ from repro.sparse.reorder import (
     inverse_permutation,
     permute_vector,
 )
+from repro.sparse.errors import SparseFormatError
 from repro.sparse.io import load_csr_npz, save_csr_npz
 from repro.sparse.matrixmarket import load_matrix_market, save_matrix_market
 
@@ -47,6 +48,7 @@ __all__ = [
     "apply_symmetric_permutation",
     "inverse_permutation",
     "permute_vector",
+    "SparseFormatError",
     "load_csr_npz",
     "save_csr_npz",
     "load_matrix_market",

@@ -1,0 +1,54 @@
+"""Typed sparse-I/O failures.
+
+Loader errors name the file, the offending line, and what was expected
+versus found, so a truncated download or a half-written cache file is
+diagnosed from the message alone.  ``SparseFormatError`` subclasses
+``ValueError`` for backward compatibility with callers that caught the
+loaders' previous untyped errors.
+"""
+
+from __future__ import annotations
+
+
+class SparseFormatError(ValueError):
+    """A sparse-matrix file failed structural validation on load.
+
+    Parameters
+    ----------
+    message:
+        What went wrong.
+    path:
+        The offending file.
+    line:
+        1-based line number of the offending line (textual formats only).
+    expected / got:
+        What the format requires vs. what the file contains.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        line: int | None = None,
+        expected=None,
+        got=None,
+    ) -> None:
+        super().__init__(message)
+        self.path = path
+        self.line = line
+        self.expected = expected
+        self.got = got
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        parts = [super().__str__()]
+        where = []
+        if self.path is not None:
+            where.append(str(self.path))
+        if self.line is not None:
+            where.append(f"line {self.line}")
+        if where:
+            parts.append(f"[{':'.join(where)}]")
+        if self.expected is not None or self.got is not None:
+            parts.append(f"(expected {self.expected}, got {self.got})")
+        return " ".join(parts)

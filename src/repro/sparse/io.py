@@ -11,6 +11,7 @@ from pathlib import Path
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse.errors import SparseFormatError
 from repro.utils.validation import ensure_csr
 
 
@@ -27,9 +28,58 @@ def save_csr_npz(path: str | Path, a: sp.csr_matrix) -> None:
 
 
 def load_csr_npz(path: str | Path) -> sp.csr_matrix:
-    """Load a CSR matrix previously written by :func:`save_csr_npz`."""
+    """Load a CSR matrix previously written by :func:`save_csr_npz`.
+
+    Validates the archive structurally before constructing the matrix and
+    raises :class:`SparseFormatError` on missing keys or a size-inconsistent
+    CSR triplet (a truncated or half-written cache file), instead of letting
+    scipy fail with an opaque message — or worse, succeed with bad data.
+    """
+    path = Path(path)
     with np.load(path) as z:
-        return sp.csr_matrix(
-            (z["data"], z["indices"], z["indptr"]),
-            shape=tuple(int(s) for s in z["shape"]),
+        missing = sorted({"data", "indices", "indptr", "shape"} - set(z.files))
+        if missing:
+            raise SparseFormatError(
+                "not a CSR npz archive", path=str(path),
+                expected="data/indices/indptr/shape keys",
+                got=f"missing {missing}",
+            )
+        data, indices, indptr = z["data"], z["indices"], z["indptr"]
+        shape = tuple(int(s) for s in z["shape"])
+    if len(shape) != 2 or shape[0] < 0 or shape[1] < 0:
+        raise SparseFormatError(
+            "bad CSR shape", path=str(path), expected="(rows, cols)",
+            got=shape,
         )
+    if indptr.ndim != 1 or len(indptr) != shape[0] + 1:
+        raise SparseFormatError(
+            "indptr length inconsistent with shape", path=str(path),
+            expected=shape[0] + 1, got=indptr.shape,
+        )
+    if len(indptr) and indptr[0] != 0:
+        raise SparseFormatError(
+            "indptr must start at 0", path=str(path), expected=0,
+            got=int(indptr[0]),
+        )
+    if len(indices) != len(data):
+        raise SparseFormatError(
+            "indices/data length mismatch", path=str(path),
+            expected=len(data), got=len(indices),
+        )
+    if len(indptr) and indptr[-1] != len(data):
+        raise SparseFormatError(
+            "indptr[-1] inconsistent with stored nnz (truncated file?)",
+            path=str(path), expected=len(data), got=int(indptr[-1]),
+        )
+    if np.any(np.diff(indptr) < 0):
+        raise SparseFormatError(
+            "indptr must be non-decreasing", path=str(path),
+            expected="monotone indptr", got="decreasing entries",
+        )
+    if len(indices) and (indices.min() < 0 or indices.max() >= shape[1]):
+        raise SparseFormatError(
+            "column index out of range", path=str(path),
+            expected=f"0..{shape[1] - 1}",
+            got=f"{int(indices.min())}..{int(indices.max())}",
+        )
+    return sp.csr_matrix((data, indices, indptr), shape=shape)

@@ -14,6 +14,7 @@ from pathlib import Path
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse.errors import SparseFormatError
 from repro.utils.validation import ensure_csr
 
 
@@ -32,34 +33,91 @@ def save_matrix_market(path: str | Path, a: sp.spmatrix, comment: str = "") -> N
 
 
 def load_matrix_market(path: str | Path) -> sp.csr_matrix:
-    """Read a ``matrix coordinate real`` file (general or symmetric)."""
-    text = Path(path).read_text().splitlines()
+    """Read a ``matrix coordinate real`` file (general or symmetric).
+
+    Raises :class:`SparseFormatError` — naming the file, the offending
+    1-based line, and expected-vs-got — on a bad header, an unparseable
+    size line or entry, an out-of-range index, or a truncated file.
+    """
+    path = Path(path)
+    text = path.read_text().splitlines()
     if not text:
-        raise ValueError("empty Matrix Market file")
+        raise SparseFormatError("empty Matrix Market file", path=str(path))
     header = text[0].strip().lower().split()
     if len(header) < 5 or header[0] != "%%matrixmarket":
-        raise ValueError(f"not a Matrix Market header: {text[0]!r}")
+        raise SparseFormatError(
+            "not a Matrix Market header", path=str(path), line=1,
+            expected="%%MatrixMarket matrix coordinate ...", got=text[0],
+        )
     _, obj, fmt, field, symmetry = header[:5]
     if obj != "matrix" or fmt != "coordinate":
-        raise ValueError("only 'matrix coordinate' files are supported")
+        raise SparseFormatError(
+            "only 'matrix coordinate' files are supported",
+            path=str(path), line=1, expected="matrix coordinate",
+            got=f"{obj} {fmt}",
+        )
     if field not in ("real", "integer"):
-        raise ValueError(f"unsupported field type {field!r}")
+        raise SparseFormatError(
+            "unsupported field type", path=str(path), line=1,
+            expected="real|integer", got=field,
+        )
     if symmetry not in ("general", "symmetric"):
-        raise ValueError(f"unsupported symmetry {symmetry!r}")
+        raise SparseFormatError(
+            "unsupported symmetry", path=str(path), line=1,
+            expected="general|symmetric", got=symmetry,
+        )
 
-    body = [ln for ln in text[1:] if ln.strip() and not ln.lstrip().startswith("%")]
-    m, n, nnz = (int(t) for t in body[0].split())
+    # keep original 1-based line numbers through the comment/blank filtering
+    body = [
+        (lineno, ln)
+        for lineno, ln in enumerate(text[1:], start=2)
+        if ln.strip() and not ln.lstrip().startswith("%")
+    ]
+    if not body:
+        raise SparseFormatError(
+            "missing size line", path=str(path), line=len(text),
+            expected="<rows> <cols> <nnz>", got="end of file",
+        )
+    size_lineno, size_line = body[0]
+    try:
+        m, n, nnz = (int(t) for t in size_line.split())
+    except ValueError:
+        raise SparseFormatError(
+            "bad size line", path=str(path), line=size_lineno,
+            expected="<rows> <cols> <nnz>", got=size_line,
+        ) from None
+    if m < 0 or n < 0 or nnz < 0:
+        raise SparseFormatError(
+            "negative dimension in size line", path=str(path),
+            line=size_lineno, expected=">= 0", got=size_line,
+        )
     entries = body[1 : 1 + nnz]
     if len(entries) != nnz:
-        raise ValueError(f"expected {nnz} entries, found {len(entries)}")
+        raise SparseFormatError(
+            "truncated Matrix Market file", path=str(path),
+            line=entries[-1][0] if entries else size_lineno,
+            expected=f"{nnz} entries", got=f"{len(entries)} entries",
+        )
     rows = np.empty(nnz, dtype=np.int64)
     cols = np.empty(nnz, dtype=np.int64)
     vals = np.empty(nnz)
-    for k, ln in enumerate(entries):
+    for k, (lineno, ln) in enumerate(entries):
         parts = ln.split()
-        rows[k] = int(parts[0]) - 1
-        cols[k] = int(parts[1]) - 1
-        vals[k] = float(parts[2]) if len(parts) > 2 else 1.0
+        try:
+            i = int(parts[0]) - 1
+            j = int(parts[1]) - 1
+            v = float(parts[2]) if len(parts) > 2 else 1.0
+        except (IndexError, ValueError):
+            raise SparseFormatError(
+                "bad coordinate entry", path=str(path), line=lineno,
+                expected="<row> <col> [value]", got=ln,
+            ) from None
+        if not (0 <= i < m and 0 <= j < n):
+            raise SparseFormatError(
+                "index out of range", path=str(path), line=lineno,
+                expected=f"1..{m} x 1..{n}", got=f"{i + 1} {j + 1}",
+            )
+        rows[k], cols[k], vals[k] = i, j, v
     a = sp.coo_matrix((vals, (rows, cols)), shape=(m, n))
     if symmetry == "symmetric":
         off = rows != cols

@@ -1,5 +1,6 @@
-"""Small shared utilities: timers, validation helpers, deterministic RNG."""
+"""Small shared utilities: timers, validation, RNG, atomic file writes."""
 
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text
 from repro.utils.timer import Timer, timed
 from repro.utils.validation import (
     check_square,
@@ -12,6 +13,8 @@ from repro.utils.rng import make_rng
 __all__ = [
     "Timer",
     "timed",
+    "atomic_write_bytes",
+    "atomic_write_text",
     "check_square",
     "check_vector",
     "ensure_csr",

@@ -1,0 +1,45 @@
+"""Atomic write-and-rename file helpers.
+
+A writer that dies mid-write must never leave a half-written file where a
+reader expects a complete one: checkpoints, bench results and trace exports
+all go through these helpers.  The contract is the classic POSIX pattern —
+write to a uniquely-named temporary in the *same directory* (so the rename
+cannot cross filesystems), flush + fsync, then ``os.replace`` onto the final
+name, which is atomic on POSIX and on modern Windows.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically; returns the final path.
+
+    Readers see either the previous complete file or the new complete file,
+    never a prefix.  The temporary is cleaned up on any failure.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except FileNotFoundError:
+            pass
+        raise
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str, encoding: str = "utf-8") -> Path:
+    """Text-mode convenience wrapper around :func:`atomic_write_bytes`."""
+    return atomic_write_bytes(path, text.encode(encoding))

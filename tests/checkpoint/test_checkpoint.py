@@ -1,0 +1,138 @@
+"""repro.ckpt.v1 format: round trip, corruption detection, retention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.checkpoint import (
+    FORMAT,
+    CheckpointCorruption,
+    CheckpointManager,
+    CheckpointNotFound,
+    read_checkpoint,
+    write_checkpoint,
+)
+
+
+def _arrays():
+    return {
+        "x": np.linspace(0.0, 1.0, 37),
+        "mask": np.array([1, 0, 1], dtype=np.int64),
+    }
+
+
+class TestRoundTrip:
+    def test_arrays_and_meta_survive(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        write_checkpoint(path, _arrays(), meta={"step": 3, "case": "tc1"})
+        ckpt = read_checkpoint(path)
+        assert ckpt.meta == {"step": 3, "case": "tc1"}
+        np.testing.assert_array_equal(ckpt["x"], _arrays()["x"])
+        assert ckpt["mask"].dtype == np.int64
+
+    def test_magic_line_is_versioned(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        write_checkpoint(path, _arrays())
+        assert path.read_bytes().startswith(FORMAT.encode())
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        write_checkpoint(path, {"x": np.zeros(3)}, meta={"v": 1})
+        write_checkpoint(path, {"x": np.ones(3)}, meta={"v": 2})
+        assert read_checkpoint(path).meta == {"v": 2}
+        assert list(tmp_path.iterdir()) == [path]  # no temp litter
+
+    def test_empty_arrays_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one array"):
+            write_checkpoint(tmp_path / "a.ckpt", {})
+
+    def test_missing_file_is_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_checkpoint(tmp_path / "nope.ckpt")
+
+
+class TestCorruptionDetection:
+    """Any single corrupted byte must be detected — never silently loaded."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(offset=st.integers(min_value=0, max_value=10_000),
+           flip=st.integers(min_value=1, max_value=255))
+    def test_one_flipped_byte_always_detected(self, tmp_path_factory, offset, flip):
+        tmp_path = tmp_path_factory.mktemp("ckpt")
+        path = tmp_path / "a.ckpt"
+        write_checkpoint(path, _arrays(), meta={"step": 1})
+        raw = bytearray(path.read_bytes())
+        raw[offset % len(raw)] ^= flip
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorruption):
+            read_checkpoint(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        write_checkpoint(path, _arrays())
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 7])
+        with pytest.raises(CheckpointCorruption, match="truncated"):
+            read_checkpoint(path)
+
+    def test_wrong_magic_detected(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        path.write_bytes(b"not.a.checkpoint 1 2 3 4\nxxxx")
+        with pytest.raises(CheckpointCorruption, match="magic"):
+            read_checkpoint(path)
+
+    def test_error_carries_path_context(self, tmp_path):
+        path = tmp_path / "a.ckpt"
+        write_checkpoint(path, _arrays())
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointCorruption) as exc:
+            read_checkpoint(path)
+        assert exc.value.context["path"] == str(path)
+
+
+class TestCheckpointManager:
+    def test_save_load_specific_step(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(4, {"u": np.arange(3.0)}, meta={"kind": "t"})
+        ckpt = mgr.load(4)
+        assert ckpt.meta["step"] == 4 and ckpt.meta["kind"] == "t"
+        with pytest.raises(CheckpointNotFound):
+            mgr.load(5)
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=2)
+        for step in range(5):
+            mgr.save(step, {"u": np.full(2, float(step))})
+        assert mgr.steps() == [3, 4]
+
+    def test_load_latest_skips_corrupt(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=0)
+        mgr.save(1, {"u": np.array([1.0])})
+        mgr.save(2, {"u": np.array([2.0])})
+        raw = bytearray(mgr.path_for(2).read_bytes())
+        raw[-1] ^= 0xFF
+        mgr.path_for(2).write_bytes(bytes(raw))
+        with obs.tracing() as tracer:
+            ckpt = mgr.load_latest()
+        assert ckpt.meta["step"] == 1 and ckpt["u"][0] == 1.0
+        names = [e["name"] for e in tracer.orphan_events]
+        assert "resilience.ckpt.corrupt" in names
+        assert "resilience.ckpt.restore" in names
+
+    def test_load_latest_empty_dir(self, tmp_path):
+        assert CheckpointManager(tmp_path / "missing").load_latest() is None
+
+    def test_prefixes_partition_a_directory(self, tmp_path):
+        a = CheckpointManager(tmp_path, prefix="solve")
+        b = CheckpointManager(tmp_path, prefix="transient")
+        a.save(1, {"x": np.zeros(1)})
+        b.save(9, {"u": np.zeros(1)})
+        assert a.steps() == [1] and b.steps() == [9]
+
+    def test_bad_prefix_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="filename-safe"):
+            CheckpointManager(tmp_path, prefix="a/b")

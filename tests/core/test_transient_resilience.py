@@ -1,0 +1,142 @@
+"""TransientHeatSolver fault tolerance: status threading, checkpoints,
+kill-and-resume, and in-place rank-failure recovery (docs/robustness.md)."""
+
+import numpy as np
+import pytest
+
+from repro import faults, obs
+from repro.core.transient import TransientHeatSolver
+from repro.mesh.grid2d import structured_rectangle
+from repro.resilience.errors import TransientStepFailure
+
+
+def _mesh():
+    return structured_rectangle(11, 11)
+
+
+def _u0(mesh):
+    return np.sin(np.pi * mesh.points[:, 0]) * np.sin(np.pi * mesh.points[:, 1])
+
+
+def _solver(mesh, **kw):
+    kw.setdefault("precond", "schur1")
+    kw.setdefault("nparts", 3)
+    kw.setdefault("rtol", 1e-10)
+    return TransientHeatSolver(
+        mesh, dt=0.02, dirichlet_nodes=mesh.all_boundary_nodes(), **kw
+    )
+
+
+class TestStepStatus:
+    def test_records_carry_status(self):
+        mesh = _mesh()
+        ths = _solver(mesh)
+        ths.advance(_u0(mesh), steps=2)
+        assert [rec.status for rec in ths.history] == ["converged", "converged"]
+
+    def test_breakdown_stops_the_march(self):
+        # starve FGMRES of iterations: the step classifies as maxiter and
+        # the march raises instead of silently appending garbage states
+        mesh = _mesh()
+        ths = _solver(mesh, maxiter=1, rtol=1e-14)
+        with pytest.raises(TransientStepFailure) as exc:
+            ths.advance(_u0(mesh), steps=3)
+        assert exc.value.context["step"] == 1
+        assert exc.value.status == "maxiter"
+        # the failed step is still recorded, classified
+        assert len(ths.history) == 1
+        assert ths.history[0].status == "maxiter"
+        assert not ths.history[0].converged
+
+
+class TestCheckpointResume:
+    def test_kill_and_resume_matches_uninterrupted(self, tmp_path):
+        mesh = _mesh()
+        u0 = _u0(mesh)
+
+        # the uninterrupted reference march
+        ref = _solver(mesh)
+        u_ref = ref.advance(u0, steps=6)
+
+        # march 3 steps, then "crash" (drop the solver object)
+        first = _solver(mesh, checkpoint_dir=str(tmp_path))
+        first.advance(u0, steps=3)
+        del first
+
+        # a fresh process restores and finishes the remaining steps
+        second = _solver(mesh, checkpoint_dir=str(tmp_path))
+        restored = second.restore()
+        assert restored is not None
+        u, step = restored
+        assert step == 3
+        u_final = second.advance(u, steps=3)
+        np.testing.assert_allclose(u_final, u_ref, atol=1e-8)
+
+    def test_restore_without_snapshot_returns_none(self, tmp_path):
+        mesh = _mesh()
+        ths = _solver(mesh, checkpoint_dir=str(tmp_path))
+        assert ths.restore() is None
+
+    def test_restore_requires_checkpoint_dir(self):
+        mesh = _mesh()
+        with pytest.raises(ValueError, match="checkpoint_dir"):
+            _solver(mesh).restore()
+
+    def test_checkpoint_every_thins_snapshots(self, tmp_path):
+        mesh = _mesh()
+        ths = _solver(mesh, checkpoint_dir=str(tmp_path), checkpoint_every=2)
+        ths.advance(_u0(mesh), steps=5)
+        assert ths.checkpoints.steps() == [2, 4]
+
+
+class TestRankFailureMidMarch:
+    def test_rank_dead_recovery_matches_fault_free(self, tmp_path):
+        mesh = _mesh()
+        u0 = _u0(mesh)
+        u_ref = _solver(mesh).advance(u0, steps=6)
+
+        plan = faults.FaultPlan(faults.FaultSpec("rank-dead", rank=2, start=40))
+        ths = _solver(mesh, checkpoint_dir=str(tmp_path))
+        with obs.tracing() as tracer, faults.inject(plan):
+            u = ths.advance(u0, steps=6)
+
+        assert plan.injected  # the fault really fired
+        assert ths.nparts == 2  # survivors absorbed the dead subdomain
+        assert ths.step == 6
+        # acceptance bar: same solution as the fault-free run within 1e-8
+        np.testing.assert_allclose(u, u_ref, atol=1e-8)
+        names = [s.name for s in tracer.spans]
+        assert "resilience.comm.recover" in names
+
+    def test_recovery_without_checkpoints_retries_current_step(self):
+        mesh = _mesh()
+        u0 = _u0(mesh)
+        u_ref = _solver(mesh).advance(u0, steps=4)
+
+        plan = faults.FaultPlan(faults.FaultSpec("rank-dead", rank=1, start=25))
+        ths = _solver(mesh)
+        with faults.inject(plan):
+            u = ths.advance(u0, steps=4)
+        assert plan.injected
+        assert ths.nparts == 2
+        np.testing.assert_allclose(u, u_ref, atol=1e-8)
+
+    def test_survivor_layout_persists_across_restore(self, tmp_path):
+        # a post-recovery snapshot stores the shrunk membership; a fresh
+        # process re-adopts it instead of re-partitioning for 3 ranks
+        mesh = _mesh()
+        u0 = _u0(mesh)
+        plan = faults.FaultPlan(faults.FaultSpec("rank-dead", rank=2, start=40))
+        ths = _solver(mesh, checkpoint_dir=str(tmp_path))
+        with faults.inject(plan):
+            ths.advance(u0, steps=4)
+        assert ths.nparts == 2
+
+        fresh = _solver(mesh, checkpoint_dir=str(tmp_path))
+        assert fresh.nparts == 3
+        u, step = fresh.restore()
+        assert fresh.nparts == 2
+        np.testing.assert_array_equal(fresh.membership, ths.membership)
+        u_final = fresh.advance(u, steps=6 - step)
+        u_ref = _solver(mesh).advance(u0, steps=6)
+        np.testing.assert_allclose(u_final, u_ref, atol=1e-8)

@@ -1,0 +1,91 @@
+"""absorb_rank: dead-subdomain reassignment for rank-failure recovery."""
+
+import numpy as np
+import pytest
+
+from repro.distributed.partition_map import PartitionMap, absorb_rank
+from repro.graph.adjacency import Graph, graph_from_elements
+from repro.graph.partitioner import partition_graph
+from repro.mesh.grid2d import structured_rectangle
+
+
+@pytest.fixture(scope="module")
+def grid_graph():
+    mesh = structured_rectangle(9, 9)
+    return graph_from_elements(mesh.num_points, mesh.elements)
+
+
+def _path_graph(n):
+    """A 1D chain 0-1-2-...-(n-1)."""
+    indptr = [0]
+    indices = []
+    for v in range(n):
+        nbrs = [u for u in (v - 1, v + 1) if 0 <= u < n]
+        indices.extend(nbrs)
+        indptr.append(len(indices))
+    return Graph(
+        indptr=np.asarray(indptr, dtype=np.int64),
+        indices=np.asarray(indices, dtype=np.int64),
+        edge_weights=np.ones(len(indices)),
+    )
+
+
+class TestAbsorbRank:
+    def test_survivors_cover_everything(self, grid_graph):
+        membership = partition_graph(grid_graph, 4, seed=0)
+        new = absorb_rank(grid_graph, membership, dead_rank=2)
+        assert new.shape == membership.shape
+        assert set(np.unique(new)) == {0, 1, 2}  # compacted to 3 ranks
+        # the result is a valid partition: PartitionMap accepts it
+        pm = PartitionMap(grid_graph, new, num_ranks=3)
+        assert sum(sd.n_owned for sd in pm.subdomains) == grid_graph.num_vertices
+
+    def test_untouched_ranks_keep_their_vertices(self, grid_graph):
+        membership = partition_graph(grid_graph, 4, seed=0)
+        new = absorb_rank(grid_graph, membership, dead_rank=3)
+        # killing the top rank leaves everyone else's assignment unchanged
+        survivors = membership != 3
+        np.testing.assert_array_equal(new[survivors], membership[survivors])
+
+    def test_compaction_shifts_higher_ranks(self):
+        g = _path_graph(6)
+        membership = np.array([0, 0, 1, 1, 2, 2])
+        new = absorb_rank(g, membership, dead_rank=1)
+        # vertices 2,3 join a neighbor; old rank 2 becomes rank 1
+        np.testing.assert_array_equal(new[[4, 5]], [1, 1])
+        assert set(np.unique(new)) == {0, 1}
+
+    def test_orphans_go_to_most_connected_neighbor(self):
+        g = _path_graph(4)
+        membership = np.array([0, 1, 1, 2])
+        new = absorb_rank(g, membership, dead_rank=1)
+        # vertex 1 neighbors only rank 0; vertex 2 then ties between rank 0
+        # (via the just-reassigned vertex 1) and old rank 2 — the
+        # deterministic tie-break picks the smaller rank
+        np.testing.assert_array_equal(new, [0, 0, 0, 1])
+
+    def test_deterministic(self, grid_graph):
+        membership = partition_graph(grid_graph, 4, seed=3)
+        a = absorb_rank(grid_graph, membership, dead_rank=1)
+        b = absorb_rank(grid_graph, membership, dead_rank=1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_isolated_component_falls_back(self):
+        # two disconnected vertices; rank 1's vertex has no live neighbor
+        g = Graph(
+            indptr=np.array([0, 0, 0], dtype=np.int64),
+            indices=np.array([], dtype=np.int64),
+            edge_weights=np.array([]),
+        )
+        new = absorb_rank(g, np.array([0, 1]), dead_rank=1)
+        np.testing.assert_array_equal(new, [0, 0])
+
+    def test_invalid_dead_rank(self, grid_graph):
+        membership = partition_graph(grid_graph, 3, seed=0)
+        with pytest.raises(ValueError, match="dead_rank"):
+            absorb_rank(grid_graph, membership, dead_rank=7)
+
+    def test_cannot_absorb_only_rank(self):
+        g = _path_graph(3)
+        with pytest.raises(ValueError, match="only rank"):
+            absorb_rank(g, np.zeros(3, dtype=np.int64), dead_rank=0)

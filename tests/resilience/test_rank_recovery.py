@@ -1,0 +1,117 @@
+"""ResilientSolver rank-failure recovery and the cg/bicgstab solve paths."""
+
+import numpy as np
+import pytest
+
+from repro import faults, obs
+from repro.cases.poisson2d import poisson2d_case
+from repro.resilience import RankDeadError, ResilientSolver
+
+
+@pytest.fixture()
+def case():
+    return poisson2d_case(n=16)
+
+
+def _events(tracer, name):
+    evs = [e for e in tracer.orphan_events if e["name"] == name]
+    for s in tracer.spans:
+        evs.extend(e for e in s.events if e["name"] == name)
+    return evs
+
+
+class TestRankRecovery:
+    def test_dead_rank_absorbed_and_solve_resumes(self, case):
+        plan = faults.FaultPlan(faults.FaultSpec("rank-dead", rank=2, start=4))
+        with obs.tracing() as tracer, faults.inject(plan):
+            res = ResilientSolver().solve(case, precond="schur1", nparts=3)
+        assert res.recovered
+        assert [a.kind for a in res.attempts] == ["primary", "rank-recovery"]
+        assert res.attempts[0].status == "breakdown"
+        assert isinstance(res.attempts[0].error, RankDeadError)
+        # the re-solve ran on the shrunk world
+        assert res.outcome.nparts == 2
+        assert res.outcome.error is not None and res.outcome.error < 1e-3
+        # recovery is visible in the trace
+        spans = [s for s in tracer.spans if s.name == "resilience.comm.recover"]
+        assert len(spans) == 1 and spans[0].attrs["rank"] == 2
+
+    def test_recovery_restores_from_checkpoint(self, case, tmp_path):
+        # a tight tolerance and short restart force several FGMRES cycles,
+        # so checkpoints exist before the rank dies; the recovery attempt
+        # restores the iterate from disk and finishes the *original* job
+        # (the saved target becomes the restored solve's absolute goal)
+        plan = faults.FaultPlan(faults.FaultSpec("rank-dead", rank=1, start=30))
+        with obs.tracing() as tracer, faults.inject(plan):
+            res = ResilientSolver().solve(
+                case, precond="schur1", nparts=3, rtol=1e-12, restart=3,
+                checkpoint_dir=str(tmp_path),
+            )
+        assert res.recovered
+        assert [a.kind for a in res.attempts] == ["primary", "rank-recovery"]
+        assert _events(tracer, "resilience.ckpt.save")
+        assert _events(tracer, "resilience.ckpt.restore")
+
+    def test_world_can_shrink_to_one_rank(self, case):
+        # a 2-rank world recovers into a serial solve: the survivor owns
+        # everything and there is nothing left to exchange (or to kill)
+        plan = faults.FaultPlan(faults.FaultSpec("rank-dead", rank=1, start=2))
+        with faults.inject(plan):
+            res = ResilientSolver().solve(case, precond="schur1", nparts=2)
+        assert res.recovered
+        assert res.outcome.nparts == 1
+
+    def test_injection_is_deterministic(self, case):
+        def run():
+            plan = faults.FaultPlan(faults.FaultSpec("rank-dead", rank=2, start=4))
+            with faults.inject(plan):
+                res = ResilientSolver().solve(case, precond="schur1", nparts=3)
+            return (
+                plan.injected,
+                [(a.kind, a.status, a.iterations) for a in res.attempts],
+                res.outcome.iterations,
+            )
+
+        assert run() == run()
+
+
+class TestAlternateSolverPaths:
+    """ResilientSolver retry/fallback rides solve_case's solver= parameter."""
+
+    def test_cg_clean_run(self, case):
+        res = ResilientSolver().solve(case, precond="jacobi", nparts=2, solver="cg")
+        assert res.converged and [a.kind for a in res.attempts] == ["primary"]
+
+    def test_bicgstab_clean_run(self, case):
+        res = ResilientSolver().solve(
+            case, precond="block1", nparts=2, solver="bicgstab"
+        )
+        assert res.converged
+
+    def test_cg_rank_dead_recovers(self, case):
+        plan = faults.FaultPlan(faults.FaultSpec("rank-dead", rank=1, start=3))
+        with faults.inject(plan):
+            res = ResilientSolver().solve(
+                case, precond="schur1", nparts=2, solver="cg"
+            )
+        assert res.recovered
+        assert res.attempts[-1].kind == "rank-recovery"
+
+    def test_bicgstab_breakdown_retries_then_falls_back(self, case):
+        # zero every block1 ILU pivot: the primary and the shifted retry
+        # both break down, then the chain recovers under bicgstab
+        plan = faults.FaultPlan(
+            faults.FaultSpec("bad-pivot", count=-1, target=("block1",))
+        )
+        with faults.inject(plan):
+            res = ResilientSolver(
+                fallback_chain=("jacobi",), max_retries=1
+            ).solve(case, precond="block1", nparts=2, solver="bicgstab")
+        assert res.recovered
+        kinds = [a.kind for a in res.attempts]
+        assert kinds == ["primary", "retry", "fallback"]
+        assert res.final_precond == "jacobi"
+
+    def test_unknown_solver_rejected(self, case):
+        with pytest.raises(ValueError, match="unknown solver"):
+            ResilientSolver().solve(case, precond="jacobi", solver="sor")

@@ -1,0 +1,144 @@
+"""Typed loader errors: truncated / inconsistent sparse files are diagnosed."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import SparseFormatError
+from repro.sparse.io import load_csr_npz, save_csr_npz
+from repro.sparse.matrixmarket import load_matrix_market, save_matrix_market
+
+
+@pytest.fixture()
+def small_csr():
+    return sp.csr_matrix(
+        np.array([[2.0, -1.0, 0.0], [-1.0, 2.0, -1.0], [0.0, -1.0, 2.0]])
+    )
+
+
+class TestMatrixMarketErrors:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "m.mtx"
+        path.write_text(text)
+        return path
+
+    def test_round_trip_still_works(self, tmp_path, small_csr):
+        path = tmp_path / "m.mtx"
+        save_matrix_market(path, small_csr)
+        out = load_matrix_market(path)
+        assert (out != small_csr).nnz == 0
+
+    def test_truncated_file_names_expected_vs_got(self, tmp_path, small_csr):
+        path = tmp_path / "m.mtx"
+        save_matrix_market(path, small_csr)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-2]) + "\n")  # drop two entries
+        with pytest.raises(SparseFormatError) as exc:
+            load_matrix_market(path)
+        err = exc.value
+        assert "truncated" in str(err)
+        assert err.path == str(path)
+        assert "entries" in str(err.expected) and "entries" in str(err.got)
+
+    def test_bad_header(self, tmp_path):
+        path = self._write(tmp_path, "%%NotMatrixMarket foo\n1 1 0\n")
+        with pytest.raises(SparseFormatError) as exc:
+            load_matrix_market(path)
+        assert exc.value.line == 1
+
+    def test_bad_size_line(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n3 three 2\n",
+        )
+        with pytest.raises(SparseFormatError, match="size line") as exc:
+            load_matrix_market(path)
+        assert exc.value.line == 2
+
+    def test_bad_entry_names_its_line(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% comment\n"
+            "2 2 2\n"
+            "1 1 5.0\n"
+            "2 oops 1.0\n",
+        )
+        with pytest.raises(SparseFormatError, match="entry") as exc:
+            load_matrix_market(path)
+        assert exc.value.line == 5
+        assert "2 oops 1.0" in str(exc.value.got)
+
+    def test_out_of_range_index(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n"
+            "3 1 5.0\n",
+        )
+        with pytest.raises(SparseFormatError, match="out of range"):
+            load_matrix_market(path)
+
+    def test_empty_file(self, tmp_path):
+        path = self._write(tmp_path, "")
+        with pytest.raises(SparseFormatError, match="empty"):
+            load_matrix_market(path)
+
+    def test_is_a_value_error(self, tmp_path):
+        # backward compatibility: callers catching ValueError still work
+        path = self._write(tmp_path, "")
+        with pytest.raises(ValueError):
+            load_matrix_market(path)
+
+
+class TestCsrNpzErrors:
+    def test_round_trip_still_works(self, tmp_path, small_csr):
+        path = tmp_path / "m.npz"
+        save_csr_npz(path, small_csr)
+        out = load_csr_npz(path)
+        assert (out != small_csr).nnz == 0
+
+    def test_missing_keys(self, tmp_path):
+        path = tmp_path / "m.npz"
+        np.savez(path, data=np.zeros(1))
+        with pytest.raises(SparseFormatError, match="missing"):
+            load_csr_npz(path)
+
+    def test_truncated_data_detected(self, tmp_path, small_csr):
+        path = tmp_path / "m.npz"
+        np.savez(
+            path,
+            indptr=small_csr.indptr,
+            indices=small_csr.indices,
+            data=small_csr.data[:-2],  # lost the tail
+            shape=np.asarray(small_csr.shape, dtype=np.int64),
+        )
+        with pytest.raises(SparseFormatError) as exc:
+            load_csr_npz(path)
+        assert exc.value.expected != exc.value.got
+
+    def test_indptr_shape_mismatch(self, tmp_path, small_csr):
+        path = tmp_path / "m.npz"
+        np.savez(
+            path,
+            indptr=small_csr.indptr[:-1],
+            indices=small_csr.indices,
+            data=small_csr.data,
+            shape=np.asarray(small_csr.shape, dtype=np.int64),
+        )
+        with pytest.raises(SparseFormatError, match="indptr length"):
+            load_csr_npz(path)
+
+    def test_column_index_out_of_range(self, tmp_path, small_csr):
+        path = tmp_path / "m.npz"
+        indices = small_csr.indices.copy()
+        indices[0] = 99
+        np.savez(
+            path,
+            indptr=small_csr.indptr,
+            indices=indices,
+            data=small_csr.data,
+            shape=np.asarray(small_csr.shape, dtype=np.int64),
+        )
+        with pytest.raises(SparseFormatError, match="column index"):
+            load_csr_npz(path)

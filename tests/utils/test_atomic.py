@@ -1,0 +1,30 @@
+"""Atomic write-and-rename helpers."""
+
+import pytest
+
+from repro.utils.atomic import atomic_write_bytes, atomic_write_text
+
+
+class TestAtomicWrite:
+    def test_writes_and_returns_path(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "a.bin", b"\x00\x01")
+        assert path.read_bytes() == b"\x00\x01"
+
+    def test_overwrites_existing(self, tmp_path):
+        target = tmp_path / "a.txt"
+        atomic_write_text(target, "one")
+        atomic_write_text(target, "two")
+        assert target.read_text() == "two"
+
+    def test_no_temp_litter(self, tmp_path):
+        atomic_write_text(tmp_path / "a.txt", "hello")
+        assert [p.name for p in tmp_path.iterdir()] == ["a.txt"]
+
+    def test_failure_cleans_up_temp(self, tmp_path):
+        with pytest.raises(TypeError):
+            atomic_write_bytes(tmp_path / "a.bin", "not bytes")  # type: ignore[arg-type]
+        assert list(tmp_path.iterdir()) == []
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            atomic_write_text(tmp_path / "no" / "dir" / "a.txt", "x")
