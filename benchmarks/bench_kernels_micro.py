@@ -18,7 +18,7 @@ from repro.distributed.partition_map import PartitionMap
 from repro.factor.ilu0 import ilu0
 from repro.factor.ilut import ilut
 
-from common import scaled_n
+from common import RESULTS_DIR, atomic_write_text, scaled_n
 
 
 @pytest.fixture(scope="module")
@@ -81,8 +81,13 @@ def test_kernel_tracing_disabled_overhead(benchmark, system):
     """
     import timeit
 
+    from common import scale
+
     from repro import obs
 
+    if scale() < 1.0:
+        pytest.skip("the 2% overhead contract is defined at TC1 scale; a "
+                    "scaled-down matvec cannot amortize the guard's cost")
     case, pm, dmat = system
     comm = Communicator(4)
     rng = np.random.default_rng(3)
@@ -99,6 +104,165 @@ def test_kernel_tracing_disabled_overhead(benchmark, system):
 
     y = benchmark(lambda: dmat.matvec(comm, x))
     assert np.all(np.isfinite(y))
+
+
+def _tc1_subdomain_block():
+    """One RCM-ordered TC1 subdomain block — the shape the band tier targets.
+
+    The natural [internal; interface] ordering leaves the block's bandwidth
+    near its dimension, which the dispatch economy gate routes to the
+    reference tier; RCM (the ``ordering="rcm"`` block-preconditioner mode)
+    is the banded regime the vectorized kernels are built for.
+    """
+    from repro.graph.adjacency import graph_from_matrix
+    from repro.graph.rcm import reverse_cuthill_mckee
+    from repro.sparse.reorder import apply_symmetric_permutation
+
+    case = poisson2d_case(n=scaled_n(101))
+    mem = case.membership(4, seed=0)
+    pm = PartitionMap(case.coupling_graph, mem, num_ranks=4)
+    a = distribute_matrix(case.matrix, pm).owned_square[0]
+    perm = reverse_cuthill_mckee(graph_from_matrix(a))
+    return apply_symmetric_permutation(a, perm), case
+
+
+def test_kernel_ilut_tier_speedup():
+    """NumPy band tier vs pure-Python reference on a TC1 subdomain block.
+
+    Emits schema-versioned ``results/BENCH_kernels.json`` (atomic write) with
+    setup and apply timings per tier over the parameter grid, and gates the
+    tentpole's acceptance criterion: >= 5x on ILUT factorization at the
+    recorded gate configuration (drop_tol=1e-4, fill=20).
+    """
+    import json
+    import timeit
+
+    from common import scale
+
+    from repro import kernels
+    from repro.factor import cache as factor_cache
+    from repro.factor.reference import ilut_reference
+    from repro.kernels import band, numba_tier
+
+    a, case = _tc1_subdomain_block()
+    n = a.shape[0]
+    bw = band.bandwidth(n, a.indptr, a.indices)
+    rng = np.random.default_rng(4)
+    b = rng.random(n)
+
+    def best(fn, repeat=5):
+        return min(timeit.repeat(fn, number=1, repeat=repeat)) * 1e3
+
+    def interleaved(fn_a, fn_b, repeat=5):
+        """Min-of-repeats with the two timings alternated, so a slow system
+        phase biases both sides of the ratio equally."""
+        ta, tb = [], []
+        for _ in range(repeat):
+            ta.append(timeit.timeit(fn_a, number=1))
+            tb.append(timeit.timeit(fn_b, number=1))
+        return min(ta) * 1e3, min(tb) * 1e3
+
+    factor_cache.configure(enabled=False)
+    try:
+        grid = [(1e-3, 10), (1e-4, 20)]
+        ilut_rows = []
+        for drop_tol, fill in grid:
+            # the factorization proper, per tier: produce the L/U factors
+            def ref_factor():
+                return ilut_reference(a, drop_tol, fill, 0.0)
+
+            def band_factor():
+                norms = band.row_norms2(n, a.indptr, a.data)
+                return band.ilut_factor(
+                    n, a.indptr, a.indices, a.data, drop_tol, fill, 0.0, norms
+                )
+
+            f_ref, f_np = interleaved(ref_factor, band_factor)
+            # the full setup pipeline (factorization + level-scheduled
+            # triangular-solver construction, shared by both tiers)
+            with kernels.forced_tier("reference"):
+                t_ref = best(lambda: ilut(a, drop_tol, fill), repeat=3)
+                fac_ref = ilut(a, drop_tol, fill)
+            with kernels.forced_tier("numpy"):
+                t_np = best(lambda: ilut(a, drop_tol, fill))
+                fac_np = ilut(a, drop_tol, fill)
+            ilut_rows.append({
+                "drop_tol": drop_tol,
+                "fill": fill,
+                "factor_ms": {"reference": f_ref, "numpy": f_np},
+                "setup_ms": {"reference": t_ref, "numpy": t_np},
+                "apply_ms": {
+                    "reference": best(lambda: fac_ref.solve(b)),
+                    "numpy": best(lambda: fac_np.solve(b)),
+                },
+                "nnz": {"reference": fac_ref.nnz, "numpy": fac_np.nnz},
+                "speedup": f_ref / f_np,
+                "pipeline_speedup": t_ref / t_np,
+            })
+
+        with kernels.forced_tier("reference"):
+            t0_ref = best(lambda: ilu0(a), repeat=3)
+            f0_ref = ilu0(a)
+        with kernels.forced_tier("numpy"):
+            t0_np = best(lambda: ilu0(a))
+            f0_np = ilu0(a)
+        assert np.array_equal(f0_ref.l_strict.data, f0_np.l_strict.data)
+        assert np.array_equal(f0_ref.u_upper.data, f0_np.u_upper.data)
+        ilu0_row = {
+            "setup_ms": {"reference": t0_ref, "numpy": t0_np},
+            "apply_ms": {
+                "reference": best(lambda: f0_ref.solve(b)),
+                "numpy": best(lambda: f0_np.solve(b)),
+            },
+            "speedup": t0_ref / t0_np,
+        }
+
+        numba_info = {"available": numba_tier.available(), "matches_numpy": None}
+        if numba_info["available"]:
+            with kernels.forced_tier("numba"):
+                fac_nb = ilut(a, *grid[-1])
+                f0_nb = ilu0(a)
+                numba_info["setup_ms"] = {
+                    "ilut": best(lambda: ilut(a, *grid[-1])),
+                    "ilu0": best(lambda: ilu0(a)),
+                }
+            numba_info["matches_numpy"] = bool(
+                np.array_equal(fac_nb.l_strict.data, fac_np.l_strict.data)
+                and np.array_equal(fac_nb.u_upper.data, fac_np.u_upper.data)
+                and np.array_equal(f0_nb.u_upper.data, f0_np.u_upper.data)
+            )
+            assert numba_info["matches_numpy"]
+    finally:
+        factor_cache.configure(enabled=True)
+
+    doc = {
+        "schema": "repro.bench.kernels.v1",
+        "case": case.key,
+        "block_n": n,
+        "bandwidth": int(bw),
+        "ordering": "rcm",
+        "tiers": ["reference", "numpy"] + (["numba"] if numba_info["available"] else []),
+        "gate": {"drop_tol": 1e-4, "fill": 20, "required_speedup": 5.0},
+        "ilut": ilut_rows,
+        "ilu0": ilu0_row,
+        "numba": numba_info,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "BENCH_kernels.json"
+    atomic_write_text(path, json.dumps(doc, indent=2) + "\n")
+    gate = next(r for r in ilut_rows
+                if (r["drop_tol"], r["fill"]) == (1e-4, 20))
+    print(f"\nILUT factorization speedups: "
+          + ", ".join(
+              f"({r['drop_tol']:g},{r['fill']}) {r['speedup']:.2f}x "
+              f"(pipeline {r['pipeline_speedup']:.2f}x)"
+              for r in ilut_rows)
+          + f"; ILU(0) pipeline {ilu0_row['speedup']:.2f}x\n[written to {path}]")
+    # the 5x acceptance gate is defined at TC1 scale; scaled-down smoke
+    # runs (REPRO_SCALE < 1) still exercise the bench and emit the JSON,
+    # but a tiny block cannot amortize the per-row sweep overhead
+    if scale() >= 1.0:
+        assert gate["speedup"] >= 5.0
 
 
 def test_kernel_fe_assembly(benchmark):

@@ -26,6 +26,7 @@ import sys
 
 from repro import faults, obs
 from repro.cases import CASE_BUILDERS
+from repro.factor import cache as factor_cache
 from repro.core.driver import PRECONDITIONER_NAMES, SOLVER_NAMES, solve_case
 from repro.core.experiment import run_sweep
 from repro.perfmodel.machine import machine_by_name
@@ -74,7 +75,15 @@ def make_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    solve = sub.add_parser("solve", help="run one case under one preconditioner")
+    cache_opts = argparse.ArgumentParser(add_help=False)
+    cache_opts.add_argument(
+        "--no-factor-cache", action="store_true",
+        help="disable the content-addressed factorization cache "
+        "(docs/performance.md); every ILU setup recomputes from scratch",
+    )
+
+    solve = sub.add_parser("solve", parents=[cache_opts],
+                           help="run one case under one preconditioner")
     solve.add_argument("--case", default="tc1", help=f"one of {sorted(CASE_BUILDERS)}")
     solve.add_argument("--precond", default="schur1",
                        help=f"one of {PRECONDITIONER_NAMES}")
@@ -99,7 +108,8 @@ def make_parser() -> argparse.ArgumentParser:
                        help="seed x0 from the newest intact checkpoint in "
                        "--checkpoint-dir")
 
-    sweep = sub.add_parser("sweep", help="run a paper-style table")
+    sweep = sub.add_parser("sweep", parents=[cache_opts],
+                          help="run a paper-style table")
     sweep.add_argument("--case", default="tc1")
     sweep.add_argument("--preconds", default="schur1,schur2,block1,block2",
                        help="comma-separated preconditioner names")
@@ -112,6 +122,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace",
+        parents=[cache_opts],
         help="run one case under tracing; print the per-phase breakdown "
         "and write a machine-readable trace file",
     )
@@ -134,6 +145,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     fault = sub.add_parser(
         "faults",
+        parents=[cache_opts],
         help="run one case under deterministic fault injection through the "
         "resilient retry/fallback chain",
     )
@@ -266,6 +278,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print(f"ledger conservation: {'OK' if err < 1e-9 else 'FAILED'} "
           f"(max relative error {err:.2e})")
 
+    cstats = factor_cache.stats()
+    print(f"factor cache: {cstats['hits']} hits, {cstats['misses']} misses, "
+          f"{cstats['bypasses']} bypasses"
+          + ("" if cstats["enabled"] else " (disabled)"))
+
     precond_slug = args.precond.replace("+", "_")
     out_path = args.out or f"trace_{args.case}_{precond_slug}_p{args.nparts}.json"
     meta = {
@@ -353,6 +370,8 @@ def cmd_info(_args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     args = make_parser().parse_args(argv)
+    if getattr(args, "no_factor_cache", False):
+        factor_cache.configure(enabled=False)
     commands = {
         "solve": cmd_solve,
         "sweep": cmd_sweep,

@@ -5,6 +5,12 @@ The IKJ row variant restricted to the sparsity pattern of A (Saad, Alg.
 pattern, updating only positions already present in row i.  Block 1 uses one
 ILU(0) per subdomain; Schur 2 uses a distributed ILU(0) on the expanded Schur
 system.
+
+This module is the orchestrator: it validates input, consults the
+content-addressed factor cache (:mod:`repro.factor.cache`), dispatches to a
+kernel tier (:mod:`repro.kernels`), and assembles the result.  MILU and
+active fault plans are pinned to the reference tier, whose scalar kernel
+lives in :mod:`repro.factor.reference`.
 """
 
 from __future__ import annotations
@@ -12,12 +18,15 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro import faults, obs
+from repro import faults, kernels
+from repro.factor import cache as factor_cache
 from repro.factor.base import FactorStats, ILUFactorization
-from repro.resilience.errors import FactorizationBreakdown
+from repro.factor.reference import _check_breakdown, ilu0_reference
+from repro.kernels import band
+from repro.sparse.csr import diag_indices_csr
 from repro.utils.validation import check_square, ensure_csr
 
-_PIVOT_FLOOR = 1e-12
+__all__ = ["ilu0", "_check_breakdown"]
 
 
 def ilu0(
@@ -49,77 +58,50 @@ def ilu0(
     a = ensure_csr(a)
     check_square(a, "a")
     n = a.shape[0]
-    indptr, indices = a.indptr, a.indices
-    data = a.data.copy()
     plan = faults.active()
+    # an exhausted or non-pivot fault plan cannot corrupt this factorization,
+    # so only a live pivot spec forces the reference tier and a cache bypass
+    pivot_faults = plan is not None and plan.pivot_faults_possible()
 
-    # position of each column within each row, and of the diagonal
-    colpos: list[dict[int, int]] = []
-    diag_pos = np.empty(n, dtype=np.int64)
-    for i in range(n):
-        lo, hi = indptr[i], indptr[i + 1]
-        d = {int(indices[p]): int(p) for p in range(lo, hi)}
-        colpos.append(d)
-        if i not in d:
-            raise ValueError(f"row {i} has no stored diagonal entry")
-        diag_pos[i] = d[i]
+    # MILU accumulates dropped mass in raster order and fault hooks fire per
+    # row — both are reference-tier semantics
+    bw = band.bandwidth(n, a.indptr, a.indices)
+    tier = kernels.resolve(n, bw, require_reference=modified or pivot_faults)
+    family = "reference" if tier == "reference" else "band"
+
+    cache = factor_cache.get_cache()
+    key = None
+    if pivot_faults:
+        if cache.enabled:
+            cache.note_bypass("ilu0", reason="fault-plan")
+    elif cache.enabled:
+        key = cache.key("ilu0", a, (bool(modified), float(shift)), family)
+        fac = cache.get(key, "ilu0")
+        if fac is not None:
+            _check_breakdown(
+                "ilu0", fac.stats.floored_pivots, n, breakdown_frac, shift
+            )
+            return fac
+
+    if tier == "reference":
+        lu_data, floored = ilu0_reference(a, modified, shift)
+    else:
+        dpos = diag_indices_csr(a)  # validates the stored diagonal
+        data = a.data.copy()
         if shift:
-            data[diag_pos[i]] += shift
-
-    floored = 0
-    for i in range(n):
-        lo, hi = indptr[i], indptr[i + 1]
-        rownorm = float(np.abs(data[lo:hi]).max()) or 1.0
-        dropped = 0.0
-        for p in range(lo, hi):
-            k = int(indices[p])
-            if k >= i:
-                break
-            piv = data[diag_pos[k]]
-            lik = data[p] / piv
-            data[p] = lik
-            if lik == 0.0:
-                continue
-            # update row i against U-part of row k, restricted to pattern(i)
-            khi = indptr[k + 1]
-            for q in range(diag_pos[k] + 1, khi):
-                j = int(indices[q])
-                pos = colpos[i].get(j)
-                if pos is not None:
-                    data[pos] -= lik * data[q]
-                elif modified:
-                    dropped += lik * data[q]
-        dp = diag_pos[i]
-        if modified:
-            data[dp] -= dropped
-        if plan is not None:
-            data[dp] = plan.pivot_pre(i, float(data[dp]))
-        if abs(data[dp]) < _PIVOT_FLOOR * rownorm:
-            floored += 1
-            data[dp] = _PIVOT_FLOOR * rownorm if data[dp] >= 0 else -_PIVOT_FLOOR * rownorm
-        if plan is not None:
-            data[dp] = plan.pivot_post(i, float(data[dp]))
+            data[dpos] += shift
+        norms = band.row_norms_inf(n, a.indptr, data)
+        _, ilu0_sweep = kernels.sweeps_for(tier)
+        lu_data, floored = band.ilu0_factor(
+            n, a.indptr, a.indices, data, norms, sweep=ilu0_sweep
+        )
 
     _check_breakdown("ilu0", floored, n, breakdown_frac, shift)
-    lu = sp.csr_matrix((data, indices.copy(), indptr.copy()), shape=a.shape)
+    lu = sp.csr_matrix((lu_data, a.indices.copy(), a.indptr.copy()), shape=a.shape)
     l_strict = sp.tril(lu, k=-1, format="csr")
     u_upper = sp.triu(lu, k=0, format="csr")
     stats = FactorStats(n=n, floored_pivots=floored, shift=shift)
-    return ILUFactorization(l_strict, u_upper, stats=stats)
-
-
-def _check_breakdown(
-    where: str, floored: int, n: int, breakdown_frac: float | None, shift: float
-) -> None:
-    """Shared floored-fraction breakdown test for the ILU variants."""
-    if breakdown_frac is None or floored <= breakdown_frac * n:
-        return
-    obs.event(
-        "resilience.detected", kind="breakdown", where=where,
-        floored=floored, n=n,
-    )
-    raise FactorizationBreakdown(
-        f"{where}: {floored}/{n} pivots collapsed to the floor "
-        f"(> breakdown_frac={breakdown_frac:g})",
-        floored=floored, n=n, breakdown_frac=breakdown_frac, shift=shift,
-    )
+    fac = ILUFactorization(l_strict, u_upper, stats=stats)
+    if key is not None:
+        cache.put(key, fac)
+    return fac

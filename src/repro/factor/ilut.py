@@ -5,21 +5,28 @@ computed U rows with fill-in allowed, then pruned by the dual rule — drop
 entries below τ times the row's 2-norm, and keep at most p largest entries in
 the L part and p largest (plus the diagonal) in the U part.  Block 2 and the
 subdomain solves of Schur 1 are built on this factorization.
+
+This module is the orchestrator: it validates input, consults the
+content-addressed factor cache (:mod:`repro.factor.cache`), dispatches to a
+kernel tier (:mod:`repro.kernels`), and assembles the result.  Active fault
+plans are pinned to the reference tier (:mod:`repro.factor.reference`); the
+fast tiers match it bit-for-bit except for |value| ties in the fill-cap
+selection, where they keep the smallest columns instead of the reference's
+discovery order.
 """
 
 from __future__ import annotations
 
-import heapq
-
-import numpy as np
 import scipy.sparse as sp
 
-from repro import faults
+from repro import faults, kernels
+from repro.factor import cache as factor_cache
 from repro.factor.base import FactorStats, ILUFactorization
-from repro.factor.ilu0 import _check_breakdown
+from repro.factor.reference import _check_breakdown, ilut_reference
+from repro.kernels import band
 from repro.utils.validation import check_square, ensure_csr
 
-_PIVOT_FLOOR = 1e-12
+__all__ = ["ilut"]
 
 
 def ilut(
@@ -46,86 +53,49 @@ def ilut(
     if fill < 1:
         raise ValueError("fill must be >= 1")
     n = a.shape[0]
-    indptr, indices, adata = a.indptr, a.indices, a.data
     plan = faults.active()
+    # an exhausted or non-pivot fault plan cannot corrupt this factorization,
+    # so only a live pivot spec forces the reference tier and a cache bypass
+    pivot_faults = plan is not None and plan.pivot_faults_possible()
 
-    # U rows stored as (cols ndarray, vals ndarray, diag value); L rows likewise
-    u_cols: list[np.ndarray] = [None] * n  # type: ignore[list-item]
-    u_vals: list[np.ndarray] = [None] * n  # type: ignore[list-item]
-    u_diag = np.empty(n)
-    l_cols: list[np.ndarray] = [None] * n  # type: ignore[list-item]
-    l_vals: list[np.ndarray] = [None] * n  # type: ignore[list-item]
+    bw = band.bandwidth(n, a.indptr, a.indices)
+    tier = kernels.resolve(n, bw, require_reference=pivot_faults)
+    family = "reference" if tier == "reference" else "band"
 
-    floored = 0
-    for i in range(n):
-        lo, hi = indptr[i], indptr[i + 1]
-        cols_i = indices[lo:hi]
-        vals_i = adata[lo:hi]
-        rownorm = float(np.sqrt(np.dot(vals_i, vals_i)))
-        if rownorm == 0.0:
-            rownorm = 1.0
-        tau = drop_tol * rownorm
+    cache = factor_cache.get_cache()
+    key = None
+    if pivot_faults:
+        if cache.enabled:
+            cache.note_bypass("ilut", reason="fault-plan")
+    elif cache.enabled:
+        key = cache.key(
+            "ilut", a, (float(drop_tol), int(fill), float(shift)), family
+        )
+        fac = cache.get(key, "ilut")
+        if fac is not None:
+            _check_breakdown(
+                "ilut", fac.stats.floored_pivots, n, breakdown_frac, shift
+            )
+            return fac
 
-        w: dict[int, float] = dict(zip(cols_i.tolist(), vals_i.tolist()))
-        w[i] = w.get(i, 0.0) + shift
+    if tier == "reference":
+        l_csr, u_strict, u_diag, floored = ilut_reference(a, drop_tol, fill, shift)
+        _check_breakdown("ilut", floored, n, breakdown_frac, shift)
+        u_upper = (u_strict + sp.diags(u_diag, format="csr")).tocsr()
+    else:
+        norms = band.row_norms2(n, a.indptr, a.data)
+        ilut_sweep, _ = kernels.sweeps_for(tier)
+        (l_indptr, l_indices, l_data,
+         u_indptr, u_indices, u_data, floored) = band.ilut_factor(
+            n, a.indptr, a.indices, a.data, drop_tol, fill, shift, norms,
+            sweep=ilut_sweep,
+        )
+        _check_breakdown("ilut", floored, n, breakdown_frac, shift)
+        l_csr = sp.csr_matrix((l_data, l_indices, l_indptr), shape=a.shape)
+        u_upper = sp.csr_matrix((u_data, u_indices, u_indptr), shape=a.shape)
 
-        # eliminate lower entries in increasing column order (heap with
-        # lazy re-push handles fill-in below the current minimum)
-        heap = [int(c) for c in cols_i if c < i]
-        heapq.heapify(heap)
-        done: set[int] = set()
-        while heap:
-            k = heapq.heappop(heap)
-            if k in done or k not in w:
-                continue
-            done.add(k)
-            lik = w[k] / u_diag[k]
-            if abs(lik) <= tau:
-                del w[k]  # dropped L entry: skip its update entirely
-                continue
-            w[k] = lik
-            ucols, uvals = u_cols[k], u_vals[k]
-            for j, ukj in zip(ucols.tolist(), uvals.tolist()):
-                cur = w.get(j)
-                if cur is None:
-                    w[j] = -lik * ukj
-                    if j < i:
-                        heapq.heappush(heap, j)
-                else:
-                    w[j] = cur - lik * ukj
-
-        diag = w.pop(i, 0.0)
-        lower = [(c, v) for c, v in w.items() if c < i and abs(v) > tau]
-        upper = [(c, v) for c, v in w.items() if c > i and abs(v) > tau]
-        lower.sort(key=lambda cv: abs(cv[1]), reverse=True)
-        upper.sort(key=lambda cv: abs(cv[1]), reverse=True)
-        lower = sorted(lower[:fill])
-        upper = sorted(upper[:fill])
-
-        if plan is not None:
-            diag = plan.pivot_pre(i, diag)
-        if abs(diag) < _PIVOT_FLOOR * rownorm:
-            floored += 1
-            diag = _PIVOT_FLOOR * rownorm if diag >= 0 else -_PIVOT_FLOOR * rownorm
-        if plan is not None:
-            diag = plan.pivot_post(i, diag)
-        u_diag[i] = diag
-        l_cols[i] = np.asarray([c for c, _ in lower], dtype=np.int64)
-        l_vals[i] = np.asarray([v for _, v in lower])
-        u_cols[i] = np.asarray([c for c, _ in upper], dtype=np.int64)
-        u_vals[i] = np.asarray([v for _, v in upper])
-
-    _check_breakdown("ilut", floored, n, breakdown_frac, shift)
-    l_csr = _rows_to_csr(l_cols, l_vals, n)
-    u_strict = _rows_to_csr(u_cols, u_vals, n)
-    u_upper = (u_strict + sp.diags(u_diag, format="csr")).tocsr()
     stats = FactorStats(n=n, floored_pivots=floored, shift=shift)
-    return ILUFactorization(l_csr, ensure_csr(u_upper), stats=stats)
-
-
-def _rows_to_csr(cols: list[np.ndarray], vals: list[np.ndarray], n: int) -> sp.csr_matrix:
-    counts = np.asarray([len(c) for c in cols], dtype=np.int64)
-    indptr = np.concatenate(([0], np.cumsum(counts)))
-    indices = np.concatenate(cols) if indptr[-1] else np.empty(0, dtype=np.int64)
-    data = np.concatenate(vals) if indptr[-1] else np.empty(0)
-    return sp.csr_matrix((data, indices, indptr), shape=(n, n))
+    fac = ILUFactorization(l_csr, ensure_csr(u_upper), stats=stats)
+    if key is not None:
+        cache.put(key, fac)
+    return fac

@@ -264,6 +264,28 @@ class FaultPlan:
                 total += spec.delay
         return total
 
+    def pivot_faults_possible(self) -> bool:
+        """Could a pivot-hook spec still fire in the current scope?
+
+        Side-effect free (no opportunity is consumed).  The factor cache and
+        the kernel-tier dispatcher consult this: while a ``bad-pivot`` /
+        ``tiny-pivot`` spec has budget left for this scope, factorizations
+        must run on the reference tier (which hosts the hooks) and must not
+        be served from — or stored into — the cache.  Once the budget is
+        spent, factors are clean again and caching resumes, which is what
+        lets a post-fault retry skip redundant factorizations.
+        """
+        scope = self.scope
+        for state in self._states:
+            spec = state.spec
+            if (
+                spec.kind in _PIVOT_PRE + _PIVOT_POST
+                and spec.matches_scope(scope)
+                and (spec.count < 0 or state.fired < spec.count)
+            ):
+                return True
+        return False
+
     def mark_recovered(self, rank: int) -> None:
         """Forget a dead rank after its subdomain was absorbed by survivors.
 

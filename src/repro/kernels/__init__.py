@@ -1,0 +1,131 @@
+"""Kernel tier dispatch for the setup-phase factorization kernels.
+
+Three tiers compute the incomplete factorizations:
+
+* ``"reference"`` — the original dict/heap scalar kernels in
+  :mod:`repro.factor.reference`.  Always available; the only tier that
+  supports MILU's dropped-mass accumulation and fault-injection pivot
+  hooks, so those cases are routed here unconditionally.
+* ``"numpy"`` — vectorized band-window sweeps (:mod:`repro.kernels.band`).
+* ``"numba"`` — the scalar specification kernels jit-compiled
+  (:mod:`repro.kernels.numba_tier`); bit-compatible with ``"numpy"``.
+
+Selection order under ``"auto"`` policy: numba if importable, else the
+NumPy band tier when it is economical for the matrix at hand (the dense
+band workspace is only worth it for moderate bandwidths), else reference.
+Override with :func:`set_tier`/:func:`forced_tier` or the
+``REPRO_KERNEL_TIER`` environment variable (``auto`` | ``reference`` |
+``numpy`` | ``numba``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from . import band, numba_tier, rowspec
+
+__all__ = [
+    "band",
+    "rowspec",
+    "numba_tier",
+    "available_tiers",
+    "get_tier",
+    "set_tier",
+    "forced_tier",
+    "band_economical",
+    "resolve",
+    "sweeps_for",
+]
+
+_TIERS = ("reference", "numpy", "numba")
+_ENV_VAR = "REPRO_KERNEL_TIER"
+
+# the band workspace is O(n * bandwidth): cap both the bandwidth (per-row
+# ufunc cost grows as bw^2) and the total workspace footprint
+BAND_BW_CAP = 150
+BAND_MEM_CAP = 128 * 2**20
+
+_forced: str | None = None
+
+
+def available_tiers() -> tuple[str, ...]:
+    """Tiers usable in this process (numba only when importable)."""
+    if numba_tier.available():
+        return _TIERS
+    return ("reference", "numpy")
+
+
+def get_tier() -> str | None:
+    """The explicitly forced tier, or ``None`` under auto policy."""
+    if _forced is not None:
+        return _forced
+    env = os.environ.get(_ENV_VAR, "").strip().lower()
+    if env in _TIERS:
+        return env
+    return None
+
+
+def set_tier(name: str | None) -> None:
+    """Force a tier for all subsequent factorizations (``None`` = auto)."""
+    global _forced
+    if name is None or name == "auto":
+        _forced = None
+        return
+    if name not in _TIERS:
+        raise ValueError(
+            f"unknown kernel tier {name!r}; expected one of {_TIERS} or 'auto'"
+        )
+    if name == "numba" and not numba_tier.available():
+        raise RuntimeError("kernel tier 'numba' requested but numba is not installed")
+    _forced = name
+
+
+@contextmanager
+def forced_tier(name: str | None):
+    """Temporarily force a kernel tier (restores the previous policy)."""
+    global _forced
+    prev = _forced
+    set_tier(name)
+    try:
+        yield
+    finally:
+        _forced = prev
+
+
+def band_economical(n: int, bw: int) -> bool:
+    """Whether the dense band workspace pays off for an n x n matrix."""
+    if bw > BAND_BW_CAP:
+        return False
+    # two workspaces in the worst case (values + ILU(0) pattern mask)
+    return 2 * (n + bw + 1) * (2 * bw + 1) * 8 <= BAND_MEM_CAP
+
+
+def resolve(n: int, bw: int, *, require_reference: bool = False) -> str:
+    """Pick the tier for one factorization.
+
+    ``require_reference`` is set by the factor layer when semantics demand
+    the scalar kernels (MILU, active fault plans); it wins over any forced
+    policy so fault hooks are never silently skipped.
+    """
+    if require_reference:
+        return "reference"
+    forced = get_tier()
+    if forced == "numba" and numba_tier.load() is None:
+        forced = "numpy"
+    if forced is not None:
+        return forced
+    if not band_economical(n, bw):
+        return "reference"
+    if numba_tier.available() and numba_tier.load() is not None:
+        return "numba"
+    return "numpy"
+
+
+def sweeps_for(tier: str):
+    """Return ``(ilut_sweep, ilu0_sweep)`` for a fast tier."""
+    if tier == "numba":
+        pair = numba_tier.load()
+        if pair is not None:
+            return pair
+    return band.ilut_sweep, band.ilu0_sweep

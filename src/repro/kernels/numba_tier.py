@@ -1,0 +1,49 @@
+"""Optional numba-jitted elimination sweeps.
+
+The jitted tier compiles the scalar specification kernels from
+:mod:`repro.kernels.rowspec` unchanged.  Because numba's default pipeline
+neither enables fastmath nor contracts multiply-add into FMA, the compiled
+sweeps execute the identical sequence of IEEE-754 double operations as the
+interpreted spec — and hence as the vectorized NumPy tier — so all tiers
+stay bit-compatible (asserted by the unit tests when numba is present).
+
+numba is an *optional* dependency: nothing in this module imports it at
+module import time, and :func:`load` degrades to ``None`` when it is
+missing or fails to compile.
+"""
+
+from __future__ import annotations
+
+from . import rowspec
+
+_state = {"loaded": False, "sweeps": None}
+
+
+def available() -> bool:
+    """True when numba can be imported (does not trigger compilation)."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def load():
+    """Return ``(ilut_sweep, ilu0_sweep)`` jitted, or ``None`` without numba.
+
+    Compilation happens once per process on first call; subsequent calls
+    return the cached pair.
+    """
+    if _state["loaded"]:
+        return _state["sweeps"]
+    _state["loaded"] = True
+    try:
+        import numba
+    except Exception:
+        return None
+    try:
+        jit = numba.njit(cache=True, fastmath=False)
+        _state["sweeps"] = (jit(rowspec.ilut_sweep), jit(rowspec.ilu0_sweep))
+    except Exception:
+        _state["sweeps"] = None
+    return _state["sweeps"]

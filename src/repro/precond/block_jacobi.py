@@ -28,6 +28,7 @@ from repro.krylov.fgmres import fgmres
 from repro.krylov.ops import CountingOps
 from repro.precond.base import ParallelPreconditioner
 from repro.resilience.errors import InnerSolveDivergence
+from repro.utils.parallel import parallel_map, setup_workers
 
 
 def estimate_ilu_setup_flops(fac: ILUFactorization) -> float:
@@ -76,10 +77,7 @@ class BlockPreconditioner(ParallelPreconditioner):
         if ordering == "rcm":
             self.name += " (RCM)"
 
-        self.factors: list[ILUFactorization] = []
-        self._perms: list[np.ndarray | None] = []
-        setup = np.zeros(comm.size)
-        for r in range(comm.size):
+        def _setup_rank(r: int) -> tuple[np.ndarray | None, ILUFactorization]:
             a_own = dmat.owned_square[r]
             perm = None
             if ordering == "rcm" and a_own.shape[0] > 1:
@@ -89,7 +87,6 @@ class BlockPreconditioner(ParallelPreconditioner):
 
                 perm = reverse_cuthill_mckee(graph_from_matrix(a_own))
                 a_own = apply_symmetric_permutation(a_own, perm)
-            self._perms.append(perm)
             if variant == "ilu0":
                 fac = ilu0(a_own, shift=shift, breakdown_frac=breakdown_frac)
             else:
@@ -97,12 +94,23 @@ class BlockPreconditioner(ParallelPreconditioner):
                     a_own, drop_tol, fill,
                     shift=shift, breakdown_frac=breakdown_frac,
                 )
+            return perm, fac
+
+        # one independent factorization per simulated rank: fan out on a
+        # thread pool; the span records the overlapped wall-clock cost
+        workers = setup_workers(comm.size, comm.size)
+        with obs.span("precond.setup", precond=self.name, workers=workers):
+            results = parallel_map(_setup_rank, range(comm.size), workers)
+
+        self.factors = [fac for _, fac in results]
+        self._perms = [perm for perm, _ in results]
+        setup = np.zeros(comm.size)
+        for r, fac in enumerate(self.factors):
             if fac.stats.floored_pivots:
                 obs.event(
                     "factor.stats", rank=r, precond=variant,
                     floored_pivots=fac.stats.floored_pivots, n=fac.stats.n,
                 )
-            self.factors.append(fac)
             setup[r] = estimate_ilu_setup_flops(fac)
         self._charge_setup(setup)
         self._apply_flops = np.asarray([f.solve_flops() for f in self.factors])

@@ -28,6 +28,7 @@ from repro.factor.arms import ArmsFactorization
 from repro.krylov.gmres import gmres
 from repro.precond.base import ParallelPreconditioner
 from repro.resilience.errors import InnerSolveDivergence
+from repro.utils.parallel import parallel_map, setup_workers
 
 
 class Schur2Preconditioner(ParallelPreconditioner):
@@ -69,12 +70,10 @@ class Schur2Preconditioner(ParallelPreconditioner):
         self.global_iterations = global_iterations
         self.global_ilu = global_ilu
 
-        self.arms: list[ArmsFactorization] = []
-        setup = np.zeros(comm.size)
-        for r, sd in enumerate(self.pm.subdomains):
-            fac = ArmsFactorization(
+        def _setup_rank(r: int) -> ArmsFactorization:
+            return ArmsFactorization(
                 dmat.owned_square[r],
-                sd.n_internal,
+                self.pm.subdomains[r].n_internal,
                 group_size=group_size,
                 drop_tol=drop_tol,
                 seed=seed + r,
@@ -82,11 +81,17 @@ class Schur2Preconditioner(ParallelPreconditioner):
                 shift=shift,
                 breakdown_frac=breakdown_frac,
             )
+
+        workers = setup_workers(comm.size, comm.size)
+        with obs.span("precond.setup", precond=self.name, workers=workers):
+            self.arms = parallel_map(_setup_rank, range(comm.size), workers)
+
+        setup = np.zeros(comm.size)
+        for r, (sd, fac) in enumerate(zip(self.pm.subdomains, self.arms)):
             if fac.final_n_interdomain != sd.n_interface:
                 raise AssertionError(
                     "ARMS separator lost interdomain interface unknowns"
                 )
-            self.arms.append(fac)
             # setup: group dense factorizations + Schur formation + ILU(0)
             setup[r] = (
                 sum(2.0 / 3.0 * lu.n**3 for lu in fac._group_lus)

@@ -40,12 +40,20 @@ def csr_row(a: sp.csr_matrix, i: int) -> tuple[np.ndarray, np.ndarray]:
 
 
 def is_sorted_csr(a: sp.csr_matrix) -> bool:
-    """True when every row's column indices are strictly increasing."""
-    for i in range(a.shape[0]):
-        cols = a.indices[a.indptr[i] : a.indptr[i + 1]]
-        if cols.size > 1 and np.any(np.diff(cols) <= 0):
-            return False
-    return True
+    """True when every row's column indices are strictly increasing.
+
+    A single vectorized pass: adjacent index pairs must increase except
+    across row boundaries, where any ordering is legal.
+    """
+    indices, indptr = a.indices, a.indptr
+    if indices.size < 2:
+        return True
+    ok = indices[1:] > indices[:-1]
+    # positions immediately before a row boundary compare across rows
+    boundaries = indptr[1:-1]
+    boundaries = boundaries[(boundaries > 0) & (boundaries < indices.size)]
+    ok[boundaries - 1] = True
+    return bool(ok.all())
 
 
 def diag_indices_csr(a: sp.csr_matrix) -> np.ndarray:
@@ -56,14 +64,13 @@ def diag_indices_csr(a: sp.csr_matrix) -> np.ndarray:
     """
     a = ensure_csr(a)
     n = a.shape[0]
-    pos = np.empty(n, dtype=np.int64)
-    indptr, indices = a.indptr, a.indices
-    for i in range(n):
-        lo, hi = indptr[i], indptr[i + 1]
-        j = np.searchsorted(indices[lo:hi], i)
-        if j == hi - lo or indices[lo + j] != i:
-            raise ValueError(f"row {i} has no stored diagonal entry")
-        pos[i] = lo + j
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(a.indptr))
+    pos = np.flatnonzero(a.indices == rows)
+    if len(pos) != n:
+        present = np.zeros(n, dtype=bool)
+        present[rows[pos]] = True
+        i = int(np.flatnonzero(~present)[0])
+        raise ValueError(f"row {i} has no stored diagonal entry")
     return pos
 
 

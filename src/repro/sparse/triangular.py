@@ -48,13 +48,22 @@ def build_levels(a: sp.csr_matrix, lower: bool = True) -> LevelSchedule:
     """
     a = ensure_csr(a)
     n = a.shape[0]
-    indptr, indices = a.indptr, a.indices
-    level = np.zeros(n, dtype=np.int64)
+    # The longest-path recurrence level[i] = max(level[deps]) + 1 is an
+    # inherently sequential scan (ILU factors of banded matrices produce
+    # near-chain dependency graphs, so level-parallel formulations
+    # degenerate to O(num_levels) tiny steps).  A plain-list scan keeps the
+    # whole O(nnz) walk at C speed inside ``max(map(...))`` — an order of
+    # magnitude faster than per-row NumPy fancy indexing.
+    ptr = a.indptr.tolist()
+    ind = a.indices.tolist()
+    lev_list = [0] * n
+    get = lev_list.__getitem__
     rows = range(n) if lower else range(n - 1, -1, -1)
     for i in rows:
-        deps = indices[indptr[i] : indptr[i + 1]]
-        if deps.size:
-            level[i] = level[deps].max() + 1
+        lo, hi = ptr[i], ptr[i + 1]
+        if hi > lo:
+            lev_list[i] = 1 + max(map(get, ind[lo:hi]))
+    level = np.asarray(lev_list, dtype=np.int64)
     nlev = int(level.max()) + 1 if n else 1
     # counting sort of rows by level, preserving sweep order within a level
     counts = np.bincount(level, minlength=nlev)
@@ -113,20 +122,30 @@ class TriangularFactor:
         """Precompute flattened gather indices for each level."""
         indptr = self.strict.indptr
         order, level_ptr = self.schedule.order, self.schedule.level_ptr
+        # one global gather layout over the level-ordered rows; each level's
+        # (rows, flat, seg) tuples are plain slices of it
+        starts, ends = indptr[order], indptr[order + 1]
+        counts = ends - starts
+        cum = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+        flat_all = (
+            np.arange(int(cum[-1]), dtype=np.int64)
+            + np.repeat(starts - cum[:-1], counts)
+        )
+        # per-row segment bounds rebased to each level's start, so the loop
+        # below is pure slicing with plain-int bounds (levels can number in
+        # the thousands for banded factors)
+        base = np.repeat(cum[level_ptr[:-1]], np.diff(level_ptr))
+        seg_lo_all = cum[:-1] - base
+        seg_hi_all = cum[1:] - base
+        lp = level_ptr.tolist()
+        cl = cum[level_ptr].tolist()
         self._levels: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
         for k in range(self.schedule.num_levels):
-            rows = order[level_ptr[k] : level_ptr[k + 1]]
-            starts, ends = indptr[rows], indptr[rows + 1]
-            counts = ends - starts
-            total = int(counts.sum())
-            if total:
-                # flat[j] enumerates the nnz positions of this level's rows
-                offsets = np.repeat(starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts)
-                flat = np.arange(total, dtype=np.int64) + offsets
-            else:
-                flat = np.empty(0, dtype=np.int64)
-            seg = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
-            self._levels.append((rows, flat, seg[:-1], seg[1:]))
+            lo, hi = lp[k], lp[k + 1]
+            self._levels.append(
+                (order[lo:hi], flat_all[cl[k] : cl[k + 1]],
+                 seg_lo_all[lo:hi], seg_hi_all[lo:hi])
+            )
 
     @property
     def num_levels(self) -> int:

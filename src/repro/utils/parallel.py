@@ -1,0 +1,68 @@
+"""Thread-pool helper for per-subdomain setup work.
+
+The preconditioner setup phase factors one independent block per simulated
+rank; the blocks share no state, so a thread pool sized by the simulated
+communicator overlaps their wall-clock cost on real cores.  NumPy/SciPy
+release the GIL inside the array kernels that dominate factorization, so
+threads (not processes) are the right isolation level — factors stay
+shareable and the content-addressed cache stays hot across the pool.
+
+:func:`parallel_map` degrades to a plain serial loop when it cannot help or
+must not run concurrently:
+
+* one item or one worker — nothing to overlap;
+* an active fault plan — injection hooks mutate per-spec counters in
+  elimination order, which must stay deterministic;
+* ``REPRO_SETUP_WORKERS=1`` (or ``0``) — explicit serial override.
+
+Exceptions propagate from the lowest-index item first, matching the serial
+loop's deterministic error behavior.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro import faults
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_ENV_VAR = "REPRO_SETUP_WORKERS"
+
+
+def setup_workers(n_tasks: int, requested: int | None = None) -> int:
+    """Worker count for ``n_tasks`` independent setup tasks.
+
+    ``requested`` is typically ``comm.size`` (one task per simulated rank);
+    the count is clamped to the task count and the physical core count and
+    can be overridden via ``REPRO_SETUP_WORKERS``.
+    """
+    env = os.environ.get(_ENV_VAR, "").strip()
+    if env:
+        try:
+            requested = int(env)
+        except ValueError:
+            pass
+    if requested is None:
+        requested = n_tasks
+    return max(1, min(n_tasks, requested, os.cpu_count() or 1))
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    max_workers: int | None = None,
+) -> list[R]:
+    """Map ``fn`` over ``items`` on a thread pool, preserving order."""
+    seq: Sequence[T] = list(items)
+    workers = setup_workers(len(seq), max_workers)
+    if workers <= 1 or len(seq) <= 1 or faults.active() is not None:
+        return [fn(it) for it in seq]
+    with ThreadPoolExecutor(
+        max_workers=workers, thread_name_prefix="repro-setup"
+    ) as pool:
+        futures = [pool.submit(fn, it) for it in seq]
+        return [f.result() for f in futures]

@@ -1,0 +1,125 @@
+"""Concurrent subdomain factorization must be invisible in the results:
+same factors bit-for-bit, same setup accounting, serial under fault plans."""
+
+import numpy as np
+import pytest
+
+from repro import faults, obs
+from repro.comm.communicator import Communicator
+from repro.factor import cache as factor_cache
+from repro.precond.block_jacobi import block1, block2
+from repro.precond.schwarz import AdditiveSchwarzPreconditioner
+from repro.utils.parallel import parallel_map, setup_workers
+
+
+@pytest.fixture(autouse=True)
+def _no_cache():
+    """Disable the factor cache so both builds genuinely recompute."""
+    factor_cache.configure(enabled=False)
+    yield
+    factor_cache.configure(enabled=True)
+
+
+def _build_with_workers(monkeypatch, workers, builder):
+    monkeypatch.setenv("REPRO_SETUP_WORKERS", str(workers))
+    return builder()
+
+
+class TestParallelSetupEquivalence:
+    @pytest.mark.parametrize("factory", [block1, block2])
+    def test_block_factors_identical_serial_vs_pool(
+        self, monkeypatch, partitioned_poisson, factory
+    ):
+        pm, dmat, _, _ = partitioned_poisson
+        comm = Communicator(4)
+        serial = _build_with_workers(
+            monkeypatch, 1, lambda: factory(dmat, comm)
+        )
+        pooled = _build_with_workers(
+            monkeypatch, 4, lambda: factory(dmat, comm)
+        )
+        for fs, fp in zip(serial.factors, pooled.factors):
+            assert np.array_equal(fs.l_strict.data, fp.l_strict.data)
+            assert np.array_equal(fs.l_strict.indices, fp.l_strict.indices)
+            assert np.array_equal(fs.u_upper.data, fp.u_upper.data)
+            assert fs.stats.floored_pivots == fp.stats.floored_pivots
+
+    def test_schwarz_application_identical(
+        self, monkeypatch, partitioned_poisson, small_mesh, poisson_system
+    ):
+        pm, dmat, rhs, _ = partitioned_poisson
+        a, _, _ = poisson_system
+        comm = Communicator(4)
+
+        def build():
+            return AdditiveSchwarzPreconditioner(
+                dmat, comm, small_mesh, a, overlap_frac=0.08
+            )
+
+        serial = _build_with_workers(monkeypatch, 1, build)
+        pooled = _build_with_workers(monkeypatch, 4, build)
+        r = pm.to_distributed(rhs)
+        zs = serial.apply(r)
+        zp = pooled.apply(r)
+        for x, y in zip(zs, zp):
+            assert np.array_equal(x, y)
+
+    def test_setup_span_records_worker_count(
+        self, monkeypatch, partitioned_poisson
+    ):
+        _, dmat, _, _ = partitioned_poisson
+        monkeypatch.setenv("REPRO_SETUP_WORKERS", "4")
+        with obs.tracing() as tracer:
+            block1(dmat, Communicator(4))
+        spans = [s for s in tracer.spans if s.name == "precond.setup"]
+        assert spans and spans[0].attrs["workers"] == min(4, setup_workers(4, 4))
+
+
+class TestParallelMapPolicy:
+    def test_preserves_order(self):
+        assert parallel_map(lambda x: x * x, range(8), 4) == [
+            x * x for x in range(8)
+        ]
+
+    def test_first_exception_wins(self):
+        def boom(x):
+            if x >= 2:
+                raise ValueError(f"item {x}")
+            return x
+
+        with pytest.raises(ValueError, match="item 2"):
+            parallel_map(boom, range(6), 4)
+
+    def test_serial_under_active_fault_plan(self):
+        """Injection counters mutate in elimination order; the pool must
+        step aside whenever any plan is active."""
+        import threading
+
+        seen = set()
+
+        def record(x):
+            seen.add(threading.current_thread().name)
+            return x
+
+        plan = faults.FaultPlan(faults.FaultSpec("ghost-drop", count=1))
+        with faults.inject(plan):
+            parallel_map(record, range(8), 4)
+        assert seen == {threading.main_thread().name}
+
+    def test_env_override_forces_serial(self, monkeypatch):
+        import threading
+
+        monkeypatch.setenv("REPRO_SETUP_WORKERS", "1")
+        seen = set()
+        parallel_map(lambda x: seen.add(threading.current_thread().name), range(8), 4)
+        assert seen == {threading.main_thread().name}
+
+    def test_setup_workers_clamped(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_SETUP_WORKERS", raising=False)
+        assert setup_workers(4, 100) <= 4
+        assert setup_workers(0, 4) == 1
+        monkeypatch.setenv("REPRO_SETUP_WORKERS", "2")
+        # the explicit request still bows to the physical core count
+        assert setup_workers(8, 8) == max(1, min(2, os.cpu_count() or 1))

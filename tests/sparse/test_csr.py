@@ -85,3 +85,112 @@ class TestDropSmall:
         a = csr_from_coo([0, 0, 1], [0, 1, 1], [1e-6, 1e-6, 1.0], (2, 2))
         d = drop_small(a, 1e-3)
         assert d[0, 1] == 1e-6
+
+
+def _is_sorted_naive(a: sp.csr_matrix) -> bool:
+    """The pre-vectorization per-row loop, kept as the oracle."""
+    for i in range(a.shape[0]):
+        cols = a.indices[a.indptr[i]:a.indptr[i + 1]]
+        if any(cols[j] >= cols[j + 1] for j in range(len(cols) - 1)):
+            return False
+    return True
+
+
+def _diag_indices_naive(a: sp.csr_matrix) -> np.ndarray:
+    """The pre-vectorization per-row scan, kept as the oracle."""
+    pos = np.empty(a.shape[0], dtype=np.int64)
+    for i in range(a.shape[0]):
+        for k in range(a.indptr[i], a.indptr[i + 1]):
+            if a.indices[k] == i:
+                pos[i] = k
+                break
+        else:
+            raise ValueError(f"row {i} has no stored diagonal entry")
+    return pos
+
+
+def _raw_csr(indptr, indices, data, shape) -> sp.csr_matrix:
+    """Build a CSR without scipy canonicalization (keeps unsorted indices)."""
+    m = sp.csr_matrix(shape)
+    m.indptr = np.asarray(indptr, dtype=np.int32)
+    m.indices = np.asarray(indices, dtype=np.int32)
+    m.data = np.asarray(data, dtype=np.float64)
+    return m
+
+
+class TestIsSortedVsNaive:
+    """The vectorized single-pass check must agree with the row loop."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_matrices(self, seed):
+        rng = np.random.default_rng(seed)
+        a = sp.random(25, 25, 0.15, random_state=rng.integers(2**31),
+                      format="csr")
+        assert is_sorted_csr(a) == _is_sorted_naive(a)
+
+    def test_unsorted_row_detected(self):
+        a = _raw_csr([0, 2, 3], [1, 0, 1], [1.0, 2.0, 3.0], (2, 2))
+        assert not is_sorted_csr(a)
+        assert not _is_sorted_naive(a)
+
+    def test_duplicate_column_not_strictly_sorted(self):
+        a = _raw_csr([0, 2, 2], [1, 1, ], [1.0, 2.0], (2, 2))
+        assert not is_sorted_csr(a)
+        assert not _is_sorted_naive(a)
+
+    def test_descending_across_row_boundary_is_legal(self):
+        # last column of row 0 exceeds first column of row 1: still sorted
+        a = _raw_csr([0, 2, 4], [0, 3, 0, 1], [1.0] * 4, (2, 4))
+        assert is_sorted_csr(a)
+        assert _is_sorted_naive(a)
+
+    @pytest.mark.parametrize("indptr", [
+        [0, 0, 1, 2],  # leading empty row
+        [0, 1, 2, 2],  # trailing empty row
+        [0, 1, 1, 2],  # interior empty row
+        [0, 0, 0, 2],  # consecutive empty rows
+    ])
+    def test_empty_rows(self, indptr):
+        nnz = indptr[-1]
+        a = _raw_csr(indptr, list(range(nnz)), [1.0] * nnz, (3, 3))
+        assert is_sorted_csr(a) == _is_sorted_naive(a) is True
+
+    def test_empty_and_single_entry_matrices(self):
+        assert is_sorted_csr(sp.csr_matrix((3, 3)))
+        assert is_sorted_csr(sp.csr_matrix(np.array([[5.0]])))
+
+
+class TestDiagIndicesVsNaive:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_with_full_diagonal(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        a = sp.random(20, 20, 0.2, random_state=rng.integers(2**31),
+                      format="csr")
+        a = (a + sp.identity(20)).tocsr()
+        assert np.array_equal(diag_indices_csr(a), _diag_indices_naive(a))
+
+    def test_dense_matrix(self):
+        a = sp.csr_matrix(np.arange(1.0, 17.0).reshape(4, 4))
+        assert np.array_equal(diag_indices_csr(a), _diag_indices_naive(a))
+
+    @pytest.mark.parametrize("missing_row", [0, 2, 4])
+    def test_missing_diagonal_same_error(self, missing_row):
+        a = sp.lil_matrix((5, 5))
+        for i in range(5):
+            a[i, i] = float(i + 1)
+        a[0, 1] = 1.0
+        a[missing_row, missing_row] = 0.0  # lil drops explicit zeros
+        a = a.tocsr()
+        with pytest.raises(ValueError) as v_exc:
+            diag_indices_csr(a)
+        with pytest.raises(ValueError) as n_exc:
+            _diag_indices_naive(a)
+        assert str(v_exc.value) == str(n_exc.value)
+        assert f"row {missing_row} has no stored diagonal" in str(v_exc.value)
+
+    def test_reports_first_missing_row(self):
+        a = sp.csr_matrix(
+            (np.ones(2), np.array([0, 1]), np.array([0, 1, 2, 2])), (3, 3)
+        )
+        with pytest.raises(ValueError, match="row 2 has no stored diagonal"):
+            diag_indices_csr(a)
