@@ -1,0 +1,263 @@
+"""Determinism checker — the bit-reproducibility gate.
+
+Dong & Cooperman (PAPERS.md) make bit-compatibility the correctness
+contract for parallel ILU: without it, preconditioner comparisons measure
+scheduling noise, not algorithms.  This repo has two places where that
+contract is at risk and this module checks both, bitwise:
+
+* **kernel tiers** — the reference / numpy / numba dispatch
+  (:mod:`repro.kernels`) must produce identical factors, iterates and
+  residual histories for the same case;
+* **setup parallelism** — ``REPRO_SETUP_WORKERS=1`` vs ``N`` must not
+  change a single bit (the thread pool only overlaps wall-clock).
+
+``python -m repro check-determinism`` runs each case twice per tier plus a
+serial/parallel setup sweep, compares SHA-256 digests of the solution
+iterate, the residual history and the per-subdomain factors, and writes a
+``repro.determinism.v1`` report.  The factor cache is disabled for the
+duration — a cache hit returns the same object and would vacuously pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import kernels
+from repro.cases.base import TestCase
+from repro.factor import cache as factor_cache
+from repro.factor.ilu0 import ilu0
+from repro.factor.ilut import ilut
+
+DETERMINISM_SCHEMA = "repro.determinism.v1"
+
+_WORKERS_ENV = "REPRO_SETUP_WORKERS"
+
+
+def _digest(*arrays: np.ndarray) -> str:
+    h = hashlib.sha256()
+    for a in arrays:
+        a = np.ascontiguousarray(a)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
+
+
+@contextmanager
+def _setup_workers(n: int | None) -> Iterator[None]:
+    prev = os.environ.get(_WORKERS_ENV)
+    try:
+        if n is None:
+            os.environ.pop(_WORKERS_ENV, None)
+        else:
+            os.environ[_WORKERS_ENV] = str(n)
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop(_WORKERS_ENV, None)
+        else:
+            os.environ[_WORKERS_ENV] = prev
+
+
+@contextmanager
+def _cache_disabled() -> Iterator[None]:
+    prev = factor_cache.get_cache().enabled
+    factor_cache.configure(enabled=False)
+    try:
+        yield
+    finally:
+        factor_cache.configure(enabled=prev)
+
+
+@dataclass
+class Check:
+    """One comparison: a repeat, cross-tier, worker-sweep or factor check."""
+
+    kind: str
+    case: str
+    identical: bool
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "case": self.case,
+            "identical": self.identical,
+            **self.detail,
+        }
+
+
+@dataclass
+class DeterminismReport:
+    nparts: int
+    tiers: tuple[str, ...]
+    workers: tuple[int, ...]
+    checks: list[Check] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return all(c.identical for c in self.checks)
+
+    def failures(self) -> list[Check]:
+        return [c for c in self.checks if not c.identical]
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": DETERMINISM_SCHEMA,
+            "nparts": self.nparts,
+            "tiers": list(self.tiers),
+            "workers": list(self.workers),
+            "identical": self.identical,
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        out = Path(path)
+        out.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return out
+
+    def summary(self) -> str:
+        lines = []
+        for c in self.checks:
+            verdict = "identical" if c.identical else "MISMATCH"
+            extra = ", ".join(
+                f"{k}={v}" for k, v in c.detail.items()
+                if k in ("tier", "tiers", "workers")
+            )
+            lines.append(f"  [{c.kind}] {c.case}" +
+                         (f" ({extra})" if extra else "") + f": {verdict}")
+        return "\n".join(lines)
+
+
+def _solve_digests(
+    case: TestCase,
+    tier: str | None,
+    nparts: int,
+    workers: int | None,
+    precond: str,
+    **solve_kw: object,
+) -> dict[str, object]:
+    """Solve once under forced tier/workers; digest everything that must
+    reproduce bitwise."""
+    from repro.core.driver import solve_case  # deferred: heavy import
+
+    with _setup_workers(workers), kernels.forced_tier(tier):
+        out = solve_case(case, precond=precond, nparts=nparts, **solve_kw)
+    return {
+        "x": _digest(out.x_global),
+        "residuals": _digest(np.asarray(out.residuals, dtype=np.float64)),
+        "iterations": out.iterations,
+        "status": out.status,
+    }
+
+
+def _subdomain_blocks(case: TestCase, nparts: int, seed: int) -> list[sp.csr_matrix]:
+    from repro.distributed.matrix import distribute_matrix
+    from repro.distributed.partition_map import PartitionMap
+
+    membership = case.membership(nparts, seed=seed)
+    pm = PartitionMap(case.coupling_graph, membership, num_ranks=nparts)
+    dmat = distribute_matrix(case.matrix, pm)
+    # square owned-diagonal block (local rows are owned x [owned; ghost])
+    return [
+        sp.csr_matrix(dmat.local[r][:, : dmat.local[r].shape[0]])
+        for r in range(nparts)
+    ]
+
+
+def _factor_digest(blocks: Sequence[sp.csr_matrix], tier: str) -> str:
+    """One digest over every subdomain's ILU(0) and ILUT factors."""
+    h = hashlib.sha256()
+    with kernels.forced_tier(tier):
+        for a in blocks:
+            for fac in (ilu0(a), ilut(a, drop_tol=1e-3, fill=10)):
+                for mat in (fac.l_strict, fac.u_upper):
+                    h.update(_digest(mat.indptr, mat.indices, mat.data).encode())
+    return h.hexdigest()
+
+
+def available_tiers() -> tuple[str, ...]:
+    """The kernel tiers this process can force (numba only if importable)."""
+    return kernels.available_tiers()
+
+
+def check_determinism(
+    cases: Sequence[TestCase],
+    nparts: int = 4,
+    tiers: Sequence[str] | None = None,
+    workers: Sequence[int] = (1, 4),
+    precond: str = "schur1",
+    seed: int = 0,
+    rtol: float = 1e-6,
+    maxiter: int = 200,
+) -> DeterminismReport:
+    """Run the full determinism matrix over ``cases``.
+
+    Per case: (1) solve twice per tier and compare bitwise; (2) compare
+    across tiers; (3) solve under serial vs. parallel setup and compare;
+    (4) factor every subdomain block twice per tier and across tiers.
+    """
+    tiers = tuple(tiers) if tiers is not None else available_tiers()
+    workers = tuple(workers)
+    solve_kw = dict(seed=seed, rtol=rtol, maxiter=maxiter)
+    report = DeterminismReport(nparts=nparts, tiers=tiers, workers=workers)
+
+    with _cache_disabled():
+        for case in cases:
+            per_tier: dict[str, dict[str, object]] = {}
+            for tier in tiers:
+                runs = [
+                    _solve_digests(case, tier, nparts, None, precond, **solve_kw)
+                    for _ in range(2)
+                ]
+                per_tier[tier] = runs[0]
+                report.checks.append(Check(
+                    kind="repeat", case=case.key,
+                    identical=runs[0] == runs[1],
+                    detail={"tier": tier, "runs": runs},
+                ))
+
+            first = per_tier[tiers[0]]
+            report.checks.append(Check(
+                kind="cross-tier", case=case.key,
+                identical=all(per_tier[t] == first for t in tiers),
+                detail={"tiers": list(tiers), "digests": per_tier},
+            ))
+
+            worker_runs = {
+                w: _solve_digests(case, None, nparts, w, precond, **solve_kw)
+                for w in workers
+            }
+            w0 = worker_runs[workers[0]]
+            report.checks.append(Check(
+                kind="workers", case=case.key,
+                identical=all(worker_runs[w] == w0 for w in workers),
+                detail={"workers": list(workers), "digests":
+                        {str(w): d for w, d in worker_runs.items()}},
+            ))
+
+            blocks = _subdomain_blocks(case, nparts, seed)
+            fdig = {
+                tier: [_factor_digest(blocks, tier) for _ in range(2)]
+                for tier in tiers
+            }
+            repeat_ok = all(d[0] == d[1] for d in fdig.values())
+            cross_ok = len({d[0] for d in fdig.values()}) == 1
+            report.checks.append(Check(
+                kind="factors", case=case.key,
+                identical=repeat_ok and cross_ok,
+                detail={"tiers": list(tiers), "digests":
+                        {t: d[0] for t, d in fdig.items()},
+                        "repeat_identical": repeat_ok,
+                        "cross_tier_identical": cross_ok},
+            ))
+    return report

@@ -1,0 +1,86 @@
+"""Lint baseline — deliberate burn-down of pre-existing violations.
+
+The baseline records every violation that existed when a rule was
+introduced, so ``python -m repro lint`` can gate *new* violations at zero
+while the old ones are paid down deliberately.  Entries match on
+``(path, code, snippet)`` — the stripped source line, not the line number —
+so unrelated edits that shift lines do not invalidate the baseline, while
+any edit to the offending line itself surfaces the violation again.
+
+Schema (``repro.lint.baseline.v1``)::
+
+    {"schema": "repro.lint.baseline.v1",
+     "entries": [{"path": ..., "code": ..., "snippet": ..., "count": N}]}
+
+``count`` collapses identical lines (the same offending statement appearing
+N times in one file).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.lint.rules import Violation
+
+BASELINE_SCHEMA = "repro.lint.baseline.v1"
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclass
+class BaselineMatch:
+    """Outcome of matching current violations against a baseline."""
+
+    new: list[Violation]
+    baselined: list[Violation]
+    #: baseline entries with no current violation — stale, delete them
+    stale: list[dict]
+
+
+def write_baseline(path: str | Path, violations: list[Violation]) -> Path:
+    counts = Counter(v.key() for v in violations)
+    entries = [
+        {"path": p, "code": c, "snippet": s, "count": n}
+        for (p, c, s), n in sorted(counts.items())
+    ]
+    doc = {"schema": BASELINE_SCHEMA, "entries": entries}
+    out = Path(path)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    return out
+
+
+def load_baseline(path: str | Path) -> Counter:
+    doc = json.loads(Path(path).read_text())
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"unexpected baseline schema {doc.get('schema')!r}; "
+            f"expected {BASELINE_SCHEMA}"
+        )
+    counts: Counter = Counter()
+    for entry in doc["entries"]:
+        counts[(entry["path"], entry["code"], entry["snippet"])] += int(
+            entry.get("count", 1)
+        )
+    return counts
+
+
+def match_baseline(
+    violations: list[Violation], baseline: Counter
+) -> BaselineMatch:
+    budget = Counter(baseline)
+    new: list[Violation] = []
+    matched: list[Violation] = []
+    for v in violations:
+        if budget[v.key()] > 0:
+            budget[v.key()] -= 1
+            matched.append(v)
+        else:
+            new.append(v)
+    stale = [
+        {"path": p, "code": c, "snippet": s, "count": n}
+        for (p, c, s), n in sorted(budget.items())
+        if n > 0
+    ]
+    return BaselineMatch(new=new, baselined=matched, stale=stale)

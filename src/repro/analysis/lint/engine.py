@@ -1,0 +1,196 @@
+"""Lint engine: file walking, rule dispatch, noqa suppression, reports.
+
+The engine is what ``python -m repro lint`` drives: it walks the given
+paths, parses each ``*.py`` once, runs every rule whose scope covers the
+file, filters ``# repro: noqa(...)`` suppressions, and reconciles the
+survivors against the committed baseline (:mod:`.baseline`).
+
+Suppression syntax, on the offending line::
+
+    x == 0.0  # repro: noqa(RPR001) exact-zero guard, see docs
+    something()  # repro: noqa            (suppresses every rule)
+    y == 1.0  # repro: noqa(RPR001,RPR005) multiple codes
+
+A trailing free-text rationale is encouraged — the lint-clean test keeps
+``src/repro`` at zero unsuppressed, unbaselined violations, so every noqa
+is a reviewed, documented decision.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.lint.baseline import (
+    BaselineMatch,
+    load_baseline,
+    match_baseline,
+)
+from repro.analysis.lint.rules import RULES, FileContext, Rule, Violation
+
+LINT_SCHEMA = "repro.lint.v1"
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\(\s*(?P<codes>[A-Z0-9,\s]+)\s*\))?",
+)
+
+#: the package root marker used to derive rule-scope module paths
+_PKG_MARKER = ("src", "repro")
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced (pre/post baseline)."""
+
+    files_checked: int
+    violations: list[Violation]
+    suppressed: list[Violation]
+    parse_errors: list[str] = field(default_factory=list)
+    baseline: BaselineMatch | None = None
+
+    @property
+    def new_violations(self) -> list[Violation]:
+        if self.baseline is None:
+            return self.violations
+        return self.baseline.new
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_violations and not self.parse_errors
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for v in self.violations:
+            out[v.code] = out.get(v.code, 0) + 1
+        return dict(sorted(out.items()))
+
+    def to_dict(self) -> dict:
+        doc: dict = {
+            "schema": LINT_SCHEMA,
+            "files_checked": self.files_checked,
+            "counts": self.counts(),
+            "violations": [
+                {**v.to_dict(), "baselined": self.baseline is not None
+                 and v in self.baseline.baselined}
+                for v in self.violations
+            ],
+            "suppressed": [v.to_dict() for v in self.suppressed],
+            "parse_errors": list(self.parse_errors),
+        }
+        if self.baseline is not None:
+            doc["baseline"] = {
+                "new": len(self.baseline.new),
+                "matched": len(self.baseline.baselined),
+                "stale_entries": self.baseline.stale,
+            }
+        return doc
+
+
+def _noqa_codes(line: str) -> set[str] | None:
+    """Codes suppressed on ``line`` — empty set means 'all codes'."""
+    m = _NOQA_RE.search(line)
+    if m is None:
+        return None
+    codes = m.group("codes")
+    if codes is None:
+        return set()
+    return {c.strip() for c in codes.split(",") if c.strip()}
+
+
+def _split_suppressed(
+    ctx: FileContext, violations: list[Violation]
+) -> tuple[list[Violation], list[Violation]]:
+    kept: list[Violation] = []
+    suppressed: list[Violation] = []
+    for v in violations:
+        line = ctx.lines[v.line - 1] if 1 <= v.line <= len(ctx.lines) else ""
+        codes = _noqa_codes(line)
+        if codes is not None and (not codes or v.code in codes):
+            suppressed.append(v)
+        else:
+            kept.append(v)
+    return kept, suppressed
+
+
+def module_of(path: Path) -> str:
+    """Rule-scope module path: the part of ``path`` under ``src/repro``."""
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1, 0, -1):
+        if tuple(parts[i - 1: i + 1]) == _PKG_MARKER:
+            return "/".join(parts[i + 1:])
+    return path.name
+
+
+def lint_source(
+    source: str,
+    module: str,
+    path: str = "<string>",
+    rules: Iterable[Rule] = RULES,
+) -> tuple[list[Violation], list[Violation]]:
+    """Lint one source string; returns ``(violations, suppressed)``.
+
+    ``module`` positions the snippet for rule scoping, e.g.
+    ``"comm/pattern.py"`` — the unit tests use this to exercise scoped
+    rules on fixture snippets.
+    """
+    ctx = FileContext(path=path, module=module, source=source)
+    found: list[Violation] = []
+    for rule in rules:
+        if ctx.in_scope(rule.scope):
+            found.extend(rule.check(ctx))
+    found.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    return _split_suppressed(ctx, found)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterable[Path]:
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    baseline_path: str | Path | None = None,
+    rules: Iterable[Rule] = RULES,
+) -> LintReport:
+    """Lint every ``*.py`` under ``paths``; reconcile against the baseline."""
+    rules = tuple(rules)
+    violations: list[Violation] = []
+    suppressed: list[Violation] = []
+    errors: list[str] = []
+    n_files = 0
+    for path in iter_python_files(paths):
+        n_files += 1
+        try:
+            source = path.read_text()
+            kept, supp = lint_source(
+                source, module_of(path), path=path.as_posix(), rules=rules
+            )
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            errors.append(f"{path.as_posix()}: {exc}")
+            continue
+        violations.extend(kept)
+        suppressed.extend(supp)
+
+    match = None
+    if baseline_path is not None and Path(baseline_path).exists():
+        match = match_baseline(violations, load_baseline(baseline_path))
+    return LintReport(
+        files_checked=n_files,
+        violations=violations,
+        suppressed=suppressed,
+        parse_errors=errors,
+        baseline=match,
+    )
+
+
+def write_json_report(path: str | Path, report: LintReport) -> Path:
+    out = Path(path)
+    out.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+    return out

@@ -1,0 +1,123 @@
+"""Runtime sanitizers: FP traps and race detection for the solve stack.
+
+Modes are armed via the ``REPRO_SANITIZE`` environment variable (a comma
+list — ``REPRO_SANITIZE=fp``, ``REPRO_SANITIZE=race``,
+``REPRO_SANITIZE=fp,race``), via ``solve --sanitize`` on the CLI, or
+programmatically::
+
+    from repro.analysis import sanitize
+
+    with sanitize.sanitizing("fp"):
+        solve_case(case, ...)       # NaN/Inf trap -> typed NumericalFault
+
+Contracts per mode live in ``docs/static-analysis.md``:
+
+* ``fp`` — :func:`kernel_guard` regions (the factor kernel tiers) and
+  :func:`check_finite` post-conditions raise
+  :class:`repro.resilience.errors.NumericalFault` instead of letting
+  NaN/Inf propagate as RuntimeWarnings;
+* ``race`` — shared setup-phase state (factor cache, tracer) is tracked by
+  the Eraser-style detector; unsynchronized cross-thread mutation raises
+  :class:`RaceDetected`.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.analysis.sanitize.fp import (
+    arm_fp,
+    check_finite,
+    fp_armed,
+    fp_guard,
+    kernel_guard,
+)
+from repro.analysis.sanitize.race import (
+    RaceDetected,
+    RaceDetector,
+    TrackedLock,
+    arm_race,
+    get_detector,
+    holding,
+    race_access,
+    race_armed,
+)
+
+__all__ = [
+    "MODES",
+    "arm_fp",
+    "fp_armed",
+    "fp_guard",
+    "kernel_guard",
+    "check_finite",
+    "arm_race",
+    "race_armed",
+    "race_access",
+    "get_detector",
+    "holding",
+    "RaceDetected",
+    "RaceDetector",
+    "TrackedLock",
+    "enable",
+    "disable",
+    "enabled_modes",
+    "sanitizing",
+    "refresh_from_env",
+]
+
+_ENV_VAR = "REPRO_SANITIZE"
+MODES = ("fp", "race")
+
+_ARM = {"fp": arm_fp, "race": arm_race}
+_ARMED = {"fp": fp_armed, "race": race_armed}
+
+
+def _check_mode(mode: str) -> str:
+    if mode not in MODES:
+        raise ValueError(f"unknown sanitizer mode {mode!r}; pick from {MODES}")
+    return mode
+
+
+def enable(mode: str) -> None:
+    _ARM[_check_mode(mode)](True)
+
+
+def disable(mode: str) -> None:
+    _ARM[_check_mode(mode)](False)
+
+
+def enabled_modes() -> tuple[str, ...]:
+    return tuple(m for m in MODES if _ARMED[m]())
+
+
+@contextmanager
+def sanitizing(*modes: str) -> Iterator[None]:
+    """Temporarily arm the given modes (restores previous arming on exit)."""
+    previous = {m: _ARMED[_check_mode(m)]() for m in modes}
+    for m in modes:
+        _ARM[m](True)
+    try:
+        yield
+    finally:
+        for m, was in previous.items():
+            _ARM[m](was)
+
+
+def refresh_from_env() -> tuple[str, ...]:
+    """(Re)apply ``REPRO_SANITIZE``; returns the modes now armed."""
+    raw = os.environ.get(_ENV_VAR, "")
+    requested = {t.strip().lower() for t in raw.split(",") if t.strip()}
+    unknown = requested - set(MODES)
+    if unknown:
+        raise ValueError(
+            f"{_ENV_VAR} names unknown sanitizer(s) {sorted(unknown)}; "
+            f"pick from {MODES}"
+        )
+    for m in MODES:
+        _ARM[m](m in requested)
+    return enabled_modes()
+
+
+refresh_from_env()

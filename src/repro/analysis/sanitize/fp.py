@@ -1,0 +1,103 @@
+"""FP sanitizer — errstate NaN/Inf traps speaking the typed fault taxonomy.
+
+Unguarded NumPy arithmetic reports trouble as ``RuntimeWarning`` and lets
+NaN/Inf propagate until some distant guard (or the user) notices.  Armed,
+the sanitizer turns every invalid / divide / overflow event inside a
+guarded region into a :class:`repro.resilience.errors.NumericalFault`
+carrying the guard's location — the same typed path the resilience layer
+already classifies and retries (docs/robustness.md).
+
+Two guards:
+
+* :func:`kernel_guard` — wraps the kernel tiers (factor sweeps, band
+  extraction).  A no-op context manager unless FP sanitizing is armed, so
+  the hot path costs one module-flag read.
+* :func:`check_finite` — explicit post-condition on an array, armed or not
+  when ``force=True`` (used by callers that always guard).
+
+Arming: ``REPRO_SANITIZE=fp`` in the environment (read at import and by
+:func:`repro.analysis.sanitize.refresh_from_env`), ``solve --sanitize`` on
+the CLI, or :func:`arm_fp` / :func:`fp_armed` programmatically.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro.resilience.errors import NumericalFault
+
+_armed: bool = False
+
+
+def _obs_event(name: str, **attrs: object) -> None:
+    # deferred import: obs.tracer imports the race sanitizer, so importing
+    # obs at module load would close an import cycle through this package
+    from repro import obs
+
+    obs.event(name, **attrs)
+
+
+def arm_fp(on: bool = True) -> None:
+    """Arm/disarm the FP sanitizer for this process."""
+    global _armed
+    _armed = on
+
+
+def fp_armed() -> bool:
+    return _armed
+
+
+@contextmanager
+def fp_guard(where: str) -> Iterator[None]:
+    """Trap invalid/divide/overflow as a typed :class:`NumericalFault`.
+
+    Unlike :func:`kernel_guard` this always arms errstate — use it where
+    the caller has explicitly opted in (e.g. ``solve --sanitize`` wraps the
+    whole pipeline in one).
+    """
+    try:
+        with np.errstate(invalid="raise", divide="raise", over="raise"):
+            yield
+    except FloatingPointError as exc:
+        _obs_event("sanitize.fp", where=where, error=str(exc))
+        raise NumericalFault(
+            f"FP sanitizer trapped {exc} in {where}", where=where,
+            sanitizer="fp",
+        ) from exc
+
+
+@contextmanager
+def kernel_guard(where: str) -> Iterator[None]:
+    """The kernel-tier guard: :func:`fp_guard` when armed, else a no-op.
+
+    This is what the factor orchestrators wrap around the elimination
+    sweeps and band extraction, and what lint rule RPR005 recognizes as a
+    reduction guard — the guard marks *where* the trap goes; arming decides
+    whether it fires.
+    """
+    if not _armed:
+        yield
+        return
+    with fp_guard(where):
+        yield
+
+
+def check_finite(
+    x: np.ndarray, where: str, force: bool = False
+) -> np.ndarray:
+    """Raise a typed :class:`NumericalFault` when ``x`` has NaN/Inf entries.
+
+    A no-op passthrough unless the sanitizer is armed or ``force`` is set.
+    Returns ``x`` so the check can be used inline.
+    """
+    if (_armed or force) and not bool(np.isfinite(x).all()):
+        bad = int(np.size(x) - np.count_nonzero(np.isfinite(x)))
+        _obs_event("sanitize.fp", where=where, nonfinite=bad)
+        raise NumericalFault(
+            f"FP sanitizer found {bad} non-finite value(s) in {where}",
+            where=where, nonfinite=bad, sanitizer="fp",
+        )
+    return x

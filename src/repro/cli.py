@@ -7,12 +7,15 @@ paper-style sweep, or a traced run with a per-phase cost breakdown::
     python -m repro sweep --case tc2 --preconds schur1,block2 --p 2,4,8,16
     python -m repro trace poisson2d --precond schur1 --nparts 8
     python -m repro faults tc1 --kind bad-pivot --precond schur1
+    python -m repro lint src/
+    python -m repro check-determinism --cases tc1,tc3 --size 17
     python -m repro info
 
 ``solve`` and ``trace`` exit nonzero when the final status is anything but
 ``converged`` and print the classified status; ``faults`` runs a solve under
 deterministic fault injection through the resilient fallback chain
-(docs/robustness.md).
+(docs/robustness.md); ``lint`` and ``check-determinism`` drive the
+correctness tooling of :mod:`repro.analysis` (docs/static-analysis.md).
 
 Sizes default to laptop scale; ``--size`` overrides the case's resolution
 parameter (grid points per side, or 1/h for tc3).  Cases are addressable by
@@ -25,7 +28,9 @@ import argparse
 import sys
 
 from repro import faults, obs
+from repro.analysis import sanitize
 from repro.cases import CASE_BUILDERS
+from repro.resilience.errors import SolverFault
 from repro.factor import cache as factor_cache
 from repro.core.driver import PRECONDITIONER_NAMES, SOLVER_NAMES, solve_case
 from repro.core.experiment import run_sweep
@@ -107,6 +112,12 @@ def make_parser() -> argparse.ArgumentParser:
     solve.add_argument("--restore", action="store_true",
                        help="seed x0 from the newest intact checkpoint in "
                        "--checkpoint-dir")
+    solve.add_argument("--sanitize", nargs="?", const="fp", default=None,
+                       metavar="MODES",
+                       help="arm runtime sanitizers for this solve (comma "
+                       "list of fp,race; bare flag means fp) — NaN/Inf "
+                       "trap as typed faults, races in shared setup state "
+                       "abort (docs/static-analysis.md)")
 
     sweep = sub.add_parser("sweep", parents=[cache_opts],
                           help="run a paper-style table")
@@ -183,6 +194,46 @@ def make_parser() -> argparse.ArgumentParser:
     fault.add_argument("--out", default=None,
                        help="also write a JSON trace of the faulted run")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's RPRxxx AST lint rules (docs/static-analysis.md)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files or directories to lint (default src/repro)")
+    lint.add_argument("--baseline", default=None,
+                      help="baseline JSON of grandfathered violations "
+                      "(default: lint-baseline.json when it exists)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every violation, baselined or not")
+    lint.add_argument("--write-baseline", default=None, metavar="PATH",
+                      help="write the current violations as the new baseline "
+                      "and exit 0")
+    lint.add_argument("--json", default=None, metavar="PATH",
+                      help="write a repro.lint.v1 JSON report")
+
+    det = sub.add_parser(
+        "check-determinism",
+        help="bitwise-compare solves across kernel tiers, repeats, and "
+        "serial vs parallel setup (repro.determinism.v1)",
+    )
+    det.add_argument("--cases", default="tc1,tc3",
+                     help="comma-separated case keys/aliases")
+    det.add_argument("--size", type=int, default=17,
+                     help="resolution override applied to every case")
+    det.add_argument("--nparts", type=int, default=4)
+    det.add_argument("--tiers", default=None,
+                     help="comma-separated kernel tiers (default: all "
+                     "available in this process)")
+    det.add_argument("--workers", default="1,4",
+                     help="comma-separated REPRO_SETUP_WORKERS values to sweep")
+    det.add_argument("--precond", default="schur1",
+                     help=f"one of {PRECONDITIONER_NAMES}")
+    det.add_argument("--seed", type=int, default=0)
+    det.add_argument("--rtol", type=float, default=1e-6)
+    det.add_argument("--maxiter", type=int, default=200)
+    det.add_argument("--json", default=None, metavar="PATH",
+                     help="write the repro.determinism.v1 report here")
+
     sub.add_parser("info", help="list available cases, preconditioners, machines")
     return parser
 
@@ -208,15 +259,26 @@ def cmd_solve(args: argparse.Namespace) -> int:
     )
     if args.restore and args.checkpoint_dir is None:
         raise SystemExit("--restore requires --checkpoint-dir")
-    if args.resilient:
-        res = ResilientSolver().solve(case, **kwargs)
-        _print_attempts(res)
-        out = res.outcome
-        if out is None:
-            print(f"  all attempts failed; final status: {res.status}")
-            return 1
-    else:
-        out = solve_case(case, **kwargs)
+    modes = [m for m in (args.sanitize or "").split(",") if m]
+    try:
+        with sanitize.sanitizing(*modes):
+            if args.resilient:
+                res = ResilientSolver().solve(case, **kwargs)
+                _print_attempts(res)
+                out = res.outcome
+                if out is None:
+                    print(f"  all attempts failed; final status: {res.status}")
+                    return 1
+            else:
+                out = solve_case(case, **kwargs)
+    except (SolverFault, sanitize.RaceDetected) as exc:
+        if not modes:
+            raise
+        # the sanitizers speak the typed taxonomy; report the classification
+        # instead of a traceback so scripted callers can branch on it
+        status = getattr(exc, "status", "race")
+        print(f"sanitizer trapped a fault [{status}]: {exc}")
+        return 3
     print(f"{case.title}: {case.num_dofs} unknowns, P={args.nparts}, "
           f"{out.precond}, {args.scheme} partitioning")
     print(f"  {_status_text(out.status)} in {out.iterations} {args.solver} "
@@ -359,6 +421,87 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0 if res.converged else 1
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis.lint import lint_paths, write_json_report
+    from repro.analysis.lint.baseline import DEFAULT_BASELINE, write_baseline
+
+    if args.write_baseline is not None:
+        report = lint_paths(args.paths)
+        path = write_baseline(args.write_baseline, report.violations)
+        print(f"baseline with {len(report.violations)} violation(s) "
+              f"written to {path}")
+        return 0
+
+    baseline = args.baseline
+    if baseline is None and not args.no_baseline \
+            and os.path.exists(DEFAULT_BASELINE):
+        baseline = DEFAULT_BASELINE
+    if args.no_baseline:
+        baseline = None
+    report = lint_paths(args.paths, baseline_path=baseline)
+
+    shown = report.violations if baseline is None else report.new_violations
+    for v in shown:
+        print(v.format())
+    for err in report.parse_errors:
+        print(f"parse error: {err}")
+    counts = report.counts()
+    summary = ", ".join(f"{code} x{n}" for code, n in sorted(counts.items()))
+    print(f"{report.files_checked} file(s): {len(shown)} violation(s)"
+          + (f" ({summary})" if shown and summary else "")
+          + (f", {len(report.violations) - len(report.new_violations)} "
+             "baselined" if baseline is not None else "")
+          + (f", {len(report.suppressed)} suppressed by noqa"
+             if report.suppressed else ""))
+    if report.baseline is not None and report.baseline.stale:
+        print(f"note: {len(report.baseline.stale)} stale baseline "
+              "entr(ies) no longer match — shrink the baseline")
+    if args.json:
+        print(f"report written to {write_json_report(args.json, report)}")
+    return 0 if report.clean and not report.parse_errors else 1
+
+
+def cmd_check_determinism(args: argparse.Namespace) -> int:
+    from repro.analysis.determinism import available_tiers, check_determinism
+
+    cases = [
+        _build_case(key.strip(), args.size)
+        for key in args.cases.split(",") if key.strip()
+    ]
+    if not cases:
+        raise SystemExit("no cases given")
+    tiers = ([t for t in args.tiers.split(",") if t]
+             if args.tiers is not None else None)
+    known = available_tiers()
+    for t in tiers or ():
+        if t not in known:
+            raise SystemExit(
+                f"tier {t!r} not available in this process; pick from {known}"
+            )
+    report = check_determinism(
+        cases,
+        nparts=args.nparts,
+        tiers=tiers,
+        workers=_parse_int_list(args.workers),
+        precond=args.precond,
+        seed=args.seed,
+        rtol=args.rtol,
+        maxiter=args.maxiter,
+    )
+    print(f"determinism matrix: {len(cases)} case(s), tiers "
+          f"{','.join(report.tiers)}, setup workers "
+          f"{','.join(str(w) for w in report.workers)}, P={report.nparts}")
+    print(report.summary())
+    n_fail = len(report.failures())
+    print("all checks bitwise-identical" if report.identical
+          else f"{n_fail} check(s) MISMATCHED")
+    if args.json:
+        print(f"report written to {report.write_json(args.json)}")
+    return 0 if report.identical else 1
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     from repro.perfmodel.machine import _MACHINES
 
@@ -377,6 +520,8 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": cmd_sweep,
         "trace": cmd_trace,
         "faults": cmd_faults,
+        "lint": cmd_lint,
+        "check-determinism": cmd_check_determinism,
         "info": cmd_info,
     }
     return commands[args.command](args)

@@ -93,7 +93,7 @@ class Communicator:
     def reset_ledger(self) -> CostLedger:
         """Replace the ledger with a fresh one; returns the old ledger."""
         old = self.ledger
-        for key, value in old.counts().items():
+        for key, value in sorted(old.counts().items()):
             self._retired[key] += value
         self.ledger = CostLedger(self.size)
         return old

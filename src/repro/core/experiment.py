@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro import obs
 from repro.cases.base import TestCase
 from repro.core.driver import SolveOutcome, solve_case
 from repro.core.reporting import format_paper_table
@@ -64,17 +65,19 @@ def run_sweep(
         p_values=list(p_values),
         preconds=list(preconds),
     )
-    for p in p_values:
-        for name in preconds:
-            outcome = solve_case(
-                case,
-                precond=name,
-                nparts=p,
-                seed=seed,
-                scheme=scheme,
-                maxiter=maxiter,
-                precond_params=precond_params.get(name),
-                keep_solution=False,
-            )
-            result.outcomes[(name, p)] = outcome
+    with obs.span("sweep", case=case.key, scheme=scheme,
+                  configs=len(p_values) * len(preconds)):
+        for p in p_values:
+            for name in preconds:
+                outcome = solve_case(
+                    case,
+                    precond=name,
+                    nparts=p,
+                    seed=seed,
+                    scheme=scheme,
+                    maxiter=maxiter,
+                    precond_params=precond_params.get(name),
+                    keep_solution=False,
+                )
+                result.outcomes[(name, p)] = outcome
     return result

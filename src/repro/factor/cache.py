@@ -35,7 +35,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Any
 
@@ -43,6 +42,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro import obs
+from repro.analysis.sanitize.race import TrackedLock, race_access
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (base -> triangular)
     from repro.factor.base import ILUFactorization
@@ -59,7 +59,7 @@ class FactorCache:
     """Thread-safe bounded LRU of content-addressed factorizations."""
 
     def __init__(self, capacity: int = _DEFAULT_CAPACITY, enabled: bool | None = None):
-        self._lock = threading.Lock()
+        self._lock = TrackedLock(f"factor.cache.{id(self)}.lock")
         self._store: OrderedDict[str, "ILUFactorization"] = OrderedDict()
         self.capacity = capacity
         self.enabled = (not _env_disabled()) if enabled is None else enabled
@@ -83,6 +83,7 @@ class FactorCache:
         with self._lock:
             fac = self._store.get(key)
             if fac is not None:
+                race_access(f"factor.cache.{id(self)}.store", "write")
                 self._store.move_to_end(key)
                 self.hits += 1
             else:
@@ -95,10 +96,19 @@ class FactorCache:
 
     def put(self, key: str, fac: "ILUFactorization") -> None:
         with self._lock:
-            self._store[key] = fac
-            self._store.move_to_end(key)
-            while len(self._store) > self.capacity:
-                self._store.popitem(last=False)
+            self._put_locked(key, fac)
+
+    def _put_locked(self, key: str, fac: "ILUFactorization") -> None:
+        """Store mutation proper; callers must hold ``self._lock``.
+
+        The race sanitizer checks exactly that: every cross-thread write to
+        the store must share the cache's lock in its lockset.
+        """
+        race_access(f"factor.cache.{id(self)}.store", "write")
+        self._store[key] = fac
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
 
     def note_bypass(self, alg: str, reason: str) -> None:
         with self._lock:

@@ -47,13 +47,13 @@ def dense_lu(a: np.ndarray) -> DenseLU:
     piv = np.arange(n)
     for k in range(n - 1):
         p = k + int(np.argmax(np.abs(lu[k:, k])))
-        if lu[p, k] == 0.0:
+        if lu[p, k] == 0.0:  # repro: noqa(RPR001) — exact singularity after full-column pivoting
             raise ZeroDivisionError(f"matrix is singular at column {k}")
         if p != k:
             lu[[k, p]] = lu[[p, k]]
             piv[[k, p]] = piv[[p, k]]
         lu[k + 1 :, k] /= lu[k, k]
         lu[k + 1 :, k + 1 :] -= np.outer(lu[k + 1 :, k], lu[k, k + 1 :])
-    if n and lu[n - 1, n - 1] == 0.0:
+    if n and lu[n - 1, n - 1] == 0.0:  # repro: noqa(RPR001) — exact singularity check
         raise ZeroDivisionError("matrix is singular")
     return DenseLU(lu, piv)

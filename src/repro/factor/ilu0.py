@@ -19,6 +19,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro import faults, kernels
+from repro.analysis.sanitize.fp import kernel_guard
 from repro.factor import cache as factor_cache
 from repro.factor.base import FactorStats, ILUFactorization
 from repro.factor.reference import _check_breakdown, ilu0_reference
@@ -83,18 +84,19 @@ def ilu0(
             )
             return fac
 
-    if tier == "reference":
-        lu_data, floored = ilu0_reference(a, modified, shift)
-    else:
-        dpos = diag_indices_csr(a)  # validates the stored diagonal
-        data = a.data.copy()
-        if shift:
-            data[dpos] += shift
-        norms = band.row_norms_inf(n, a.indptr, data)
-        _, ilu0_sweep = kernels.sweeps_for(tier)
-        lu_data, floored = band.ilu0_factor(
-            n, a.indptr, a.indices, data, norms, sweep=ilu0_sweep
-        )
+    with kernel_guard(f"factor.ilu0.{tier}"):
+        if tier == "reference":
+            lu_data, floored = ilu0_reference(a, modified, shift)
+        else:
+            dpos = diag_indices_csr(a)  # validates the stored diagonal
+            data = a.data.copy()
+            if shift:
+                data[dpos] += shift
+            norms = band.row_norms_inf(n, a.indptr, data)
+            _, ilu0_sweep = kernels.sweeps_for(tier)
+            lu_data, floored = band.ilu0_factor(
+                n, a.indptr, a.indices, data, norms, sweep=ilu0_sweep
+            )
 
     _check_breakdown("ilu0", floored, n, breakdown_frac, shift)
     lu = sp.csr_matrix((lu_data, a.indices.copy(), a.indptr.copy()), shape=a.shape)

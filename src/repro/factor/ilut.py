@@ -20,6 +20,7 @@ from __future__ import annotations
 import scipy.sparse as sp
 
 from repro import faults, kernels
+from repro.analysis.sanitize.fp import kernel_guard
 from repro.factor import cache as factor_cache
 from repro.factor.base import FactorStats, ILUFactorization
 from repro.factor.reference import _check_breakdown, ilut_reference
@@ -78,21 +79,22 @@ def ilut(
             )
             return fac
 
-    if tier == "reference":
-        l_csr, u_strict, u_diag, floored = ilut_reference(a, drop_tol, fill, shift)
-        _check_breakdown("ilut", floored, n, breakdown_frac, shift)
-        u_upper = (u_strict + sp.diags(u_diag, format="csr")).tocsr()
-    else:
-        norms = band.row_norms2(n, a.indptr, a.data)
-        ilut_sweep, _ = kernels.sweeps_for(tier)
-        (l_indptr, l_indices, l_data,
-         u_indptr, u_indices, u_data, floored) = band.ilut_factor(
-            n, a.indptr, a.indices, a.data, drop_tol, fill, shift, norms,
-            sweep=ilut_sweep,
-        )
-        _check_breakdown("ilut", floored, n, breakdown_frac, shift)
-        l_csr = sp.csr_matrix((l_data, l_indices, l_indptr), shape=a.shape)
-        u_upper = sp.csr_matrix((u_data, u_indices, u_indptr), shape=a.shape)
+    with kernel_guard(f"factor.ilut.{tier}"):
+        if tier == "reference":
+            l_csr, u_strict, u_diag, floored = ilut_reference(a, drop_tol, fill, shift)
+            _check_breakdown("ilut", floored, n, breakdown_frac, shift)
+            u_upper = (u_strict + sp.diags(u_diag, format="csr")).tocsr()
+        else:
+            norms = band.row_norms2(n, a.indptr, a.data)
+            ilut_sweep, _ = kernels.sweeps_for(tier)
+            (l_indptr, l_indices, l_data,
+             u_indptr, u_indices, u_data, floored) = band.ilut_factor(
+                n, a.indptr, a.indices, a.data, drop_tol, fill, shift, norms,
+                sweep=ilut_sweep,
+            )
+            _check_breakdown("ilut", floored, n, breakdown_frac, shift)
+            l_csr = sp.csr_matrix((l_data, l_indices, l_indptr), shape=a.shape)
+            u_upper = sp.csr_matrix((u_data, u_indices, u_indptr), shape=a.shape)
 
     stats = FactorStats(n=n, floored_pivots=floored, shift=shift)
     fac = ILUFactorization(l_csr, ensure_csr(u_upper), stats=stats)

@@ -19,6 +19,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro import faults, obs
+from repro.analysis.sanitize.fp import kernel_guard
 from repro.resilience.errors import FactorizationBreakdown
 
 _PIVOT_FLOOR = 1e-12
@@ -79,7 +80,7 @@ def ilu0_reference(
             piv = data[diag_pos[k]]
             lik = data[p] / piv
             data[p] = lik
-            if lik == 0.0:
+            if lik == 0.0:  # repro: noqa(RPR001) — exact-zero skip; a tolerance would change the factors
                 continue
             # update row i against U-part of row k, restricted to pattern(i)
             khi = indptr[k + 1]
@@ -124,8 +125,9 @@ def ilut_reference(
         lo, hi = indptr[i], indptr[i + 1]
         cols_i = indices[lo:hi]
         vals_i = adata[lo:hi]
-        rownorm = float(np.sqrt(np.dot(vals_i, vals_i)))
-        if rownorm == 0.0:
+        with kernel_guard("factor.reference.ilut"):
+            rownorm = float(np.sqrt(np.dot(vals_i, vals_i)))
+        if rownorm <= 0.0:  # norm, so only an exactly-zero row lands here
             rownorm = 1.0
         tau = drop_tol * rownorm
 
@@ -160,8 +162,11 @@ def ilut_reference(
         diag = w.pop(i, 0.0)
         lower = [(c, v) for c, v in w.items() if c < i and abs(v) > tau]
         upper = [(c, v) for c, v in w.items() if c > i and abs(v) > tau]
-        lower.sort(key=lambda cv: abs(cv[1]), reverse=True)
-        upper.sort(key=lambda cv: abs(cv[1]), reverse=True)
+        # tie-break equal magnitudes on the smaller column so the selection
+        # is a pure function of the values — the band tiers (lexsort) and
+        # this scalar loop must pick identical survivors bit-for-bit
+        lower.sort(key=lambda cv: (-abs(cv[1]), cv[0]))
+        upper.sort(key=lambda cv: (-abs(cv[1]), cv[0]))
         lower = sorted(lower[:fill])
         upper = sorted(upper[:fill])
 
@@ -185,7 +190,7 @@ def ilut_reference(
 
 def _rows_to_csr(cols: list[np.ndarray], vals: list[np.ndarray], n: int) -> sp.csr_matrix:
     counts = np.asarray([len(c) for c in cols], dtype=np.int64)
-    indptr = np.concatenate(([0], np.cumsum(counts)))
+    indptr = np.concatenate(([0], np.cumsum(counts)))  # repro: noqa(RPR005) — integer indptr construction, exact
     indices = np.concatenate(cols) if indptr[-1] else np.empty(0, dtype=np.int64)
     data = np.concatenate(vals) if indptr[-1] else np.empty(0)
     return sp.csr_matrix((data, indices, indptr), shape=(n, n))

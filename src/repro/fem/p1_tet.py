@@ -23,7 +23,7 @@ def tet_geometry(mesh: Mesh) -> tuple[np.ndarray, np.ndarray]:
     p = mesh.points[mesh.elements]  # (ne, 4, 3)
     d = p[:, 1:] - p[:, :1]  # (ne, 3, 3): edge vectors from vertex 0
     det = np.linalg.det(d)
-    if np.any(det == 0.0):
+    if np.any(det == 0.0):  # repro: noqa(RPR001) — exactly degenerate elements only; near-zero is legal
         raise ValueError("mesh contains degenerate (zero-volume) tetrahedra")
     volumes = np.abs(det) / 6.0
     # rows of inv(d) are the gradients of λ1, λ2, λ3

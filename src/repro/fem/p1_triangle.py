@@ -28,7 +28,7 @@ def triangle_geometry(mesh: Mesh) -> tuple[np.ndarray, np.ndarray]:
     d1 = p[:, 1] - p[:, 0]
     d2 = p[:, 2] - p[:, 0]
     det = d1[:, 0] * d2[:, 1] - d1[:, 1] * d2[:, 0]  # 2 * signed area
-    if np.any(det == 0.0):
+    if np.any(det == 0.0):  # repro: noqa(RPR001) — exactly degenerate elements only; near-zero is legal
         raise ValueError("mesh contains degenerate (zero-area) triangles")
     areas = 0.5 * np.abs(det)
     inv_det = 1.0 / det

@@ -23,7 +23,7 @@ from repro.mesh.mesh import Mesh
 
 def peclet_tau(h: np.ndarray, vnorm: float, kappa: float) -> np.ndarray:
     """Optimal SUPG parameter τ(h) = h/(2|v|) * (coth(Pe) - 1/Pe)."""
-    if vnorm == 0.0:
+    if vnorm == 0.0:  # repro: noqa(RPR001) — exact no-convection case; τ is well defined for any |v|>0
         return np.zeros_like(h)
     pe = vnorm * h / (2.0 * kappa)
     # ξ(Pe) = coth(Pe) − 1/Pe, evaluated stably: series for small Pe, →1 large

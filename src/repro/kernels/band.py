@@ -30,6 +30,8 @@ from __future__ import annotations
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
+from repro.analysis.sanitize.fp import kernel_guard
+
 _PIVOT_FLOOR = 1e-12
 
 
@@ -52,8 +54,9 @@ def bandwidth(n: int, indptr: np.ndarray, indices: np.ndarray) -> int:
 def row_norms2(n: int, indptr: np.ndarray, data: np.ndarray) -> np.ndarray:
     """Per-row 2-norms (zero rows -> 1.0), shared by the fast ILUT tiers."""
     rows = csr_row_ids(n, indptr)
-    norms = np.sqrt(np.bincount(rows, weights=data * data, minlength=n))
-    norms[norms == 0.0] = 1.0
+    with kernel_guard("kernels.band.row_norms2"):
+        norms = np.sqrt(np.bincount(rows, weights=data * data, minlength=n))
+    norms[norms <= 0.0] = 1.0  # norms are non-negative
     return norms
 
 
@@ -63,8 +66,9 @@ def row_norms_inf(n: int, indptr: np.ndarray, data: np.ndarray) -> np.ndarray:
     lo = indptr[:-1]
     nonempty = lo < indptr[1:]
     if data.size:
-        norms[nonempty] = np.maximum.reduceat(np.abs(data), lo[nonempty])
-    norms[norms == 0.0] = 1.0
+        with kernel_guard("kernels.band.row_norms_inf"):
+            norms[nonempty] = np.maximum.reduceat(np.abs(data), lo[nonempty])
+    norms[norms <= 0.0] = 1.0  # norms are non-negative
     return norms
 
 
@@ -239,7 +243,7 @@ def _cap_lower_fill(n, ri, lcols, lvals, fill):
     if cnt.size and cnt.max() > fill:
         order = np.lexsort((lcols, -np.abs(lvals), ri))
         rank = np.arange(ri.size) - np.repeat(
-            np.concatenate(([0], np.cumsum(cnt)))[:-1], cnt
+            np.concatenate(([0], np.cumsum(cnt)))[:-1], cnt  # repro: noqa(RPR005) — integer count arithmetic, exact
         )
         sel = order[rank < fill]
         sel.sort()
@@ -264,14 +268,14 @@ def ilut_factor(n, indptr, indices, data, drop_tol, fill, shift, norms,
     lcols = ri - bw + ci
     lvals = low[ri, ci]
     ri, lcols, lvals, cnt = _cap_lower_fill(n, ri, lcols, lvals, fill)
-    l_indptr = np.concatenate(([0], np.cumsum(cnt)))
+    l_indptr = np.concatenate(([0], np.cumsum(cnt)))  # repro: noqa(RPR005) — integer indptr construction, exact
 
     # U rows diag-first; the diagonal is always nonzero after flooring
     udiag_up = w[:, bw:]
     uri, uci = np.nonzero(udiag_up)
     u_indices = uri + uci
     u_data = udiag_up[uri, uci]
-    u_indptr = np.concatenate(([0], np.cumsum(np.bincount(uri, minlength=n))))
+    u_indptr = np.concatenate(([0], np.cumsum(np.bincount(uri, minlength=n))))  # repro: noqa(RPR005) — integer indptr construction, exact
     return l_indptr, lcols, lvals, u_indptr, u_indices, u_data, floored
 
 

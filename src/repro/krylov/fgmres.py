@@ -25,7 +25,7 @@ from repro.krylov.ops import KernelOps, SerialOps
 
 def _givens(a: float, b: float) -> tuple[float, float]:
     """Stable Givens rotation coefficients (c, s) zeroing b against a."""
-    if b == 0.0:
+    if b == 0.0:  # repro: noqa(RPR001) — exact-zero branch of the Givens formula
         return 1.0, 0.0
     if abs(b) > abs(a):
         t = a / b
@@ -130,7 +130,7 @@ def fgmres(
                     residuals=mon.residuals,
                 )
             H[j + 1, j] = h_next
-            if h_next != 0.0 and j + 1 < m + 1:
+            if h_next != 0.0 and j + 1 < m + 1:  # repro: noqa(RPR001) — lucky breakdown is exactly zero
                 V[j + 1] = w / h_next
             else:
                 breakdown = True  # lucky breakdown: exact solution in span
@@ -161,7 +161,7 @@ def fgmres(
         k = j_used
         y = np.zeros(k)
         for i in range(k - 1, -1, -1):
-            if H[i, i] == 0.0:
+            if H[i, i] == 0.0:  # repro: noqa(RPR001) — exact-zero pivot skip; a tolerance would change iterates
                 y[i] = 0.0
                 continue
             y[i] = (g[i] - H[i, i + 1 : k] @ y[i + 1 : k]) / H[i, i]

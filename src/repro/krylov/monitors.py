@@ -68,7 +68,7 @@ class KrylovResult:
         if not self.residuals:
             return float("nan")
         r0 = self.residuals[0]
-        if r0 == 0.0:
+        if r0 <= 0.0:  # residual norms are non-negative; <= is the exact guard
             return 0.0
         return self.residuals[-1] / r0
 

@@ -33,7 +33,7 @@ def power_method(
     for _ in range(iterations):
         w = apply_op(v)
         lam = float(np.linalg.norm(w))
-        if lam == 0.0:
+        if lam <= 0.0:  # norm, so only exact zero lands here
             return 0.0
         v = w / lam
     return lam

@@ -50,7 +50,7 @@ def plate_with_hole(
     cx, cy = hole_center
     r = np.hypot(pts[:, 0] - cx, pts[:, 1] - cy)
     on_outer = (
-        (pts[:, 0] == 0.0) | (pts[:, 0] == 1.0) | (pts[:, 1] == 0.0) | (pts[:, 1] == 1.0)
+        (pts[:, 0] == 0.0) | (pts[:, 0] == 1.0) | (pts[:, 1] == 0.0) | (pts[:, 1] == 1.0)  # repro: noqa(RPR001) — lattice points sit exactly on the box
     )
     # keep lattice points clearly outside the hole (with a guard band so no
     # sliver triangles appear between lattice and circle points)

@@ -28,6 +28,7 @@ import time
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterator
 
+from repro.analysis.sanitize.race import race_access
 from repro.perfmodel.costs import COUNT_FIELDS
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -231,6 +232,9 @@ class Tracer:
         return self._stack[-1] if self._stack else None
 
     def _enter(self, span: Span) -> None:
+        # tracers are single-owner: concurrent span mutation corrupts the
+        # stack, which is exactly what the race sanitizer checks for
+        race_access(f"obs.tracer.{id(self)}", "write")
         span.span_id = self._next_id
         self._next_id += 1
         span.parent_id = self._stack[-1].span_id if self._stack else None
@@ -241,6 +245,7 @@ class Tracer:
         span.t_start = self.now()
 
     def _exit(self, span: Span) -> None:
+        race_access(f"obs.tracer.{id(self)}", "write")
         span.t_end = self.now()
         exit_counts = self.counts()
         entry = span._entry or _ZERO_COUNTS

@@ -129,6 +129,6 @@ class CostLedger:
     def load_imbalance(self) -> float:
         """max/mean of accumulated per-rank flops (1.0 = perfectly balanced)."""
         mean = self.per_rank_flops.mean()
-        if mean == 0.0:
+        if mean <= 0.0:  # flop counts are non-negative, so this is the exact empty case
             return 1.0
         return float(self.per_rank_flops.max() / mean)

@@ -65,7 +65,7 @@ class CoarseGridCorrection:
         a0 = (self.p.T @ a_global @ self.p).toarray()
         # coarse dofs with no fine support (e.g. under a hole) yield zero
         # rows; regularize them to identity so the LU exists
-        empty = np.abs(a0).sum(axis=1) == 0.0
+        empty = np.abs(a0).sum(axis=1) <= 0.0  # abs-sum is non-negative: exactly the empty rows
         a0[empty, empty] = 1.0
         self.a0_lu: DenseLU = dense_lu(a0)
         self.n_coarse = a0.shape[0]

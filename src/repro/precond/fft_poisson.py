@@ -20,7 +20,7 @@ class FFTPoissonSolver:
     def __init__(self, mx: int, my: int, scale: float = 1.0) -> None:
         if mx < 1 or my < 1:
             raise ValueError("box dimensions must be >= 1")
-        if scale == 0.0:
+        if scale == 0.0:  # repro: noqa(RPR001) — exact-zero argument validation
             raise ValueError("scale must be nonzero")
         self.mx = mx
         self.my = my

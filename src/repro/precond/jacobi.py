@@ -26,7 +26,7 @@ class JacobiPreconditioner(ParallelPreconditioner):
     def __init__(self, dmat: DistributedMatrix, comm: Communicator) -> None:
         super().__init__(dmat, comm)
         d = dmat.diagonal_dist().copy()
-        zero = ~np.isfinite(d) | (d == 0.0)
+        zero = ~np.isfinite(d) | (d == 0.0)  # repro: noqa(RPR001) — only exactly-zero diagonals are uninvertible
         if np.any(zero):
             obs.event(
                 "resilience.detected", kind="zero-diagonal",

@@ -109,7 +109,7 @@ class TriangularFactor:
             diag = np.asarray(diag, dtype=np.float64)
             if diag.shape != (n,):
                 raise ValueError("diag must have one entry per row")
-            if np.any(diag == 0.0):
+            if np.any(diag == 0.0):  # repro: noqa(RPR001) — exact-zero diagonal is the only illegal value
                 raise ZeroDivisionError("triangular factor has a zero diagonal entry")
         self.n = n
         self.lower = lower

@@ -1,0 +1,9 @@
+"""RPR001 positive fixture: float ==/!= against float literals."""
+
+
+def reduction(r, r0):
+    if r0 == 0.0:
+        return 0.0
+    if r != 1.5:
+        return r / r0
+    return 1.0

@@ -1,0 +1,15 @@
+"""RPR001 negative fixture: tolerance tests, int comparisons, noqa."""
+
+import math
+
+
+def reduction(r, r0, n):
+    if r0 <= 0.0:
+        return 0.0
+    if math.isclose(r, 1.5):
+        return 1.0
+    if n == 0:  # integer comparison is fine
+        return 0.0
+    if r == 0.0:  # repro: noqa(RPR001) exact-zero guard, documented
+        return 0.0
+    return r / r0

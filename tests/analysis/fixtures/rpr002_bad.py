@@ -1,0 +1,18 @@
+"""RPR002 positive fixture (linted under a comm/ module path)."""
+
+
+def exchange(pending, counts):
+    for rank in {3, 1, 2}:
+        send(rank)
+    for key, value in counts.items():
+        retire(key, value)
+    for rank in set(pending):
+        send(rank)
+
+
+def send(rank):
+    return rank
+
+
+def retire(key, value):
+    return key, value

@@ -1,0 +1,18 @@
+"""RPR002 negative fixture: sorted() iteration and list iteration."""
+
+
+def exchange(pending, counts):
+    for rank in sorted({3, 1, 2}):
+        send(rank)
+    for key, value in sorted(counts.items()):
+        retire(key, value)
+    for rank in [3, 1, 2]:
+        send(rank)
+
+
+def send(rank):
+    return rank
+
+
+def retire(key, value):
+    return key, value

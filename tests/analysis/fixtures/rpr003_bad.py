@@ -1,0 +1,19 @@
+"""RPR003 positive fixture (linted under a factor/ module path)."""
+
+
+def eliminate(rows):
+    for i, row in enumerate(rows):
+        if not row:
+            raise ValueError(f"row {i} is empty mid-sweep")
+        update(row)
+
+
+def sweep(block):
+    while block.active():
+        if block.stalled():
+            raise RuntimeError("sweep stalled")
+        block.advance()
+
+
+def update(row):
+    return row

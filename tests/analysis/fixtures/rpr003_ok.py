@@ -1,0 +1,22 @@
+"""RPR003 negative fixture: argument validation and typed faults.
+
+Top-of-function validation (every ancestor between the function and the
+raise is an ``if``) is the documented caller-bug idiom and stays exempt.
+"""
+
+from repro.resilience.errors import FactorizationBreakdown
+
+
+def eliminate(rows, drop_tol):
+    if drop_tol < 0:
+        raise ValueError("drop_tol must be >= 0")
+    if not rows:
+        raise ValueError("rows must be non-empty")
+    for i, row in enumerate(rows):
+        if not row:
+            raise FactorizationBreakdown(f"row {i} collapsed", row=i)
+        update(row)
+
+
+def update(row):
+    return row

@@ -1,0 +1,12 @@
+"""RPR004 positive fixture: unseeded global RNG draws."""
+
+import random
+
+import numpy as np
+
+
+def perturb(x):
+    x = x + np.random.rand(x.size)
+    x = x + np.random.standard_normal(x.size)
+    rng = np.random.default_rng()
+    return x + rng.normal(), random.random()

@@ -1,0 +1,11 @@
+"""RPR004 negative fixture: seeded generators only."""
+
+import numpy as np
+
+from repro.utils.rng import make_rng
+
+
+def perturb(x, seed):
+    rng = np.random.default_rng(seed)
+    x = x + rng.standard_normal(x.size)
+    return x + make_rng(seed).normal()

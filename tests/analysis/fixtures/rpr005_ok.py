@@ -1,0 +1,13 @@
+"""RPR005 negative fixture: reductions under errstate / kernel_guard."""
+
+import numpy as np
+
+from repro.analysis.sanitize.fp import kernel_guard
+
+
+def row_norms(data, rows, n):
+    with kernel_guard("kernels.fixture.row_norms"):
+        norms = np.sqrt(np.bincount(rows, weights=data * data, minlength=n))
+    with np.errstate(invalid="raise", divide="raise", over="raise"):
+        total = np.sum(data)
+    return norms, total

@@ -1,0 +1,10 @@
+"""RPR006 positive fixture (linted as krylov/cg.py): no instrumentation."""
+
+
+def cg(apply_a, b, rtol=1e-6, maxiter=100):
+    x = 0.0 * b
+    r = b - apply_a(x)
+    for _ in range(maxiter):
+        x = x + r
+        r = b - apply_a(x)
+    return x

@@ -1,0 +1,22 @@
+"""RPR006 negative fixture (linted as krylov/cg.py).
+
+Monitor delegation counts as instrumentation, and a pure delegating
+wrapper inherits its callee's spans.
+"""
+
+
+def cg(apply_a, b, mon, rtol=1e-6, maxiter=100):
+    x = 0.0 * b
+    r = b - apply_a(x)
+    mon.start(abs(r))
+    for _ in range(maxiter):
+        x = x + r
+        r = b - apply_a(x)
+        if mon.check(abs(r)):
+            break
+    return x
+
+
+def pcg(apply_a, b, mon):
+    """Delegating wrapper: body is a single return-call."""
+    return cg(apply_a, b, mon)

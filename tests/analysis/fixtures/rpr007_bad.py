@@ -1,0 +1,11 @@
+"""RPR007 positive fixture: CSR mutation without an invariant re-check."""
+
+
+def zero_small(a, tol):
+    a.data[abs(a.data) < tol] = 0.0
+    return a
+
+
+def shift_columns(a, offset):
+    a.indices[:] = a.indices + offset
+    return a

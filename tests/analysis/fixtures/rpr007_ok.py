@@ -1,0 +1,12 @@
+"""RPR007 negative fixture: mutations followed by an invariant re-check."""
+
+
+def zero_small(a, tol):
+    a.data[abs(a.data) < tol] = 0.0
+    a.eliminate_zeros()
+    return a
+
+
+def reorder(a, ensure_csr):
+    a.indices[:] = a.indices[::-1]
+    return ensure_csr(a)

@@ -1,0 +1,161 @@
+"""Engine behavior: noqa, baselines, JSON reports, and the clean-tree gate."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.lint import (
+    LintReport,
+    lint_paths,
+    lint_source,
+    write_json_report,
+)
+from repro.analysis.lint.baseline import (
+    BASELINE_SCHEMA,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.lint.engine import LINT_SCHEMA, module_of
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "lint-baseline.json"
+
+
+class TestNoqa:
+    def test_bare_noqa_suppresses_all_codes(self):
+        violations, suppressed = lint_source(
+            "x = 1.0\ny = x == 0.0  # repro: noqa\n", "mesh/foo.py"
+        )
+        assert not violations
+        assert [v.code for v in suppressed] == ["RPR001"]
+
+    def test_coded_noqa_suppresses_only_named_codes(self):
+        violations, suppressed = lint_source(
+            "y = x == 0.0  # repro: noqa(RPR002)\n", "mesh/foo.py"
+        )
+        assert [v.code for v in violations] == ["RPR001"]
+        assert not suppressed
+
+    def test_noqa_with_rationale_text(self):
+        violations, suppressed = lint_source(
+            "y = x == 0.0  # repro: noqa(RPR001) — exact-zero guard\n",
+            "mesh/foo.py",
+        )
+        assert not violations and len(suppressed) == 1
+
+    def test_noqa_only_covers_its_own_line(self):
+        violations, _ = lint_source(
+            "# repro: noqa(RPR001)\ny = x == 0.0\n", "mesh/foo.py"
+        )
+        assert [v.code for v in violations] == ["RPR001"]
+
+
+class TestBaseline:
+    SOURCE = "def f(x):\n    return x == 0.5\n"
+
+    def test_roundtrip_and_match(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.SOURCE)
+        report = lint_paths([mod])
+        assert [v.code for v in report.violations] == ["RPR001"]
+
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, report.violations)
+        doc = json.loads(baseline.read_text())
+        assert doc["schema"] == BASELINE_SCHEMA
+        assert load_baseline(baseline)
+
+        again = lint_paths([mod], baseline_path=baseline)
+        assert again.clean
+        assert not again.new_violations
+        assert len(again.violations) == 1  # still reported, just baselined
+
+    def test_baseline_matches_on_snippet_not_line(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.SOURCE)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_paths([mod]).violations)
+
+        # shift the offending line down: the baseline must still absorb it
+        mod.write_text("import math\n\n\n" + self.SOURCE)
+        report = lint_paths([mod], baseline_path=baseline)
+        assert report.clean
+
+    def test_new_violation_not_absorbed(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.SOURCE)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_paths([mod]).violations)
+
+        mod.write_text(self.SOURCE + "\ndef g(y):\n    return y != 2.5\n")
+        report = lint_paths([mod], baseline_path=baseline)
+        assert not report.clean
+        assert len(report.new_violations) == 1
+
+    def test_stale_entries_surface(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(self.SOURCE)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(baseline, lint_paths([mod]).violations)
+
+        mod.write_text("def f(x):\n    return x <= 0.5\n")  # fixed
+        report = lint_paths([mod], baseline_path=baseline)
+        assert report.clean
+        assert report.baseline is not None and report.baseline.stale
+
+
+class TestJsonReport:
+    def test_schema_and_fields(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("y = x == 0.5\nz = x == 0.25  # repro: noqa(RPR001)\n")
+        report = lint_paths([mod])
+        out = write_json_report(tmp_path / "lint.json", report)
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == LINT_SCHEMA
+        assert doc["files_checked"] == 1
+        assert doc["counts"] == {"RPR001": 1}
+        (v,) = doc["violations"]
+        assert {"path", "line", "col", "code", "message", "snippet"} <= set(v)
+        assert [s["code"] for s in doc["suppressed"]] == ["RPR001"]
+
+
+class TestModuleOf:
+    def test_strips_to_package_relative(self):
+        assert module_of(Path("src/repro/comm/pattern.py")) == "comm/pattern.py"
+        assert module_of(
+            Path("/abs/repo/src/repro/kernels/band.py")
+        ) == "kernels/band.py"
+
+    def test_foreign_path_falls_back_to_name(self):
+        assert module_of(Path("/tmp/elsewhere/mod.py")) == "mod.py"
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        report = lint_paths([bad])
+        assert report.parse_errors and not report.violations
+
+
+class TestTreeIsClean:
+    """The PR gate: src/repro lints clean modulo the committed baseline."""
+
+    def test_src_clean_modulo_baseline(self):
+        report = lint_paths([SRC], baseline_path=BASELINE)
+        assert isinstance(report, LintReport)
+        assert not report.parse_errors
+        offenders = "\n".join(v.format() for v in report.new_violations)
+        assert report.clean, f"new lint violations:\n{offenders}"
+
+    def test_baseline_has_no_stale_entries(self):
+        report = lint_paths([SRC], baseline_path=BASELINE)
+        assert report.baseline is not None
+        assert not report.baseline.stale, (
+            "baseline entries no longer match any violation — shrink "
+            f"lint-baseline.json: {report.baseline.stale}"
+        )
+
+    def test_baseline_stays_small(self):
+        # the baseline is a burn-down list, not a dumping ground
+        assert len(load_baseline(BASELINE)) <= 5

@@ -1,0 +1,121 @@
+"""FP sanitizer: errstate traps speak the typed fault taxonomy."""
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.analysis import sanitize
+from repro.analysis.sanitize import fp
+from repro.cases import CASE_BUILDERS
+from repro.core.driver import solve_case
+from repro.resilience import ResilientSolver
+from repro.resilience.errors import NumericalFault, SolverFault
+
+
+@pytest.fixture(autouse=True)
+def _disarm():
+    yield
+    sanitize.disable("fp")
+
+
+class TestFpGuard:
+    def test_invalid_operation_raises_typed_fault(self):
+        with pytest.raises(NumericalFault) as exc_info:
+            with fp.fp_guard("test.region"):
+                np.zeros(3) / np.zeros(3)
+        exc = exc_info.value
+        assert isinstance(exc, SolverFault)
+        assert exc.context["where"] == "test.region"
+        assert exc.context["sanitizer"] == "fp"
+
+    def test_overflow_raises(self):
+        with pytest.raises(NumericalFault):
+            with fp.fp_guard("test.overflow"):
+                np.full(4, 1e308) * 10.0
+
+    def test_clean_arithmetic_passes_through(self):
+        with fp.fp_guard("test.clean"):
+            out = np.ones(4) / 2.0
+        assert np.all(out == 0.5)
+
+
+class TestKernelGuard:
+    def test_noop_when_unarmed(self):
+        assert not fp.fp_armed()
+        with np.errstate(invalid="ignore", divide="ignore"):
+            with fp.kernel_guard("test.unarmed"):
+                y = np.zeros(2) / np.zeros(2)
+        assert np.isnan(y).all()  # propagated silently, as before
+
+    def test_traps_when_armed(self):
+        sanitize.enable("fp")
+        with pytest.raises(NumericalFault):
+            with fp.kernel_guard("test.armed"):
+                np.zeros(2) / np.zeros(2)
+
+
+class TestCheckFinite:
+    def test_passthrough_unarmed(self):
+        x = np.array([np.nan, 1.0])
+        assert fp.check_finite(x, "test") is x
+
+    def test_armed_raises_with_count(self):
+        sanitize.enable("fp")
+        with pytest.raises(NumericalFault) as exc_info:
+            fp.check_finite(np.array([np.nan, np.inf, 1.0]), "test.vec")
+        assert exc_info.value.context["nonfinite"] == 2
+
+    def test_force_checks_even_unarmed(self):
+        with pytest.raises(NumericalFault):
+            fp.check_finite(np.array([np.inf]), "test.forced", force=True)
+
+    def test_finite_array_returned(self):
+        sanitize.enable("fp")
+        x = np.ones(3)
+        assert fp.check_finite(x, "test") is x
+
+
+class TestArming:
+    def test_sanitizing_context_restores(self):
+        assert sanitize.enabled_modes() == ()
+        with sanitize.sanitizing("fp"):
+            assert sanitize.enabled_modes() == ("fp",)
+        assert sanitize.enabled_modes() == ()
+
+    def test_env_refresh(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "fp")
+        assert sanitize.refresh_from_env() == ("fp",)
+        monkeypatch.setenv("REPRO_SANITIZE", "")
+        assert sanitize.refresh_from_env() == ()
+
+    def test_env_rejects_unknown_mode(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "fp,tsan")
+        with pytest.raises(ValueError, match="tsan"):
+            sanitize.refresh_from_env()
+        monkeypatch.setenv("REPRO_SANITIZE", "")
+        sanitize.refresh_from_env()
+
+
+class TestNanInjectionTrapPath:
+    """The fault-injection smoke contract: an injected NaN surfaces as the
+    typed NumericalFault, and the resilience chain recovers from it."""
+
+    def _plan(self):
+        return faults.FaultPlan(
+            faults.FaultSpec(kind="nan-kernel", count=1), seed=0
+        )
+
+    def test_injected_nan_raises_numerical_fault(self):
+        case = CASE_BUILDERS["tc1"](n=9)
+        with sanitize.sanitizing("fp"), faults.inject(self._plan()):
+            with pytest.raises(NumericalFault) as exc_info:
+                solve_case(case, precond="schur1", nparts=2, maxiter=50)
+        assert exc_info.value.status == "diverged"
+
+    def test_resilient_chain_recovers_under_sanitizer(self):
+        case = CASE_BUILDERS["tc1"](n=9)
+        with sanitize.sanitizing("fp"), faults.inject(self._plan()):
+            res = ResilientSolver().solve(
+                case, precond="schur1", nparts=2, maxiter=50
+            )
+        assert res.converged and res.recovered

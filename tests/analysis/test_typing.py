@@ -1,0 +1,45 @@
+"""Static typing gate: py.typed shipping and the mypy islands.
+
+mypy is a CI-only dependency (the runtime image stays numpy+scipy);
+the checker test skips cleanly where it is not installed.
+"""
+
+import importlib.util
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+HAVE_MYPY = importlib.util.find_spec("mypy") is not None
+
+
+class TestPyTyped:
+    def test_marker_exists(self):
+        assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+
+    def test_marker_packaged(self):
+        pyproject = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+        data = pyproject["tool"]["setuptools"]["package-data"]
+        assert "py.typed" in data["repro"]
+
+
+class TestMypyConfig:
+    def test_islands_cover_analysis_kernels_factor(self):
+        pyproject = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+        files = pyproject["tool"]["mypy"]["files"]
+        assert {"src/repro/analysis", "src/repro/kernels",
+                "src/repro/factor"} <= set(files)
+
+    @pytest.mark.skipif(not HAVE_MYPY,
+                        reason="mypy not installed in this environment")
+    def test_mypy_islands_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "--config-file",
+             str(REPO_ROOT / "pyproject.toml")],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=600,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
