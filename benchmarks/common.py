@@ -63,6 +63,30 @@ def emit_trace(table_id: str, tracer, meta: dict | None = None):
     return path
 
 
+def merge_results_json(filename: str, updates: dict) -> Path:
+    """Merge top-level sections into a JSON results file, atomically.
+
+    Several benches contribute sections to one schema-versioned document
+    (``BENCH_kernels.json``: setup sections from ``bench_kernels_micro``,
+    ``apply``/``whole_solve`` from ``bench_apply_micro``).  Each bench calls
+    this with only the keys it owns, so the benches can run in any order —
+    or individually — without clobbering each other's sections.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / filename
+    doc: dict = {}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            doc = {}
+    doc.update(updates)
+    atomic_write_text(path, json.dumps(doc, indent=2) + "\n")
+    return path
+
+
 def outcome_cell(outcome, machine, include_setup: bool = True):
     """(iterations | None, seconds) cell for a table; None = not converged."""
     itr = outcome.iterations if outcome.converged else None

@@ -13,9 +13,11 @@ contract is at risk and this module checks both, bitwise:
 
 ``python -m repro check-determinism`` runs each case twice per tier plus a
 serial/parallel setup sweep, compares SHA-256 digests of the solution
-iterate, the residual history and the per-subdomain factors, and writes a
-``repro.determinism.v1`` report.  The factor cache is disabled for the
-duration — a cache hit returns the same object and would vacuously pass.
+iterate, the residual history, the per-subdomain factors and the apply
+kernels (triangular sweeps + matvec, including both numpy-tier backends of
+:mod:`repro.kernels.apply`), and writes a ``repro.determinism.v1`` report.
+The factor cache is disabled for the duration — a cache hit returns the
+same object and would vacuously pass.
 """
 
 from __future__ import annotations
@@ -40,6 +42,7 @@ from repro.factor.ilut import ilut
 DETERMINISM_SCHEMA = "repro.determinism.v1"
 
 _WORKERS_ENV = "REPRO_SETUP_WORKERS"
+_BACKEND_ENV = "REPRO_APPLY_BACKEND"
 
 
 def _digest(*arrays: np.ndarray) -> str:
@@ -174,6 +177,45 @@ def _subdomain_blocks(case: TestCase, nparts: int, seed: int) -> list[sp.csr_mat
     ]
 
 
+@contextmanager
+def _apply_backend(name: str | None) -> Iterator[None]:
+    prev = os.environ.get(_BACKEND_ENV)
+    try:
+        if name is None:
+            os.environ.pop(_BACKEND_ENV, None)
+        else:
+            os.environ[_BACKEND_ENV] = name
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop(_BACKEND_ENV, None)
+        else:
+            os.environ[_BACKEND_ENV] = prev
+
+
+def _apply_digest(
+    blocks: Sequence[sp.csr_matrix], tier: str, backend: str | None = None
+) -> str:
+    """One digest over the apply kernels: both sweeps, the fused ILU solve
+    and the CSR matvec of every subdomain block, under one tier (and, on
+    the numpy tier, one :mod:`repro.kernels.apply` backend)."""
+    from repro.kernels import apply as apply_kernels
+
+    h = hashlib.sha256()
+    with kernels.forced_tier(tier), _apply_backend(backend):
+        for a in blocks:
+            n = a.shape[0]
+            rhs = np.cos(np.arange(n, dtype=np.float64))
+            fac = ilut(a, drop_tol=1e-3, fill=10)
+            h.update(_digest(
+                fac.solve(rhs),
+                fac.L.solve(rhs),
+                fac.U.solve(rhs),
+                apply_kernels.csr_matvec(a, rhs),
+            ).encode())
+    return h.hexdigest()
+
+
 def _factor_digest(blocks: Sequence[sp.csr_matrix], tier: str) -> str:
     """One digest over every subdomain's ILU(0) and ILUT factors."""
     h = hashlib.sha256()
@@ -204,7 +246,9 @@ def check_determinism(
 
     Per case: (1) solve twice per tier and compare bitwise; (2) compare
     across tiers; (3) solve under serial vs. parallel setup and compare;
-    (4) factor every subdomain block twice per tier and across tiers.
+    (4) factor every subdomain block twice per tier and across tiers;
+    (5) run the apply kernels (triangular sweeps, fused ILU solve, matvec)
+    twice per tier, across tiers, and across the numpy-tier backends.
     """
     tiers = tuple(tiers) if tiers is not None else available_tiers()
     workers = tuple(workers)
@@ -259,5 +303,27 @@ def check_determinism(
                         {t: d[0] for t, d in fdig.items()},
                         "repeat_identical": repeat_ok,
                         "cross_tier_identical": cross_ok},
+            ))
+
+            from repro.kernels import apply as apply_kernels
+
+            adig = {
+                tier: [_apply_digest(blocks, tier) for _ in range(2)]
+                for tier in tiers
+            }
+            backends = ["levels"] + (
+                ["superlu"] if apply_kernels.superlu_available() else []
+            )
+            bdig = {bk: _apply_digest(blocks, "numpy", backend=bk) for bk in backends}
+            a_repeat_ok = all(d[0] == d[1] for d in adig.values())
+            a_cross_ok = len({d[0] for d in adig.values()} | set(bdig.values())) == 1
+            report.checks.append(Check(
+                kind="apply", case=case.key,
+                identical=a_repeat_ok and a_cross_ok,
+                detail={"tiers": list(tiers), "backends": backends,
+                        "digests": {t: d[0] for t, d in adig.items()},
+                        "backend_digests": bdig,
+                        "repeat_identical": a_repeat_ok,
+                        "cross_tier_identical": a_cross_ok},
             ))
     return report

@@ -285,10 +285,10 @@ def solve_case(
                     maxiter=maxiter,
                     ops=ops,
                     on_restart=on_restart,
+                    apply_ma=preconditioner.apply_matvec,
                 )
-            else:
-                short = cg if solver == "cg" else bicgstab
-                result = short(
+            elif solver == "cg":
+                result = cg(
                     lambda v: dmat.matvec(comm, v),
                     b_dist,
                     apply_m=preconditioner,
@@ -297,6 +297,18 @@ def solve_case(
                     atol=atol,
                     maxiter=maxiter,
                     ops=ops,
+                )
+            else:
+                result = bicgstab(
+                    lambda v: dmat.matvec(comm, v),
+                    b_dist,
+                    apply_m=preconditioner,
+                    x0=x0_dist,
+                    rtol=rtol,
+                    atol=atol,
+                    maxiter=maxiter,
+                    ops=ops,
+                    apply_ma=preconditioner.apply_matvec,
                 )
         wall = time.perf_counter() - t0
 

@@ -16,6 +16,7 @@ import scipy.sparse as sp
 
 from repro import faults, obs
 from repro.comm.communicator import Communicator
+from repro.kernels import apply as apply_kernels
 from repro.distributed.partition_map import PartitionMap
 from repro.resilience.errors import NumericalFault
 from repro.sparse.blocksplit import BlockSplit, split_2x2
@@ -108,7 +109,10 @@ class DistributedMatrix:
             msgs_per_rank=pat.msgs_per_rank,
             bytes_per_rank=pat.bytes_per_rank,
         )
-        y = self._fused @ x
+        # tier-dispatched product (repro.kernels.apply): scipy's compiled CSR
+        # matvec on the numpy tier, the scalar spec loop on reference/numba —
+        # all bit-compatible, so forcing a tier pins the whole solve
+        y = apply_kernels.csr_matvec(self._fused, x)
         plan = faults.active()
         if plan is not None:
             plan.kernel_output("dist.matvec", y)

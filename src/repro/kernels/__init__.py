@@ -1,4 +1,9 @@
-"""Kernel tier dispatch for the setup-phase factorization kernels.
+"""Kernel tier dispatch for the factorization and apply kernels.
+
+One tier policy covers both phases: the setup-phase elimination sweeps
+dispatched below and the apply-phase triangular sweeps/matvec dispatched
+by :mod:`repro.kernels.apply` (which consults the same forced/env state,
+so a single ``REPRO_KERNEL_TIER`` pins the whole solve).
 
 Three tiers compute the incomplete factorizations:
 
@@ -23,12 +28,14 @@ from __future__ import annotations
 import os
 from contextlib import contextmanager
 
-from . import band, numba_tier, rowspec
+from . import apply, applyspec, band, numba_tier, rowspec
 
 __all__ = [
     "band",
     "rowspec",
     "numba_tier",
+    "apply",
+    "applyspec",
     "available_tiers",
     "get_tier",
     "set_tier",

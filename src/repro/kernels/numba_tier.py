@@ -14,9 +14,10 @@ missing or fails to compile.
 
 from __future__ import annotations
 
-from . import rowspec
+from . import applyspec, rowspec
 
 _state = {"loaded": False, "sweeps": None}
+_apply_state = {"loaded": False, "kernels": None}
 
 
 def available() -> bool:
@@ -47,3 +48,30 @@ def load():
     except Exception:
         _state["sweeps"] = None
     return _state["sweeps"]
+
+
+def load_apply():
+    """Jitted apply kernels ``(forward_unit, backward_unit, csr_matvec)``.
+
+    Same contract as :func:`load`: the scalar spec loops from
+    :mod:`repro.kernels.applyspec` compiled without fastmath/FMA, hence
+    bit-compatible with the interpreted reference tier; ``None`` when
+    numba is missing or compilation fails.
+    """
+    if _apply_state["loaded"]:
+        return _apply_state["kernels"]
+    _apply_state["loaded"] = True
+    try:
+        import numba
+    except Exception:
+        return None
+    try:
+        jit = numba.njit(cache=True, fastmath=False)
+        _apply_state["kernels"] = (
+            jit(applyspec.forward_unit),
+            jit(applyspec.backward_unit),
+            jit(applyspec.csr_matvec),
+        )
+    except Exception:
+        _apply_state["kernels"] = None
+    return _apply_state["kernels"]

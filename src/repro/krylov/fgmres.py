@@ -48,6 +48,7 @@ def fgmres(
     ops: KernelOps | None = None,
     monitor: ConvergenceMonitor | None = None,
     on_restart: Callable[[int, np.ndarray], None] | None = None,
+    apply_ma: Callable[[np.ndarray], tuple[np.ndarray, np.ndarray]] | None = None,
 ) -> KrylovResult:
     """Solve ``A x = b`` with restarted flexible GMRES.
 
@@ -58,6 +59,11 @@ def fgmres(
     apply_m:
         The (possibly iteration-varying) right preconditioner r → M^{-1} r;
         identity when omitted.
+    apply_ma:
+        Optional fused step v → (M^{-1} v, A M^{-1} v) used for the inner
+        Arnoldi expansion (e.g. ``ParallelPreconditioner.apply_matvec``);
+        must agree with ``apply_m``/``apply_a`` composed.  ``apply_a`` is
+        still required for the initial and restart residuals.
     restart:
         Krylov cycle length m (paper default 20).
     rtol:
@@ -105,10 +111,14 @@ def fgmres(
         breakdown = False
 
         for j in range(m):
-            Z[j] = precond(V[j])
+            if apply_ma is not None:
+                Z[j], w = apply_ma(V[j])
+            else:
+                Z[j] = precond(V[j])
+                w = apply_a(Z[j])
             # copy: apply_a may return its argument (e.g. identity operators),
             # and the MGS updates below modify w in place
-            w = np.array(apply_a(Z[j]), dtype=np.float64, copy=True)
+            w = np.array(w, dtype=np.float64, copy=True)
             # modified Gram-Schmidt
             for i in range(j + 1):
                 H[i, j] = ops.dot(w, V[i])

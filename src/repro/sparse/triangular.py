@@ -1,16 +1,26 @@
-"""Level-scheduled sparse triangular solves.
+"""Sparse triangular solves behind the tiered apply kernels.
 
-Forward/backward substitution is the kernel executed on every preconditioner
-application (twice per subdomain per iteration), so it must not be a Python
-per-row loop.  We use *level scheduling* — the standard technique for
-parallelizing sparse triangular solves (Saad, "Iterative Methods for Sparse
-Linear Systems", Ch. 12): rows are grouped into levels such that all rows in a
-level depend only on rows of earlier levels.  Rows within a level are then
-solved simultaneously with vectorized gather + segmented-sum operations.
+Forward/backward substitution is the kernel executed on every
+preconditioner application (twice per subdomain per iteration), so it must
+not be a Python per-row loop.  :class:`TriangularFactor` prepares a
+strictly triangular factor once and dispatches each solve through the
+apply-kernel tiers of :mod:`repro.kernels.apply` — a compiled SuperLU
+column sweep or a level-scheduled slot sweep on the numpy tier, the jitted
+scalar loops on the numba tier, and the interpreted specification loops on
+the reference tier.  All tiers produce bitwise-identical solutions (the
+contract is documented in docs/performance.md, "Apply phase").
 
-The level structure also feeds the performance model: the number of levels is
-the critical-path length of the triangular solve, exactly the quantity a
-parallel ILU solve is limited by.
+Non-unit diagonals never enter the sweeps: the factor stores its strict
+triangle column-scaled by the inverse diagonal (``t̃_ij = t_ij / d_j``,
+algebraically ``T = (I + S D^{-1}) D``) and multiplies the unit-sweep
+output elementwise by ``1/d`` — one shared operation, identical in every
+tier.
+
+Level scheduling (Saad, "Iterative Methods for Sparse Linear Systems",
+Ch. 12) groups rows into dependency levels; it drives the pure-NumPy slot
+sweep and feeds the performance model: the number of levels is the
+critical-path length of the triangular solve, exactly the quantity a
+parallel ILU apply is limited by.
 """
 
 from __future__ import annotations
@@ -20,6 +30,9 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
+from repro.kernels import apply as apply_kernels
+from repro.kernels import applyspec, numba_tier
 from repro.utils.validation import ensure_csr
 
 
@@ -76,14 +89,8 @@ def build_levels(a: sp.csr_matrix, lower: bool = True) -> LevelSchedule:
     return LevelSchedule(order=order, level_ptr=level_ptr.astype(np.int64))
 
 
-def _segment_sums(values: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
-    """Sums of ``values[starts[k]:ends[k]]`` for each k, robust to empty segments."""
-    cs = np.concatenate(([0.0], np.cumsum(values)))
-    return cs[ends] - cs[starts]
-
-
 class TriangularFactor:
-    """A strictly triangular factor prepared for repeated vectorized solves.
+    """A strictly triangular factor prepared for repeated fast solves.
 
     Parameters
     ----------
@@ -93,6 +100,10 @@ class TriangularFactor:
         Diagonal entries; ``None`` means a unit diagonal (the L convention).
     lower:
         Orientation of the triangle.
+
+    The level schedule and the per-backend solve state are built lazily —
+    on first access / first solve — so constructing factors (e.g. inside
+    the parallel setup phase or the factor cache) stays cheap.
     """
 
     def __init__(
@@ -115,37 +126,31 @@ class TriangularFactor:
         self.lower = lower
         self.diag = diag
         self.strict = strict
-        self.schedule = build_levels(strict, lower=lower)
-        self._prepare()
-
-    def _prepare(self) -> None:
-        """Precompute flattened gather indices for each level."""
-        indptr = self.strict.indptr
-        order, level_ptr = self.schedule.order, self.schedule.level_ptr
-        # one global gather layout over the level-ordered rows; each level's
-        # (rows, flat, seg) tuples are plain slices of it
-        starts, ends = indptr[order], indptr[order + 1]
-        counts = ends - starts
-        cum = np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
-        flat_all = (
-            np.arange(int(cum[-1]), dtype=np.int64)
-            + np.repeat(starts - cum[:-1], counts)
-        )
-        # per-row segment bounds rebased to each level's start, so the loop
-        # below is pure slicing with plain-int bounds (levels can number in
-        # the thousands for banded factors)
-        base = np.repeat(cum[level_ptr[:-1]], np.diff(level_ptr))
-        seg_lo_all = cum[:-1] - base
-        seg_hi_all = cum[1:] - base
-        lp = level_ptr.tolist()
-        cl = cum[level_ptr].tolist()
-        self._levels: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
-        for k in range(self.schedule.num_levels):
-            lo, hi = lp[k], lp[k + 1]
-            self._levels.append(
-                (order[lo:hi], flat_all[cl[k] : cl[k + 1]],
-                 seg_lo_all[lo:hi], seg_hi_all[lo:hi])
+        strict.sort_indices()
+        if diag is None:
+            self.invd: np.ndarray | None = None
+            self.scaled: sp.csr_matrix = strict
+        else:
+            # T = (I + S D^{-1}) D: column-scale the strict triangle so the
+            # sweeps only ever solve unit triangles; the trailing x *= invd
+            # is the one shared elementwise op of the non-unit case
+            self.invd = 1.0 / diag
+            self.scaled = sp.csr_matrix(
+                (strict.data * self.invd[strict.indices], strict.indices, strict.indptr),
+                shape=strict.shape,
             )
+        self._schedule: LevelSchedule | None = None
+        self._level_slots = None
+        self._superlu_slots = None
+        self._superlu_ok: bool | None = None  # None = not yet probed
+
+    # -- lazy prepared state -------------------------------------------------
+
+    @property
+    def schedule(self) -> LevelSchedule:
+        if self._schedule is None:
+            self._schedule = build_levels(self.strict, lower=self.lower)
+        return self._schedule
 
     @property
     def num_levels(self) -> int:
@@ -155,17 +160,82 @@ class TriangularFactor:
     def nnz(self) -> int:
         return self.strict.nnz + (0 if self.diag is None else self.n)
 
+    def superlu_slots(self):
+        """Prepared gstrs ``(lslot, uslot)`` arrays, or ``None``.
+
+        Lower factors occupy the L slot (unit diagonal stored, paired with
+        an empty U slot); upper factors occupy the U slot (unit diagonal
+        implicit, paired with an identity L slot).  The fused ILU apply
+        combines the L slot of one factor with the U slot of another.
+        """
+        if self._superlu_slots is None:
+            if not apply_kernels.superlu_available():
+                return None
+            if self.lower:
+                slots = (
+                    apply_kernels.csc_unit_lower_slot(self.scaled),
+                    apply_kernels.csc_empty_slot(self.n),
+                )
+            else:
+                slots = (
+                    apply_kernels.csc_identity_slot(self.n),
+                    apply_kernels.csc_strict_upper_slot(self.scaled),
+                )
+            if slots[0] is None or slots[1] is None:
+                return None
+            self._superlu_slots = slots
+        return self._superlu_slots
+
+    def _slot_levels(self):
+        if self._level_slots is None:
+            self._level_slots = apply_kernels.prepare_level_slots(
+                self.scaled, self.schedule, self.lower
+            )
+        return self._level_slots
+
+    # -- solves ---------------------------------------------------------------
+
+    def _sweep_reference(self, x: np.ndarray) -> np.ndarray:
+        s = self.scaled
+        if self.lower:
+            return applyspec.forward_unit(s.indptr, s.indices, s.data, x)
+        return applyspec.backward_unit(s.indptr, s.indices, s.data, x)
+
+    def _sweep_numpy(self, x: np.ndarray) -> np.ndarray:
+        if apply_kernels.backend() == "superlu" and self._superlu_ok is not False:
+            slots = self.superlu_slots()
+            if slots is not None:
+                y = apply_kernels.gstrs_sweeps(self.n, slots[0], slots[1], x)
+                if self._superlu_ok is None:
+                    self._superlu_ok = not apply_kernels.verify_enabled() or bool(
+                        np.array_equal(y, self._sweep_reference(x.copy()))
+                    )
+                    if not self._superlu_ok:
+                        obs.event(
+                            "apply.probe_mismatch", kernel="triangular",
+                            n=self.n, lower=bool(self.lower),
+                        )
+                        return apply_kernels.level_slot_solve(self._slot_levels(), x)
+                return y
+        return apply_kernels.level_slot_solve(self._slot_levels(), x)
+
     def solve(self, b: np.ndarray) -> np.ndarray:
         """Solve ``T x = b`` where ``T = strict + diag(diag or 1)``."""
         x = np.array(b, dtype=np.float64, copy=True)
-        data, indices = self.strict.data, self.strict.indices
-        diag = self.diag
-        for rows, flat, seg_lo, seg_hi in self._levels:
-            if flat.size:
-                prods = data[flat] * x[indices[flat]]
-                x[rows] -= _segment_sums(prods, seg_lo, seg_hi)
-            if diag is not None:
-                x[rows] /= diag[rows]
+        tier = apply_kernels.resolve_tier()
+        if tier == "numba":
+            kernels = numba_tier.load_apply()
+            s = self.scaled
+            if self.lower:
+                kernels[0](s.indptr, s.indices, s.data, x)
+            else:
+                kernels[1](s.indptr, s.indices, s.data, x)
+        elif tier == "reference":
+            x = self._sweep_reference(x)
+        else:
+            x = self._sweep_numpy(x)
+        if self.invd is not None:
+            x = x * self.invd
         return x
 
     def flops(self) -> int:
