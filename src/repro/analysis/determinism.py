@@ -41,6 +41,10 @@ from repro.factor.ilut import ilut
 
 DETERMINISM_SCHEMA = "repro.determinism.v1"
 
+#: selectable check kinds (``--check``); "backend" compares inprocess vs
+#: multiprocess execution of the same solve, bitwise
+CHECK_KINDS = ("repeat", "cross-tier", "workers", "factors", "apply", "backend")
+
 _WORKERS_ENV = "REPRO_SETUP_WORKERS"
 _BACKEND_ENV = "REPRO_APPLY_BACKEND"
 
@@ -147,14 +151,17 @@ def _solve_digests(
     nparts: int,
     workers: int | None,
     precond: str,
+    backend: str | None = None,
     **solve_kw: object,
 ) -> dict[str, object]:
-    """Solve once under forced tier/workers; digest everything that must
-    reproduce bitwise."""
+    """Solve once under forced tier/workers/backend; digest everything that
+    must reproduce bitwise."""
     from repro.core.driver import solve_case  # deferred: heavy import
 
     with _setup_workers(workers), kernels.forced_tier(tier):
-        out = solve_case(case, precond=precond, nparts=nparts, **solve_kw)
+        out = solve_case(
+            case, precond=precond, nparts=nparts, backend=backend, **solve_kw
+        )
     return {
         "x": _digest(out.x_global),
         "residuals": _digest(np.asarray(out.residuals, dtype=np.float64)),
@@ -241,89 +248,145 @@ def check_determinism(
     seed: int = 0,
     rtol: float = 1e-6,
     maxiter: int = 200,
+    checks: Sequence[str] | None = None,
 ) -> DeterminismReport:
-    """Run the full determinism matrix over ``cases``.
+    """Run the determinism matrix over ``cases``.
 
     Per case: (1) solve twice per tier and compare bitwise; (2) compare
     across tiers; (3) solve under serial vs. parallel setup and compare;
     (4) factor every subdomain block twice per tier and across tiers;
     (5) run the apply kernels (triangular sweeps, fused ILU solve, matvec)
-    twice per tier, across tiers, and across the numpy-tier backends.
+    twice per tier, across tiers, and across the numpy-tier backends;
+    (6) solve under every execution backend (inprocess vs multiprocess)
+    and compare — real pipe transport must not change a bit.
+
+    ``checks`` selects a subset of :data:`CHECK_KINDS` (default: all).
     """
     tiers = tuple(tiers) if tiers is not None else available_tiers()
     workers = tuple(workers)
+    selected = tuple(checks) if checks is not None else CHECK_KINDS
+    for kind in selected:
+        if kind not in CHECK_KINDS:
+            raise ValueError(
+                f"unknown determinism check {kind!r}; pick from {CHECK_KINDS}"
+            )
     solve_kw = dict(seed=seed, rtol=rtol, maxiter=maxiter)
     report = DeterminismReport(nparts=nparts, tiers=tiers, workers=workers)
 
     with _cache_disabled():
         for case in cases:
-            per_tier: dict[str, dict[str, object]] = {}
-            for tier in tiers:
-                runs = [
-                    _solve_digests(case, tier, nparts, None, precond, **solve_kw)
-                    for _ in range(2)
-                ]
-                per_tier[tier] = runs[0]
+            if "repeat" in selected or "cross-tier" in selected:
+                per_tier: dict[str, dict[str, object]] = {}
+                for tier in tiers:
+                    runs = [
+                        _solve_digests(case, tier, nparts, None, precond,
+                                       **solve_kw)
+                        for _ in range(2)
+                    ]
+                    per_tier[tier] = runs[0]
+                    if "repeat" in selected:
+                        report.checks.append(Check(
+                            kind="repeat", case=case.key,
+                            identical=runs[0] == runs[1],
+                            detail={"tier": tier, "runs": runs},
+                        ))
+
+                if "cross-tier" in selected:
+                    first = per_tier[tiers[0]]
+                    report.checks.append(Check(
+                        kind="cross-tier", case=case.key,
+                        identical=all(per_tier[t] == first for t in tiers),
+                        detail={"tiers": list(tiers), "digests": per_tier},
+                    ))
+
+            if "workers" in selected:
+                worker_runs = {
+                    w: _solve_digests(case, None, nparts, w, precond, **solve_kw)
+                    for w in workers
+                }
+                w0 = worker_runs[workers[0]]
                 report.checks.append(Check(
-                    kind="repeat", case=case.key,
-                    identical=runs[0] == runs[1],
-                    detail={"tier": tier, "runs": runs},
+                    kind="workers", case=case.key,
+                    identical=all(worker_runs[w] == w0 for w in workers),
+                    detail={"workers": list(workers), "digests":
+                            {str(w): d for w, d in worker_runs.items()}},
                 ))
 
-            first = per_tier[tiers[0]]
-            report.checks.append(Check(
-                kind="cross-tier", case=case.key,
-                identical=all(per_tier[t] == first for t in tiers),
-                detail={"tiers": list(tiers), "digests": per_tier},
-            ))
+            if "backend" in selected:
+                from repro.comm.backends import BACKEND_ENV, BACKEND_NAMES
 
-            worker_runs = {
-                w: _solve_digests(case, None, nparts, w, precond, **solve_kw)
-                for w in workers
-            }
-            w0 = worker_runs[workers[0]]
-            report.checks.append(Check(
-                kind="workers", case=case.key,
-                identical=all(worker_runs[w] == w0 for w in workers),
-                detail={"workers": list(workers), "digests":
-                        {str(w): d for w, d in worker_runs.items()}},
-            ))
+                blocks = _subdomain_blocks(case, nparts, seed)
+                backend_runs: dict[str, dict[str, object]] = {}
+                for bk in BACKEND_NAMES:
+                    run = _solve_digests(
+                        case, None, nparts, None, precond, backend=bk,
+                        **solve_kw,
+                    )
+                    # factor every subdomain with the backend globally
+                    # selected: the ILU factors must not depend on how
+                    # bytes move between ranks
+                    prev_bk = os.environ.get(BACKEND_ENV)
+                    os.environ[BACKEND_ENV] = bk
+                    try:
+                        run["factors"] = _factor_digest(blocks, tiers[0])
+                    finally:
+                        if prev_bk is None:
+                            os.environ.pop(BACKEND_ENV, None)
+                        else:
+                            os.environ[BACKEND_ENV] = prev_bk
+                    backend_runs[bk] = run
+                b0 = backend_runs[BACKEND_NAMES[0]]
+                report.checks.append(Check(
+                    kind="backend", case=case.key,
+                    identical=all(
+                        backend_runs[bk] == b0 for bk in BACKEND_NAMES
+                    ),
+                    detail={"backends": list(BACKEND_NAMES),
+                            "digests": backend_runs},
+                ))
 
+            if "factors" not in selected and "apply" not in selected:
+                continue
             blocks = _subdomain_blocks(case, nparts, seed)
-            fdig = {
-                tier: [_factor_digest(blocks, tier) for _ in range(2)]
-                for tier in tiers
-            }
-            repeat_ok = all(d[0] == d[1] for d in fdig.values())
-            cross_ok = len({d[0] for d in fdig.values()}) == 1
-            report.checks.append(Check(
-                kind="factors", case=case.key,
-                identical=repeat_ok and cross_ok,
-                detail={"tiers": list(tiers), "digests":
-                        {t: d[0] for t, d in fdig.items()},
-                        "repeat_identical": repeat_ok,
-                        "cross_tier_identical": cross_ok},
-            ))
+            if "factors" in selected:
+                fdig = {
+                    tier: [_factor_digest(blocks, tier) for _ in range(2)]
+                    for tier in tiers
+                }
+                repeat_ok = all(d[0] == d[1] for d in fdig.values())
+                cross_ok = len({d[0] for d in fdig.values()}) == 1
+                report.checks.append(Check(
+                    kind="factors", case=case.key,
+                    identical=repeat_ok and cross_ok,
+                    detail={"tiers": list(tiers), "digests":
+                            {t: d[0] for t, d in fdig.items()},
+                            "repeat_identical": repeat_ok,
+                            "cross_tier_identical": cross_ok},
+                ))
 
-            from repro.kernels import apply as apply_kernels
+            if "apply" in selected:
+                from repro.kernels import apply as apply_kernels
 
-            adig = {
-                tier: [_apply_digest(blocks, tier) for _ in range(2)]
-                for tier in tiers
-            }
-            backends = ["levels"] + (
-                ["superlu"] if apply_kernels.superlu_available() else []
-            )
-            bdig = {bk: _apply_digest(blocks, "numpy", backend=bk) for bk in backends}
-            a_repeat_ok = all(d[0] == d[1] for d in adig.values())
-            a_cross_ok = len({d[0] for d in adig.values()} | set(bdig.values())) == 1
-            report.checks.append(Check(
-                kind="apply", case=case.key,
-                identical=a_repeat_ok and a_cross_ok,
-                detail={"tiers": list(tiers), "backends": backends,
-                        "digests": {t: d[0] for t, d in adig.items()},
-                        "backend_digests": bdig,
-                        "repeat_identical": a_repeat_ok,
-                        "cross_tier_identical": a_cross_ok},
-            ))
+                adig = {
+                    tier: [_apply_digest(blocks, tier) for _ in range(2)]
+                    for tier in tiers
+                }
+                backends = ["levels"] + (
+                    ["superlu"] if apply_kernels.superlu_available() else []
+                )
+                bdig = {bk: _apply_digest(blocks, "numpy", backend=bk)
+                        for bk in backends}
+                a_repeat_ok = all(d[0] == d[1] for d in adig.values())
+                a_cross_ok = len(
+                    {d[0] for d in adig.values()} | set(bdig.values())
+                ) == 1
+                report.checks.append(Check(
+                    kind="apply", case=case.key,
+                    identical=a_repeat_ok and a_cross_ok,
+                    detail={"tiers": list(tiers), "backends": backends,
+                            "digests": {t: d[0] for t, d in adig.items()},
+                            "backend_digests": bdig,
+                            "repeat_identical": a_repeat_ok,
+                            "cross_tier_identical": a_cross_ok},
+                ))
     return report

@@ -16,6 +16,7 @@ on the offending line).  The full rationale per rule lives in
 | RPR005 | NumPy reduction in kernel/factor code outside an errstate/fp guard |
 | RPR006 | documented solver entry point without span instrumentation |
 | RPR007 | in-place CSR ``data``/``indices``/``indptr`` mutation without invariant re-check |
+| RPR008 | bare ``time.sleep`` / raw ``multiprocessing`` primitives outside ``repro.comm.backends`` |
 """
 
 from __future__ import annotations
@@ -557,6 +558,65 @@ def check_rpr007(ctx: FileContext) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# RPR008 — real sleeps / raw process primitives outside the backend layer
+# ---------------------------------------------------------------------------
+
+#: the only layer allowed to block on wall-clock or spawn OS processes:
+#: everywhere else, waits must be *simulated* (charged to the CostLedger)
+#: and rank lifecycle must go through an ExecutionBackend, or determinism
+#: and the cost model silently drift from reality
+_RPR008_EXEMPT_PREFIX = "comm/backends/"
+
+
+def check_rpr008(ctx: FileContext) -> list[Violation]:
+    if ctx.module.startswith(_RPR008_EXEMPT_PREFIX):
+        return []
+    out = []
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                if root == "multiprocessing":
+                    out.append(ctx.violation(
+                        node, "RPR008",
+                        "raw multiprocessing import outside "
+                        "repro.comm.backends — rank processes must be "
+                        "managed through an ExecutionBackend so the "
+                        "supervisor sees every lifecycle event",
+                    ))
+                    break
+            continue
+        if isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            if root == "multiprocessing":
+                out.append(ctx.violation(
+                    node, "RPR008",
+                    "raw multiprocessing import outside repro.comm.backends "
+                    "— rank processes must be managed through an "
+                    "ExecutionBackend so the supervisor sees every "
+                    "lifecycle event",
+                ))
+            continue
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _call_name_chain(node.func)
+        if chain[:2] == ["time", "sleep"]:
+            out.append(ctx.violation(
+                node, "RPR008",
+                "bare time.sleep outside repro.comm.backends — simulated "
+                "waits belong on the CostLedger (add_delay), real waits "
+                "belong in the transport layer",
+            ))
+        elif chain and chain[0] == "multiprocessing":
+            out.append(ctx.violation(
+                node, "RPR008",
+                f"raw {'.'.join(chain)} outside repro.comm.backends — use "
+                "an ExecutionBackend for real rank processes",
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -598,6 +658,11 @@ RULES: tuple[Rule, ...] = (
         "RPR007", "csr-mutation",
         "in-place CSR array mutation without invariant re-check",
         scope=None, check=check_rpr007,
+    ),
+    Rule(
+        "RPR008", "real-wait-primitive",
+        "bare time.sleep / raw multiprocessing outside repro.comm.backends",
+        scope=None, check=check_rpr008,
     ),
 )
 

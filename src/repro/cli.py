@@ -30,6 +30,7 @@ import sys
 from repro import faults, obs
 from repro.analysis import sanitize
 from repro.cases import CASE_BUILDERS
+from repro.comm.backends import BACKEND_NAMES
 from repro.resilience.errors import SolverFault
 from repro.factor import cache as factor_cache
 from repro.core.driver import PRECONDITIONER_NAMES, SOLVER_NAMES, solve_case
@@ -87,7 +88,15 @@ def make_parser() -> argparse.ArgumentParser:
         "(docs/performance.md); every ILU setup recomputes from scratch",
     )
 
-    solve = sub.add_parser("solve", parents=[cache_opts],
+    backend_opts = argparse.ArgumentParser(add_help=False)
+    backend_opts.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend: inprocess (simulated ranks, default) or "
+        "multiprocess (ranks as supervised OS processes — "
+        "docs/robustness.md); default consults REPRO_COMM_BACKEND",
+    )
+
+    solve = sub.add_parser("solve", parents=[cache_opts, backend_opts],
                            help="run one case under one preconditioner")
     solve.add_argument("--case", default="tc1", help=f"one of {sorted(CASE_BUILDERS)}")
     solve.add_argument("--precond", default="schur1",
@@ -133,7 +142,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     trace = sub.add_parser(
         "trace",
-        parents=[cache_opts],
+        parents=[cache_opts, backend_opts],
         help="run one case under tracing; print the per-phase breakdown "
         "and write a machine-readable trace file",
     )
@@ -156,7 +165,7 @@ def make_parser() -> argparse.ArgumentParser:
 
     fault = sub.add_parser(
         "faults",
-        parents=[cache_opts],
+        parents=[cache_opts, backend_opts],
         help="run one case under deterministic fault injection through the "
         "resilient retry/fallback chain",
     )
@@ -174,8 +183,9 @@ def make_parser() -> argparse.ArgumentParser:
     fault.add_argument("--value", type=float, default=1e-300,
                        help="payload for tiny-pivot / ghost-scale")
     fault.add_argument("--rank", type=int, default=None,
-                       help="target rank for rank-dead / message faults "
-                       "(rank-dead default: nparts - 1)")
+                       help="target rank for rank-dead / proc-kill / "
+                       "proc-hang / message faults (rank-targeting kinds "
+                       "default to nparts - 1)")
     fault.add_argument("--delay", type=float, default=5e-3,
                        help="per-exchange straggler delay in seconds")
     fault.add_argument("--checkpoint-dir", default=None,
@@ -226,6 +236,10 @@ def make_parser() -> argparse.ArgumentParser:
                      "available in this process)")
     det.add_argument("--workers", default="1,4",
                      help="comma-separated REPRO_SETUP_WORKERS values to sweep")
+    det.add_argument("--check", default=None,
+                     help="comma-separated check kinds to run (default: all); "
+                     "e.g. --check backend compares inprocess vs "
+                     "multiprocess execution bitwise")
     det.add_argument("--precond", default="schur1",
                      help=f"one of {PRECONDITIONER_NAMES}")
     det.add_argument("--seed", type=int, default=0)
@@ -256,6 +270,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         restore=args.restore,
+        backend=args.backend,
     )
     if args.restore and args.checkpoint_dir is None:
         raise SystemExit("--restore requires --checkpoint-dir")
@@ -324,12 +339,19 @@ def cmd_trace(args: argparse.Namespace) -> int:
             scheme=args.scheme,
             rtol=args.rtol,
             maxiter=args.maxiter,
+            backend=args.backend,
         )
 
     print(f"{case.title}: {case.num_dofs} unknowns, P={args.nparts}, "
           f"{out.precond} — {_status_text(out.status)} in {out.iterations} "
           f"iterations")
     print(obs.format_phase_table(tracer.spans, machine, args.nparts))
+
+    cs = out.comm_stats
+    print(f"comm [{out.backend}]: {cs['messages']} messages, "
+          f"{cs['retries']} retries, {cs['straggler_waits']} straggler "
+          f"waits, {cs['timeouts']} timeouts, "
+          f"{cs['checksum_failures']} checksum failures")
 
     # the contract's invariant: span-attributed ledger deltas reproduce the
     # run's total (setup + solve) cost exactly
@@ -373,7 +395,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
 def cmd_faults(args: argparse.Namespace) -> int:
     case = _build_case(args.case, args.size)
     rank = args.rank
-    if rank is None and args.kind == "rank-dead":
+    if rank is None and args.kind in ("rank-dead", "proc-kill", "proc-hang"):
         rank = args.nparts - 1
     spec = faults.FaultSpec(
         kind=args.kind, count=args.count, start=args.start,
@@ -384,6 +406,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
     kwargs = dict(
         precond=args.precond, nparts=args.nparts, seed=args.seed,
         scheme=args.scheme, rtol=args.rtol, maxiter=args.maxiter,
+        backend=args.backend,
     )
     if args.checkpoint_dir is not None:
         kwargs["checkpoint_dir"] = args.checkpoint_dir
@@ -464,7 +487,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_check_determinism(args: argparse.Namespace) -> int:
-    from repro.analysis.determinism import available_tiers, check_determinism
+    from repro.analysis.determinism import (
+        CHECK_KINDS,
+        available_tiers,
+        check_determinism,
+    )
 
     cases = [
         _build_case(key.strip(), args.size)
@@ -480,6 +507,14 @@ def cmd_check_determinism(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"tier {t!r} not available in this process; pick from {known}"
             )
+    checks = None
+    if args.check is not None:
+        checks = [c.strip() for c in args.check.split(",") if c.strip()]
+        for c in checks:
+            if c not in CHECK_KINDS:
+                raise SystemExit(
+                    f"unknown check {c!r}; pick from {CHECK_KINDS}"
+                )
     report = check_determinism(
         cases,
         nparts=args.nparts,
@@ -489,6 +524,7 @@ def cmd_check_determinism(args: argparse.Namespace) -> int:
         seed=args.seed,
         rtol=args.rtol,
         maxiter=args.maxiter,
+        checks=checks,
     )
     print(f"determinism matrix: {len(cases)} case(s), tiers "
           f"{','.join(report.tiers)}, setup workers "

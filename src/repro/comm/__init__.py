@@ -12,13 +12,27 @@ allreduce/allgather collectives).
 from repro.comm.communicator import Communicator, CommStats, RetryPolicy
 from repro.comm.pattern import CommunicationPattern, ExchangeSpec
 from repro.comm.collectives import allgather_concat, allreduce_sum
+from repro.comm.backends import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    ExecutionBackend,
+    InProcessBackend,
+    MultiprocessBackend,
+    resolve_backend,
+)
 
 __all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
     "Communicator",
     "CommStats",
+    "ExecutionBackend",
+    "InProcessBackend",
+    "MultiprocessBackend",
     "RetryPolicy",
     "CommunicationPattern",
     "ExchangeSpec",
     "allreduce_sum",
     "allgather_concat",
+    "resolve_backend",
 ]

@@ -1,0 +1,86 @@
+"""Execution backends: how ranks run and how envelope bytes move.
+
+``resolve_backend`` is the single construction point: explicit request
+beats the ``REPRO_COMM_BACKEND`` environment override beats the
+``inprocess`` default.  See ``docs/robustness.md`` ("Execution backends
+and the rank lifecycle") for the full story.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.comm.backends.base import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    ExecutionBackend,
+    TransportBroken,
+    TransportTimeout,
+)
+from repro.comm.backends.framing import Frame, decode_frame, encode_frame
+from repro.comm.backends.inprocess import InProcessBackend
+from repro.comm.backends.multiprocess import MultiprocessBackend
+from repro.comm.backends.supervisor import (
+    DEAD,
+    READY,
+    SPAWNED,
+    SUSPECT,
+    HeartbeatPolicy,
+    RankRecord,
+    RankSupervisor,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "DEAD",
+    "READY",
+    "SPAWNED",
+    "SUSPECT",
+    "ExecutionBackend",
+    "Frame",
+    "HeartbeatPolicy",
+    "InProcessBackend",
+    "MultiprocessBackend",
+    "RankRecord",
+    "RankSupervisor",
+    "TransportBroken",
+    "TransportTimeout",
+    "decode_frame",
+    "encode_frame",
+    "make_backend",
+    "resolve_backend",
+]
+
+
+def make_backend(name: str, size: int) -> ExecutionBackend:
+    """Construct a backend by selectable name."""
+    if name == "inprocess":
+        return InProcessBackend(size)
+    if name == "multiprocess":
+        return MultiprocessBackend(size)
+    raise ValueError(
+        f"unknown execution backend {name!r}; pick from {BACKEND_NAMES}"
+    )
+
+
+def resolve_backend(
+    spec: str | ExecutionBackend | None, size: int
+) -> tuple[ExecutionBackend, bool]:
+    """Resolve a backend request into ``(backend, owned)``.
+
+    ``spec`` may be a name, a ready-made instance (must match ``size``;
+    the caller keeps ownership, so ``owned`` is False and the communicator
+    will not shut it down), or None — in which case the
+    :data:`~repro.comm.backends.base.BACKEND_ENV` environment variable is
+    consulted before falling back to ``inprocess``.
+    """
+    if isinstance(spec, ExecutionBackend):
+        if spec.size != size:
+            raise ValueError(
+                f"backend sized for {spec.size} ranks cannot serve {size}"
+            )
+        return spec, False
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV) or "inprocess"
+    return make_backend(spec, size), True

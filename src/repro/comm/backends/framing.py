@@ -1,0 +1,144 @@
+"""Wire framing of the integrity envelope.
+
+Every byte string that crosses an execution-backend transport travels inside
+one **frame**: a fixed header (magic, frame kind, src/dst rank, per-edge
+sequence number, CRC-32, payload length) followed by the raw payload bytes.
+The header reuses the seq + CRC-32 integrity envelope that PR 3 introduced
+for the simulated ghost exchange — on the multiprocess backend the same
+envelope now frames *real* pipe traffic, and a failed validation maps onto
+the same typed taxonomy (:class:`~repro.resilience.errors.MessageCorruption`).
+
+The format is deliberately dumb: little-endian ``struct``, no varints, no
+compression.  ``decode_frame`` never raises anything but
+:class:`MessageCorruption` on malformed input (truncation, bad magic,
+unknown kind, length mismatch, checksum mismatch), which is what lets the
+receiver treat *every* wire-level failure as a retryable delivery fault.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+from repro.resilience.errors import MessageCorruption
+
+#: first four bytes of every frame
+MAGIC = b"RPRB"
+
+#: frame kinds (the ``kind`` header field)
+DATA = 1       #: a ghost-exchange payload, driver -> rank process
+ACK = 2        #: validated echo of a DATA payload, rank process -> driver
+NAK = 3        #: validation failure; payload is an ASCII reason
+PING = 4       #: liveness probe, driver -> rank process
+PONG = 5       #: liveness reply, rank process -> driver
+HELLO = 6      #: startup handshake, rank process -> driver
+SHUTDOWN = 7   #: graceful stop request, driver -> rank process
+
+FRAME_KINDS = (DATA, ACK, NAK, PING, PONG, HELLO, SHUTDOWN)
+
+KIND_NAMES = {
+    DATA: "data",
+    ACK: "ack",
+    NAK: "nak",
+    PING: "ping",
+    PONG: "pong",
+    HELLO: "hello",
+    SHUTDOWN: "shutdown",
+}
+
+#: header: magic, kind, src, dst, seq, crc32, payload length
+_HEADER = struct.Struct("<4sBiiQIQ")
+HEADER_SIZE = _HEADER.size
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded transport frame."""
+
+    kind: int
+    src: int
+    dst: int
+    seq: int
+    payload: bytes
+
+    @property
+    def kind_name(self) -> str:
+        return KIND_NAMES.get(self.kind, f"unknown({self.kind})")
+
+
+def encode_frame(
+    kind: int, src: int, dst: int, seq: int, payload: bytes = b""
+) -> bytes:
+    """Serialize one frame; the CRC-32 is computed over the payload."""
+    if kind not in FRAME_KINDS:
+        raise ValueError(f"unknown frame kind {kind!r}; pick from {FRAME_KINDS}")
+    if seq < 0:
+        raise ValueError("frame seq must be >= 0")
+    header = _HEADER.pack(
+        MAGIC, kind, src, dst, seq, zlib.crc32(payload), len(payload)
+    )
+    return header + payload
+
+
+def peek_header(raw: bytes) -> tuple[int, int, int, int]:
+    """Read ``(kind, src, dst, seq)`` from a frame header without validation.
+
+    The sender needs the addressing triple to match responses even when the
+    frame body is deliberately garbled (fault injection flips payload bits,
+    never header bytes), and the receiver needs it to address a NAK for a
+    frame whose checksum failed.  Only the header must be present and carry
+    the right magic; the payload is not inspected.
+    """
+    raw = bytes(raw)
+    if len(raw) < HEADER_SIZE:
+        raise MessageCorruption(
+            f"frame truncated: {len(raw)} bytes < {HEADER_SIZE}-byte header",
+            reason="truncated", nbytes=len(raw),
+        )
+    magic, kind, src, dst, seq, _crc, _length = _HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise MessageCorruption(
+            f"bad frame magic {magic!r}", reason="bad-magic",
+        )
+    return kind, src, dst, seq
+
+
+def decode_frame(raw: bytes) -> Frame:
+    """Parse and validate one frame.
+
+    Raises :class:`MessageCorruption` — and only that — on any malformed
+    input; the context names what failed (``reason``) so retry telemetry
+    can distinguish truncation from checksum mismatches.
+    """
+    raw = bytes(raw)
+    if len(raw) < HEADER_SIZE:
+        raise MessageCorruption(
+            f"frame truncated: {len(raw)} bytes < {HEADER_SIZE}-byte header",
+            reason="truncated", nbytes=len(raw),
+        )
+    magic, kind, src, dst, seq, crc, length = _HEADER.unpack_from(raw)
+    if magic != MAGIC:
+        raise MessageCorruption(
+            f"bad frame magic {magic!r}", reason="bad-magic",
+        )
+    if kind not in FRAME_KINDS:
+        raise MessageCorruption(
+            f"unknown frame kind {kind}", reason="bad-kind", kind=kind,
+        )
+    payload = raw[HEADER_SIZE:]
+    if len(payload) != length:
+        raise MessageCorruption(
+            f"frame length mismatch: header says {length} payload bytes, "
+            f"got {len(payload)}",
+            reason="length-mismatch", expected=length, got=len(payload),
+        )
+    actual = zlib.crc32(payload)
+    if actual != crc:
+        raise MessageCorruption(
+            f"frame checksum mismatch on {KIND_NAMES.get(kind, kind)} "
+            f"{src}->{dst} seq {seq}",
+            reason="checksum", expected=crc, got=actual,
+            src=src, dst=dst, seq=seq,
+        )
+    return Frame(kind=kind, src=src, dst=dst, seq=seq, payload=payload)

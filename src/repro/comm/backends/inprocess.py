@@ -1,0 +1,38 @@
+"""The in-process backend: the historical single-process simulation.
+
+Ranks are slices of the driver process, a transfer is an array copy, and the
+clean path never touches the wire — the ghost exchange keeps its direct-copy
+fast path, so this backend is bit-identical *and* cost-identical to the
+pre-backend behavior.  :meth:`InProcessBackend.request` still implements the
+frame protocol as a local loopback (validate, echo) so transport-level tests
+and tooling can exercise framing without spawning processes.
+"""
+
+from __future__ import annotations
+
+from repro.comm.backends import framing
+from repro.comm.backends.base import ExecutionBackend
+
+
+class InProcessBackend(ExecutionBackend):
+    """Simulated ranks inside the driver process (the default)."""
+
+    name = "inprocess"
+    is_real = False
+
+    def request(self, rank: int, raw: bytes, timeout: float) -> bytes:
+        """Local loopback: validate the frame and echo like a rank would."""
+        self._check_rank(rank)
+        frame = framing.decode_frame(raw)
+        if frame.kind == framing.PING:
+            return framing.encode_frame(
+                framing.PONG, frame.src, frame.dst, frame.seq
+            )
+        if frame.kind == framing.DATA:
+            return framing.encode_frame(
+                framing.ACK, frame.src, frame.dst, frame.seq, frame.payload
+            )
+        return framing.encode_frame(
+            framing.NAK, frame.src, frame.dst, frame.seq,
+            f"unexpected {frame.kind_name} frame".encode(),
+        )

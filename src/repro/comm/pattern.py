@@ -138,8 +138,9 @@ class CommunicationPattern:
         ghost: list[np.ndarray],
     ) -> None:
         plan = faults.active()
+        backend = comm.backend
         if plan is not None:
-            plan.exchange_begin()
+            plan.exchange_begin(backend=backend)
         comm.comm_stats.messages += len(self.transfers)
         for t in self.transfers:
             if len(ghost[t.dst]) <= t.max_recv or len(owned[t.src]) <= t.max_send:
@@ -163,7 +164,13 @@ class CommunicationPattern:
                     else:  # "scale"
                         ghost[t.dst][t.recv_ghost] *= value
                     continue
-                self._deliver_envelope(comm, plan, t, owned, ghost)
+                if backend.is_real:
+                    self._deliver_backend(comm, plan, t, owned, ghost)
+                else:
+                    self._deliver_envelope(comm, plan, t, owned, ghost)
+                continue
+            if backend.is_real:
+                self._deliver_backend(comm, None, t, owned, ghost)
                 continue
             ghost[t.dst][t.recv_ghost] = owned[t.src][t.send_local]
         comm.ledger.add_phase(
@@ -236,6 +243,9 @@ class CommunicationPattern:
                 continue
             lateness = plan.straggler_delay(t.src, t.dst)
             if lateness > 0.0:
+                # late but intact: counted apart from retries so traces can
+                # tell a slow link from a lossy one
+                stats.straggler_waits += 1
                 delay += lateness
             ghost[t.dst][t.recv_ghost] = payload
             self._charge_recovery(comm, t, retransmits, delay)
@@ -256,6 +266,162 @@ class CommunicationPattern:
         obs.event(
             "resilience.comm.give_up", src=t.src, dst=t.dst, seq=seq,
             reason=last_reason,
+        )
+        raise cls(
+            f"transfer {t.src}->{t.dst} failed {last_reason} validation "
+            f"{policy.max_retries + 1} times",
+            src=t.src, dst=t.dst, seq=seq, attempts=policy.max_retries + 1,
+        )
+
+    def _deliver_backend(
+        self,
+        comm: Communicator,
+        plan,
+        t: ExchangeSpec,
+        owned: list[np.ndarray],
+        ghost: list[np.ndarray],
+    ) -> None:
+        """Deliver one transfer over a real execution-backend transport.
+
+        The payload travels as a :mod:`~repro.comm.backends.framing` DATA
+        frame to the destination rank's process, which validates seq +
+        CRC-32 and echoes it back as an ACK; the ghost slots are written
+        from the *response* payload, so the bytes provably survived the
+        round trip.  Transport timeouts feed the backend's supervisor
+        (missed-heartbeat accounting, fencing); a confirmed-dead rank
+        raises the supervisor's classification
+        (:class:`~repro.resilience.errors.RankDeadError`).  Injected
+        drops/corruption operate on the real wire bytes.
+        """
+        # deferred import: repro.comm.backends.base imports this package
+        from repro.comm.backends import framing
+        from repro.comm.backends.base import TransportBroken, TransportTimeout
+
+        backend = comm.backend
+        policy = comm.retry_policy
+        stats = comm.comm_stats
+        seq = comm.next_seq(t.src, t.dst)
+        payload = owned[t.src][t.send_local]
+        raw = framing.encode_frame(
+            framing.DATA, t.src, t.dst, seq, payload.tobytes()
+        )
+        delay = 0.0
+        retransmits = 0
+        last_reason = "timeout"
+        for attempt in range(policy.max_retries + 1):
+            if attempt:
+                stats.retries += 1
+                retransmits += 1
+            wire = raw
+            if plan is not None and plan.dead_ranks.intersection((t.src, t.dst)):
+                # simulated rank-dead kinds: the peer process is healthy but
+                # plays dead, so every attempt burns its full window
+                last_reason = "timeout"
+                stats.timeouts += 1
+                delay += policy.wait(attempt)
+                obs.event(
+                    "resilience.comm.retry", src=t.src, dst=t.dst, seq=seq,
+                    attempt=attempt, reason="timeout", backend=backend.name,
+                )
+                continue
+            if plan is not None:
+                action = plan.delivery_action(t.src, t.dst, attempt)
+                if action == "drop":
+                    # lost on the wire: nothing to send, the window burns
+                    last_reason = "timeout"
+                    stats.timeouts += 1
+                    delay += policy.wait(attempt)
+                    obs.event(
+                        "resilience.comm.retry", src=t.src, dst=t.dst,
+                        seq=seq, attempt=attempt, reason="timeout",
+                        backend=backend.name,
+                    )
+                    continue
+                if action == "corrupt":
+                    # flip one payload bit in the real frame; the receiving
+                    # process detects the CRC mismatch and NAKs
+                    garbled = bytearray(raw)
+                    garbled[-1] ^= 0xFF
+                    wire = bytes(garbled)
+            timeout = policy.wait(attempt)
+            try:
+                resp = framing.decode_frame(
+                    backend.request(t.dst, wire, timeout)
+                )
+            except TransportTimeout:
+                last_reason = "timeout"
+                stats.timeouts += 1
+                delay += timeout
+                state = backend.handle_timeout(t.dst)
+                obs.event(
+                    "resilience.comm.retry", src=t.src, dst=t.dst, seq=seq,
+                    attempt=attempt, reason="timeout",
+                    backend=backend.name, peer_state=state,
+                )
+                continue
+            except TransportBroken:
+                # the peer process is confirmed gone — no point burning
+                # the remaining retry windows on a corpse
+                break
+            except MessageCorruption:
+                # a garbled response frame is a delivery fault like any
+                # other: count it and retransmit
+                last_reason = "checksum"
+                stats.checksum_failures += 1
+                obs.event(
+                    "resilience.comm.retry", src=t.src, dst=t.dst, seq=seq,
+                    attempt=attempt, reason="checksum", backend=backend.name,
+                )
+                continue
+            if resp.kind == framing.NAK:
+                reason = resp.payload.decode(errors="replace")
+                last_reason = "checksum"
+                stats.checksum_failures += 1
+                obs.event(
+                    "resilience.comm.retry", src=t.src, dst=t.dst, seq=seq,
+                    attempt=attempt, reason="checksum",
+                    backend=backend.name, nak=reason,
+                )
+                continue
+            if plan is not None:
+                lateness = plan.straggler_delay(t.src, t.dst)
+                if lateness > 0.0:
+                    stats.straggler_waits += 1
+                    delay += lateness
+            ghost[t.dst][t.recv_ghost] = np.frombuffer(
+                resp.payload, dtype=payload.dtype
+            )
+            self._charge_recovery(comm, t, retransmits, delay)
+            return
+        self._charge_recovery(comm, t, retransmits, delay)
+        fault = backend.classify(t.dst, src=t.src, dst=t.dst, seq=seq)
+        if isinstance(fault, RankDeadError):
+            stats.rank_dead += 1
+            obs.event(
+                "resilience.comm.rank_dead", rank=fault.rank, src=t.src,
+                dst=t.dst, seq=seq, backend=backend.name,
+            )
+            raise fault
+        if plan is not None:
+            dead = plan.dead_ranks.intersection((t.src, t.dst))
+            if dead:
+                rank = min(dead)
+                stats.rank_dead += 1
+                obs.event(
+                    "resilience.comm.rank_dead", rank=rank, src=t.src,
+                    dst=t.dst, seq=seq, backend=backend.name,
+                )
+                raise RankDeadError(
+                    f"rank {rank} stopped responding: transfer "
+                    f"{t.src}->{t.dst} timed out "
+                    f"{policy.max_retries + 1} times",
+                    rank=rank, src=t.src, dst=t.dst, seq=seq,
+                    attempts=policy.max_retries + 1,
+                )
+        cls = MessageCorruption if last_reason == "checksum" else MessageTimeout
+        obs.event(
+            "resilience.comm.give_up", src=t.src, dst=t.dst, seq=seq,
+            reason=last_reason, backend=backend.name,
         )
         raise cls(
             f"transfer {t.src}->{t.dst} failed {last_reason} validation "

@@ -129,6 +129,8 @@ class SolveOutcome:
     residuals: list[float] = field(repr=False)
     x_global: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
     error: float | None = None
+    backend: str = "inprocess"
+    comm_stats: dict[str, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -166,6 +168,7 @@ def solve_case(
     checkpoint_dir: str | None = None,
     checkpoint_every: int = 1,
     restore: bool = False,
+    backend: str | None = None,
 ) -> SolveOutcome:
     """Run the full pipeline on ``case`` and return the measurements.
 
@@ -185,6 +188,13 @@ def solve_case(
         with ``restore=True`` the newest intact snapshot seeds ``x0``.
         Checkpoints store global numbering, so a restore survives a
         partition remap.
+    backend:
+        Execution backend for the communicator — ``"inprocess"`` (default:
+        simulated ranks) or ``"multiprocess"`` (ranks as supervised OS
+        processes; ghost exchanges travel over real pipes).  ``None``
+        consults the ``REPRO_COMM_BACKEND`` environment variable.  The
+        numerical results are bitwise identical across backends
+        (``docs/robustness.md``).
     """
     if solver not in SOLVER_NAMES:
         raise ValueError(f"unknown solver {solver!r}; pick from {SOLVER_NAMES}")
@@ -195,10 +205,46 @@ def solve_case(
         from repro.checkpoint import CheckpointManager
 
         manager = CheckpointManager(checkpoint_dir, prefix="solve")
-    comm = Communicator(nparts)
+    comm = Communicator(nparts, backend=backend)
     tracer = obs.get_tracer()
     tracer.bind(comm)
+    obs.event(
+        "comm.backend.selected", backend=comm.backend.name, ranks=nparts,
+        real=comm.backend.is_real,
+    )
+    try:
+        return _solve_case_with(
+            comm, case, precond=precond, nparts=nparts, seed=seed,
+            scheme=scheme, rtol=rtol, restart=restart, maxiter=maxiter,
+            precond_params=precond_params, keep_solution=keep_solution,
+            solver=solver, x0=x0, membership=membership, manager=manager,
+            checkpoint_every=checkpoint_every, restore=restore,
+        )
+    finally:
+        comm.close()
 
+
+def _solve_case_with(
+    comm: Communicator,
+    case: TestCase,
+    *,
+    precond: str,
+    nparts: int,
+    seed: int,
+    scheme: str,
+    rtol: float,
+    restart: int,
+    maxiter: int,
+    precond_params: dict | None,
+    keep_solution: bool,
+    solver: str,
+    x0: np.ndarray | None,
+    membership: np.ndarray | None,
+    manager,
+    checkpoint_every: int,
+    restore: bool,
+) -> SolveOutcome:
+    """The pipeline body, on an externally owned communicator."""
     with obs.span(
         "solve_case", case=case.key, precond=precond, nparts=nparts,
         scheme=scheme, seed=seed,
@@ -332,4 +378,6 @@ def solve_case(
         residuals=result.residuals,
         x_global=x_global if keep_solution else None,
         error=case.solution_error(x_global),
+        backend=comm.backend.name,
+        comm_stats=comm.comm_stats.as_dict(),
     )

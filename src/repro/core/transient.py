@@ -88,6 +88,7 @@ class TransientHeatSolver:
         precond_params: dict | None = None,
         checkpoint_dir: str | None = None,
         checkpoint_every: int = 1,
+        backend: str | None = None,
     ) -> None:
         from repro.graph.adjacency import graph_from_elements
         from repro.graph.geometric import box_partition_2d, box_partition_3d
@@ -126,6 +127,8 @@ class TransientHeatSolver:
         self.precond_name = precond
         self.precond_params = precond_params
         self.nparts = nparts
+        self.backend_name = backend
+        self.comm: Communicator | None = None
 
         # a minimal stand-in TestCase is not needed: only the Schwarz
         # preconditioners read case.mesh/case.matrix, and they are valid here
@@ -142,17 +145,37 @@ class TransientHeatSolver:
 
     # -- layout (re)construction -------------------------------------------
 
-    def _build(self, membership: np.ndarray) -> None:
-        """(Re)build the distributed operator stack for ``membership``."""
+    def _build(
+        self, membership: np.ndarray, absorbed_rank: int | None = None
+    ) -> None:
+        """(Re)build the distributed operator stack for ``membership``.
+
+        ``absorbed_rank`` is set on the rank-failure recovery path: the old
+        communicator's envelope sequence state is carried over for the
+        surviving edges (stale seq counters for edges that touched the dead
+        rank are dropped — see :meth:`Communicator.adopt_seq`) and the old
+        communicator's backend is shut down so dead-world processes do not
+        outlive the world they belonged to.
+        """
+        prev = self.comm
         self.membership = membership
         self.nparts = int(membership.max()) + 1
         self.pm = PartitionMap(self.graph, membership, num_ranks=self.nparts)
         self.dmat = distribute_matrix(self.matrix, self.pm)
-        self.comm = Communicator(self.nparts)
+        self.comm = Communicator(self.nparts, backend=self.backend_name)
+        if prev is not None and absorbed_rank is not None:
+            self.comm.adopt_seq(prev, absorbed_rank)
+        if prev is not None:
+            prev.close()
         self.precond = make_preconditioner(
             self.precond_name, self.dmat, self.comm, self._shim, self.precond_params
         )
         self._ops = DistributedOps(self.comm, self.pm.layout)
+
+    def close(self) -> None:
+        """Release the communicator's execution backend (idempotent)."""
+        if self.comm is not None:
+            self.comm.close()
 
     def _recover(self, exc: RankDeadError, u: np.ndarray) -> np.ndarray:
         """Absorb a confirmed-dead rank, rewind to the last checkpoint.
@@ -168,7 +191,10 @@ class TransientHeatSolver:
         with obs.span(
             "resilience.comm.recover", rank=dead, survivors=self.nparts - 1
         ):
-            self._build(absorb_rank(self.graph, self.membership, dead))
+            self._build(
+                absorb_rank(self.graph, self.membership, dead),
+                absorbed_rank=dead,
+            )
             plan = faults.active()
             if plan is not None:
                 plan.mark_recovered(dead)

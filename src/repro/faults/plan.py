@@ -48,6 +48,15 @@ Fault kinds and their hook points (see ``docs/robustness.md``):
     None): the message is delivered but ``delay`` seconds late, charged to
     the :class:`~repro.perfmodel.costs.CostLedger` delay counter — slow
     ranks cost simulated time, they do not corrupt data.
+``proc-kill`` / ``proc-hang``
+    Fired once per ghost exchange, like ``rank-dead``, but against the
+    *real* OS process behind the targeted rank: on the multiprocess
+    backend the process is SIGKILLed (``proc-kill``) or SIGSTOPped
+    (``proc-hang``), and detection runs through the genuine machinery —
+    exit-code checks for kills, missed heartbeats plus fencing for hangs
+    (``docs/robustness.md``).  On backends without real processes both
+    degrade to the simulated ``rank-dead`` behavior so fault plans stay
+    portable across backends.
 
 Kind names accept ``_`` as a separator alias (``rank_dead`` == ``rank-dead``).
 """
@@ -71,6 +80,8 @@ FAULT_KINDS = (
     "message-corrupt",
     "rank-dead",
     "straggler",
+    "proc-kill",
+    "proc-hang",
 )
 
 #: fault kinds whose hook is the factorization pivot loop
@@ -81,6 +92,7 @@ _GHOST = ("ghost-corrupt", "ghost-drop", "ghost-scale")
 _DELIVERY = ("message-drop", "message-corrupt")
 _RANK_DEAD = ("rank-dead",)
 _STRAGGLER = ("straggler",)
+_PROC = ("proc-kill", "proc-hang")
 
 
 @dataclass
@@ -117,8 +129,8 @@ class FaultSpec:
             raise ValueError(f"unknown fault kind {self.kind!r}; pick from {FAULT_KINDS}")
         if self.stride < 1:
             raise ValueError("stride must be >= 1")
-        if self.kind in _RANK_DEAD and self.rank is None:
-            raise ValueError("rank-dead needs an explicit rank to kill")
+        if self.kind in _RANK_DEAD + _PROC and self.rank is None:
+            raise ValueError(f"{self.kind} needs an explicit rank to target")
         if self.delay < 0.0:
             raise ValueError("delay must be >= 0")
         if isinstance(self.target, str):
@@ -224,16 +236,33 @@ class FaultPlan:
 
     # -- communication-level hooks (the integrity envelope consults these) ---
 
-    def exchange_begin(self) -> None:
+    def exchange_begin(self, backend=None) -> None:
         """Called once at the start of every ghost exchange.
 
         The opportunity counter of a ``rank-dead`` spec counts *exchanges*,
         so ``start=k`` kills the rank at the k-th exchange of the run.
+
+        ``backend`` is the communicator's execution backend; the process
+        kinds (``proc-kill`` / ``proc-hang``) act on it when its ranks are
+        real OS processes and degrade to the simulated ``rank-dead``
+        behavior otherwise.
         """
         for state in self._firing(_RANK_DEAD):
             rank = int(state.spec.rank)  # type: ignore[arg-type]
             self.dead_ranks.add(rank)
             self._fire(state, rank=rank)
+        for state in self._firing(_PROC):
+            rank = int(state.spec.rank)  # type: ignore[arg-type]
+            real = backend is not None and backend.is_real
+            self._fire(state, rank=rank, degraded=not real)
+            if not real:
+                # no process to signal: fall back to playing dead, so the
+                # same plan exercises recovery on every backend
+                self.dead_ranks.add(rank)
+            elif state.spec.kind == "proc-kill":
+                backend.kill_rank(rank)
+            else:
+                backend.hang_rank(rank)
 
     def delivery_action(self, src: int, dst: int, attempt: int) -> str:
         """Fate of one envelope delivery attempt: "ok" | "drop" | "corrupt"."""

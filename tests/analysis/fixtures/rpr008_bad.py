@@ -1,0 +1,12 @@
+"""RPR008 positive fixture: real waits and raw process primitives."""
+
+import multiprocessing
+import time
+from multiprocessing import Pipe
+
+
+def run_rank(worker):
+    proc = multiprocessing.Process(target=worker)
+    proc.start()
+    time.sleep(0.5)
+    return proc

@@ -1,0 +1,11 @@
+"""RPR008 negative fixture: simulated waits, backend-managed processes."""
+
+import numpy as np
+
+
+def run_rank(comm, backend, rank):
+    backend.ensure_started()
+    waits = np.zeros(comm.size)
+    waits[rank] = 0.5
+    comm.ledger.add_delay(waits)
+    return backend.rank_pid(rank)

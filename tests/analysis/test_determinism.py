@@ -63,7 +63,8 @@ class TestCheckMatrix:
 
     def test_all_check_kinds_present(self, tiny_report):
         kinds = {c.kind for c in tiny_report.checks}
-        assert kinds == {"repeat", "cross-tier", "workers", "factors", "apply"}
+        assert kinds == {"repeat", "cross-tier", "workers", "factors",
+                         "apply", "backend"}
         # one repeat check per tier
         assert len([c for c in tiny_report.checks if c.kind == "repeat"]) == 2
 

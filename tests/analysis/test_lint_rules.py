@@ -23,6 +23,7 @@ CASES = {
     "rpr005": ("kernels/rows.py", "RPR005"),
     "rpr006": ("krylov/cg.py", "RPR006"),
     "rpr007": ("sparse/mutate.py", "RPR007"),
+    "rpr008": ("core/marcher.py", "RPR008"),
 }
 
 

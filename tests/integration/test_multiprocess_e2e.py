@@ -1,0 +1,116 @@
+"""End-to-end over real OS processes: bitwise backend equality, and
+kill-and-recover with a genuine SIGKILL mid-solve.
+
+These are the acceptance tests for the multiprocess backend: the solver
+must produce byte-identical answers whether ranks are simulated or real
+processes, and a rank that is truly killed (not simulated) must be
+detected, classified, and absorbed — with the recovered solution still
+meeting the original convergence target.
+"""
+
+import numpy as np
+import pytest
+
+from repro import faults, obs
+from repro.cases import poisson2d_case
+from repro.core.driver import solve_case
+from repro.resilience import ResilientSolver
+from repro.resilience.errors import RankDeadError
+
+
+def _events(tracer, name):
+    evs = [e for e in tracer.orphan_events if e["name"] == name]
+    for s in tracer.spans:
+        evs.extend(e for e in s.events if e["name"] == name)
+    return evs
+
+
+@pytest.fixture(scope="module")
+def case():
+    return poisson2d_case(12)
+
+
+class TestBackendEquality:
+    def test_solutions_bitwise_identical_across_backends(self, case):
+        ref = solve_case(case, precond="schur1", nparts=3)
+        out = solve_case(case, precond="schur1", nparts=3,
+                         backend="multiprocess")
+        assert out.status == ref.status == "converged"
+        assert out.iterations == ref.iterations
+        assert out.x_global.tobytes() == ref.x_global.tobytes()
+        assert out.residuals == ref.residuals
+        assert out.backend == "multiprocess" and ref.backend == "inprocess"
+
+    def test_real_transport_actually_used(self, case):
+        with obs.tracing() as tracer:
+            out = solve_case(case, precond="schur1", nparts=2,
+                             backend="multiprocess")
+        assert out.status == "converged"
+        assert out.comm_stats["messages"] > 0
+        (sel,) = _events(tracer, "comm.backend.selected")
+        assert sel["attrs"]["backend"] == "multiprocess"
+        assert sel["attrs"]["real"] is True
+        assert _events(tracer, "comm.backend.ready")
+
+
+class TestKillAndRecover:
+    def test_sigkilled_worker_is_classified_and_absorbed(self, case):
+        """A real SIGKILL mid-solve ends in a recovered, accurate solution."""
+        baseline = solve_case(case, precond="schur1", nparts=3)
+        assert baseline.status == "converged"
+        # the tolerance the original solve was asked to meet (default
+        # rtol=1e-6 relative reduction from the zero initial guess)
+        atol = 1e-6 * np.linalg.norm(case.rhs)
+
+        plan = faults.FaultPlan(
+            faults.FaultSpec("proc-kill", rank=2, start=4)
+        )
+        with obs.tracing() as tracer, faults.inject(plan):
+            res = ResilientSolver().solve(
+                case, precond="schur1", nparts=3, backend="multiprocess",
+            )
+
+        # the fault really fired against a real process
+        (rec,) = plan.injected
+        assert rec["kind"] == "proc-kill" and rec["degraded"] is False
+        # the supervisor saw a process death, not a simulated timeout
+        assert isinstance(res.attempts[0].error, RankDeadError)
+        assert [a.kind for a in res.attempts] == ["primary", "rank-recovery"]
+        assert res.recovered
+
+        # recovered solution meets the original target
+        out = res.outcome
+        assert out.status == "converged"
+        resid = np.linalg.norm(case.rhs - case.matrix @ out.x_global)
+        assert resid <= atol
+
+        exits = _events(tracer, "comm.backend.rank_exit")
+        assert any(e["attrs"]["exitcode"] == -9 for e in exits)
+        assert _events(tracer, "comm.backend.classified")
+
+    def test_hang_is_fenced_then_recovered(self, case):
+        """A SIGSTOPped worker exhausts the heartbeat budget, gets fenced
+        (SIGKILL), and recovery proceeds exactly as for a crash."""
+        plan = faults.FaultPlan(
+            faults.FaultSpec("proc-hang", rank=1, start=4)
+        )
+        with obs.tracing() as tracer, faults.inject(plan):
+            res = ResilientSolver().solve(
+                case, precond="schur1", nparts=3, backend="multiprocess",
+            )
+        assert res.recovered
+        assert res.outcome.status == "converged"
+        assert _events(tracer, "comm.backend.heartbeat_miss")
+        fenced = _events(tracer, "comm.backend.fenced")
+        assert fenced and fenced[0]["attrs"]["rank"] == 1
+
+
+class TestBackendDeterminismCheck:
+    def test_check_backend_reports_identical(self, case):
+        from repro.analysis.determinism import check_determinism
+
+        report = check_determinism([case], nparts=3, checks=["backend"])
+        kinds = {c.kind for c in report.checks}
+        assert kinds == {"backend"}
+        assert report.identical
+        assert report.checks  # one per case
