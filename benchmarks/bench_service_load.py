@@ -1,0 +1,151 @@
+"""Load, overload, and chaos benchmarks for the solve service.
+
+Produces the schema-versioned ``results/BENCH_service.json``
+(``repro.bench.service.v1``) with three sections:
+
+* ``load`` — steady traffic at capacity: throughput (jobs/s) and p50/p99
+  end-to-end latency (submission to terminal status, queueing included);
+* ``overload`` — a 3x burst against deliberately small queues: the shed
+  rate must be *under 100%* (admission keeps serving while shedding — the
+  ISSUE 8 acceptance bar) and every admitted job still converges;
+* ``chaos`` — one composed fault round (proc-kill + straggler +
+  message-corrupt) against a live service: every job terminal and typed.
+
+Scale grows with ``REPRO_SCALE`` like the paper benches.
+"""
+
+import time
+
+import numpy as np
+
+from common import merge_results_json, scale
+
+from repro import faults
+from repro.service import ServiceConfig, SolveService, synthetic_jobs
+from repro.service.job import TERMINAL_STATUSES
+
+SCHEMA = "repro.bench.service.v1"
+FILENAME = "BENCH_service.json"
+
+
+def _percentiles_ms(records):
+    lat = [r.latency_s for r in records if r.latency_s is not None]
+    if not lat:
+        return {"p50_ms": None, "p99_ms": None}
+    return {
+        "p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "p99_ms": float(np.percentile(lat, 99) * 1e3),
+    }
+
+
+def _by_status(records):
+    out: dict[str, int] = {}
+    for r in records:
+        out[r.status] = out.get(r.status, 0) + 1
+    return out
+
+
+def test_steady_load_throughput_and_latency(tmp_path):
+    """Throughput and latency percentiles under in-capacity traffic."""
+    n_jobs = max(8, int(24 * scale()))
+    workers = 4
+    config = ServiceConfig(workers=workers, max_total_queue=2 * n_jobs,
+                           spool_dir=str(tmp_path / "spool"))
+    t0 = time.monotonic()
+    with SolveService(config) as svc:
+        for spec in synthetic_jobs(n_jobs):
+            svc.submit(spec)
+        assert svc.wait_all(timeout=600.0)
+        records = svc.all_jobs()
+    wall = time.monotonic() - t0
+
+    assert all(r.status == "converged" for r in records), _by_status(records)
+    section = {
+        "jobs": n_jobs,
+        "workers": workers,
+        "wall_s": wall,
+        "throughput_jobs_per_s": n_jobs / wall,
+        **_percentiles_ms(records),
+        "by_status": _by_status(records),
+    }
+    path = merge_results_json(FILENAME, {"schema": SCHEMA, "load": section})
+    print(f"\nload: {n_jobs} jobs in {wall:.2f}s "
+          f"({section['throughput_jobs_per_s']:.1f} jobs/s, "
+          f"p50 {section['p50_ms']:.0f}ms p99 {section['p99_ms']:.0f}ms)"
+          f"\n[written to {path}]")
+
+
+def test_overload_burst_sheds_typed_below_100pct(tmp_path):
+    """A 3x burst against small queues: shedding, but never a blackout."""
+    capacity = max(6, int(8 * scale()))
+    burst = 3 * capacity
+    config = ServiceConfig(
+        workers=2, max_total_queue=capacity,
+        spool_dir=str(tmp_path / "spool"),
+    )
+    shed = 0
+    with SolveService(config) as svc:
+        for spec in synthetic_jobs(burst):
+            try:
+                svc.submit(spec)
+            except Exception:
+                shed += 1
+        assert svc.wait_all(timeout=600.0)
+        records = svc.all_jobs()
+        stats = svc.stats()
+
+    served = [r for r in records if r.status == "converged"]
+    shed_rate = shed / burst
+    # the acceptance bar: overload sheds, but the service keeps serving
+    assert 0.0 <= shed_rate < 1.0
+    assert served, "overload burst starved every job"
+
+    section = {
+        "burst_jobs": burst,
+        "queue_capacity": capacity,
+        "shed_at_admission": shed,
+        "shed_rate": shed_rate,
+        "served": len(served),
+        **_percentiles_ms(served),
+        "by_status": _by_status(records),
+        "admission_shed_reasons": stats["admission"]["shed"],
+    }
+    path = merge_results_json(FILENAME, {"schema": SCHEMA,
+                                         "overload": section})
+    print(f"\noverload: {burst} jobs at 3x capacity -> "
+          f"{shed} shed ({100 * shed_rate:.0f}%), {len(served)} served"
+          f"\n[written to {path}]")
+
+
+def test_chaos_round_all_terminal(tmp_path):
+    """Composed fault campaign against a live service: everything typed."""
+    n_jobs = max(8, int(18 * scale()))
+    plan = faults.FaultPlan([
+        faults.FaultSpec(kind="proc-kill", rank=1, count=1, start=3),
+        faults.FaultSpec(kind="straggler", count=2, start=5, delay=2e-3),
+        faults.FaultSpec(kind="message-corrupt", count=2, start=7),
+    ], seed=11)
+    config = ServiceConfig(workers=3, max_total_queue=2 * n_jobs,
+                           spool_dir=str(tmp_path / "spool"))
+    with faults.inject(plan):
+        with SolveService(config) as svc:
+            records = [svc.submit(s) for s in synthetic_jobs(n_jobs)]
+            assert svc.wait_all(timeout=600.0)
+
+    assert all(r.status in TERMINAL_STATUSES for r in records)
+    assert plan.injected, "chaos round fired no faults"
+    converged = [r for r in records if r.status == "converged"]
+    for rec in converged:
+        assert rec.final_relres is not None
+        assert rec.final_relres <= rec.spec.rtol * 10
+
+    section = {
+        "jobs": n_jobs,
+        "faults_fired": plan.summary(),
+        "by_status": _by_status(records),
+        "all_terminal": True,
+        **_percentiles_ms(records),
+    }
+    path = merge_results_json(FILENAME, {"schema": SCHEMA, "chaos": section})
+    print(f"\nchaos: {len(plan.injected)} fault(s) fired over {n_jobs} jobs, "
+          f"statuses {section['by_status']}\n[written to {path}]")

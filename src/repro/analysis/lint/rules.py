@@ -17,6 +17,7 @@ on the offending line).  The full rationale per rule lives in
 | RPR006 | documented solver entry point without span instrumentation |
 | RPR007 | in-place CSR ``data``/``indices``/``indptr`` mutation without invariant re-check |
 | RPR008 | bare ``time.sleep`` / raw ``multiprocessing`` primitives outside ``repro.comm.backends`` |
+| RPR009 | blocking ``get``/``wait``/``join``/``recv`` without an explicit ``timeout`` in ``repro.service`` |
 """
 
 from __future__ import annotations
@@ -617,6 +618,50 @@ def check_rpr008(ctx: FileContext) -> list[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# RPR009 — unbounded blocking calls in the solve service
+# ---------------------------------------------------------------------------
+
+#: blocking method names that accept a ``timeout=`` keyword on every
+#: primitive the service layer uses (queue.Queue.get, threading.Event.wait,
+#: Condition.wait, Thread.join, Connection.recv has poll(timeout) siblings)
+_RPR009_BLOCKING_ATTRS = frozenset({"get", "wait", "join", "recv"})
+
+
+def check_rpr009(ctx: FileContext) -> list[Violation]:
+    """No unbounded waits in ``repro.service``.
+
+    A service worker stuck in ``queue.get()`` or ``event.wait()`` with no
+    timeout cannot observe drain, deadlines, or cancellation — the whole
+    robustness contract hinges on every block being bounded.  The check is
+    deliberately shallow: any ``x.get()`` / ``x.wait()`` / ``x.join()`` /
+    ``x.recv()`` **with no arguments at all** is flagged; a positional
+    argument (``"".join(parts)``, ``d.get(key)``, ``t.join(5.0)``) or an
+    explicit ``timeout=`` keyword passes.  False-positive escapes go
+    through the usual ``# repro: noqa(RPR009)``.
+    """
+    out = []
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr not in _RPR009_BLOCKING_ATTRS:
+            continue
+        if node.args:
+            continue  # positional form: a key/iterable/explicit wait bound
+        if any(kw.arg == "timeout" for kw in node.keywords):
+            continue
+        out.append(ctx.violation(
+            node, "RPR009",
+            f".{func.attr}() without an explicit timeout in repro.service "
+            "— every blocking call must be bounded so workers can observe "
+            "drain, deadlines, and cancellation",
+        ))
+    return out
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -663,6 +708,13 @@ RULES: tuple[Rule, ...] = (
         "RPR008", "real-wait-primitive",
         "bare time.sleep / raw multiprocessing outside repro.comm.backends",
         scope=None, check=check_rpr008,
+    ),
+    Rule(
+        "RPR009", "unbounded-blocking-call",
+        "blocking get/wait/join/recv without an explicit timeout in "
+        "repro.service",
+        scope=("service/",),
+        check=check_rpr009,
     ),
 )
 

@@ -90,11 +90,17 @@ class CheckpointManager:
 
         Corrupt snapshots are skipped (newest first) with a
         ``resilience.ckpt.corrupt`` trace event, so recovery falls back to
-        the most recent *intact* restore point.
+        the most recent *intact* restore point.  A snapshot that vanishes
+        between the directory listing and the read (a concurrent writer's
+        retention pruning) is skipped silently — saves are atomic
+        write-then-rename, so whatever file the reader does open is either
+        a complete CRC-valid snapshot or detectably corrupt, never torn.
         """
         for step in reversed(self.steps()):
             try:
                 ckpt = read_checkpoint(self.path_for(step))
+            except FileNotFoundError:
+                continue  # pruned while we were walking; older ones remain
             except CheckpointCorruption as exc:
                 obs.event(
                     "resilience.ckpt.corrupt", step=step,

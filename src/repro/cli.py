@@ -37,6 +37,7 @@ from repro.core.driver import PRECONDITIONER_NAMES, SOLVER_NAMES, solve_case
 from repro.core.experiment import run_sweep
 from repro.perfmodel.machine import machine_by_name
 from repro.resilience import ResilientSolver
+from repro.service.serve import add_serve_arguments, cmd_serve
 
 #: descriptive aliases for the paper's tcN keys
 CASE_ALIASES = {
@@ -162,6 +163,9 @@ def make_parser() -> argparse.ArgumentParser:
                        "p<nparts>.json)")
     trace.add_argument("--csv", default=None,
                        help="also write a flat per-span CSV to this path")
+    trace.add_argument("--format", choices=("table", "json"), default="table",
+                       help="stdout format: human tables (default) or the "
+                       "repro.trace.v1 document as a single JSON object")
 
     fault = sub.add_parser(
         "faults",
@@ -248,6 +252,15 @@ def make_parser() -> argparse.ArgumentParser:
     det.add_argument("--json", default=None, metavar="PATH",
                      help="write the repro.determinism.v1 report here")
 
+    serve = sub.add_parser(
+        "serve",
+        parents=[cache_opts, backend_opts],
+        help="run the multi-tenant solve service: admission control, "
+        "deadlines, circuit breakers, graceful SIGTERM drain "
+        "(docs/service.md)",
+    )
+    add_serve_arguments(serve)
+
     sub.add_parser("info", help="list available cases, preconditioners, machines")
     return parser
 
@@ -296,8 +309,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
         return 3
     print(f"{case.title}: {case.num_dofs} unknowns, P={args.nparts}, "
           f"{out.precond}, {args.scheme} partitioning")
+    # guarded: a zero initial residual (x0 already exact) must not divide
+    reduction = (f"{out.residuals[-1] / out.residuals[0]:.2e}"
+                 if out.residuals and out.residuals[0] > 0 else "n/a")
     print(f"  {_status_text(out.status)} in {out.iterations} {args.solver} "
-          f"iterations (reduction {out.residuals[-1] / out.residuals[0]:.2e})")
+          f"iterations (reduction {reduction})")
     print(f"  simulated time on {machine.name}: {out.sim_time(machine):.3f}s "
           f"(setup {machine.time(out.setup_ledger):.3f}s)")
     if out.error is not None:
@@ -342,33 +358,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
             backend=args.backend,
         )
 
-    print(f"{case.title}: {case.num_dofs} unknowns, P={args.nparts}, "
-          f"{out.precond} — {_status_text(out.status)} in {out.iterations} "
-          f"iterations")
-    print(obs.format_phase_table(tracer.spans, machine, args.nparts))
-
-    cs = out.comm_stats
-    print(f"comm [{out.backend}]: {cs['messages']} messages, "
-          f"{cs['retries']} retries, {cs['straggler_waits']} straggler "
-          f"waits, {cs['timeouts']} timeouts, "
-          f"{cs['checksum_failures']} checksum failures")
-
     # the contract's invariant: span-attributed ledger deltas reproduce the
     # run's total (setup + solve) cost exactly
     totals = out.setup_ledger.counts()
     for key, value in out.solve_ledger.counts().items():
         totals[key] += value
     err = obs.conservation_error(tracer.spans, totals)
-    print(f"ledger conservation: {'OK' if err < 1e-9 else 'FAILED'} "
-          f"(max relative error {err:.2e})")
 
-    cstats = factor_cache.stats()
-    print(f"factor cache: {cstats['hits']} hits, {cstats['misses']} misses, "
-          f"{cstats['bypasses']} bypasses"
-          + ("" if cstats["enabled"] else " (disabled)"))
-
-    precond_slug = args.precond.replace("+", "_")
-    out_path = args.out or f"trace_{args.case}_{precond_slug}_p{args.nparts}.json"
     meta = {
         "case": case.key,
         "title": case.title,
@@ -383,10 +379,41 @@ def cmd_trace(args: argparse.Namespace) -> int:
         "converged": out.converged,
         "status": out.status,
     }
+
+    if args.format == "json":
+        # machine consumers get the repro.trace.v1 document on stdout —
+        # nothing else is printed there, so the output is parseable as-is
+        import json
+
+        print(json.dumps(obs.trace_to_dict(tracer, meta)))
+    else:
+        print(f"{case.title}: {case.num_dofs} unknowns, P={args.nparts}, "
+              f"{out.precond} — {_status_text(out.status)} in "
+              f"{out.iterations} iterations")
+        print(obs.format_phase_table(tracer.spans, machine, args.nparts))
+
+        cs = out.comm_stats
+        print(f"comm [{out.backend}]: {cs['messages']} messages, "
+              f"{cs['retries']} retries, {cs['straggler_waits']} straggler "
+              f"waits, {cs['timeouts']} timeouts, "
+              f"{cs['checksum_failures']} checksum failures")
+
+        print(f"ledger conservation: {'OK' if err < 1e-9 else 'FAILED'} "
+              f"(max relative error {err:.2e})")
+
+        cstats = factor_cache.stats()
+        print(f"factor cache: {cstats['hits']} hits, {cstats['misses']} "
+              f"misses, {cstats['bypasses']} bypasses"
+              + ("" if cstats["enabled"] else " (disabled)"))
+
+    diag = sys.stderr if args.format == "json" else sys.stdout
+    precond_slug = args.precond.replace("+", "_")
+    out_path = args.out or f"trace_{args.case}_{precond_slug}_p{args.nparts}.json"
     written = obs.write_json_trace(out_path, tracer, meta)
-    print(f"trace written to {written}")
+    print(f"trace written to {written}", file=diag)
     if args.csv:
-        print(f"span CSV written to {obs.write_csv_trace(args.csv, tracer)}")
+        print(f"span CSV written to {obs.write_csv_trace(args.csv, tracer)}",
+              file=diag)
     if err >= 1e-9:
         return 2
     return 0 if out.converged else 1
@@ -558,6 +585,7 @@ def main(argv: list[str] | None = None) -> int:
         "faults": cmd_faults,
         "lint": cmd_lint,
         "check-determinism": cmd_check_determinism,
+        "serve": cmd_serve,
         "info": cmd_info,
     }
     return commands[args.command](args)

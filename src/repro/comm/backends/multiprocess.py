@@ -312,7 +312,14 @@ class MultiprocessBackend(ExecutionBackend):
         return state
 
     def _fence(self, rank: int) -> None:
-        """SIGKILL an unresponsive rank so it cannot resurface later."""
+        """SIGKILL an unresponsive rank so it cannot resurface later.
+
+        Idempotent: fencing a rank that is already DEAD (a prior fence, a
+        crash noticed in between, or a concurrent recovery path beating us
+        to it) is a no-op — no second SIGKILL, no duplicate events.
+        """
+        if self.supervisor.is_dead(rank):
+            return
         proc = self._procs[rank]
         self.supervisor.record_fenced(rank)
         if proc is not None and proc.is_alive():
@@ -331,9 +338,15 @@ class MultiprocessBackend(ExecutionBackend):
     # -- fault injection hooks --------------------------------------------
 
     def kill_rank(self, rank: int) -> None:
-        """SIGKILL ``rank`` (the ``proc-kill`` injector): real death."""
+        """SIGKILL ``rank`` (the ``proc-kill`` injector): real death.
+
+        No-op on a world that is not running — injecting into a shut-down
+        (or never-started) backend must not respawn the ranks just to kill
+        one, and a second kill of an already-dead rank is equally inert.
+        """
         self._check_rank(rank)
-        self.ensure_started()
+        if not self._started:
+            return
         proc = self._procs[rank]
         if proc is not None and proc.is_alive():
             proc.kill()  # SIGKILL — the process gets no chance to clean up
@@ -341,9 +354,13 @@ class MultiprocessBackend(ExecutionBackend):
         self._record_exit_if_dead(rank, force=True)
 
     def hang_rank(self, rank: int) -> None:
-        """SIGSTOP ``rank`` (the ``proc-hang`` injector): a live zombie."""
+        """SIGSTOP ``rank`` (the ``proc-hang`` injector): a live zombie.
+
+        Like :meth:`kill_rank`, inert when the world is not running.
+        """
         self._check_rank(rank)
-        self.ensure_started()
+        if not self._started:
+            return
         pid = self.rank_pid(rank)
         if pid is not None and self.check_alive(rank):
             os.kill(pid, signal.SIGSTOP)

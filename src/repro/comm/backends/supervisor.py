@@ -152,11 +152,17 @@ class RankSupervisor:
         )
 
     def record_fenced(self, rank: int) -> None:
-        """The backend SIGKILLed an unresponsive rank on our advice."""
-        self.records[rank].fenced = True
-        obs.event(
-            "comm.backend.fenced", rank=rank, misses=self.records[rank].misses,
-        )
+        """The backend SIGKILLed an unresponsive rank on our advice.
+
+        Idempotent: fencing an already-fenced (or already-DEAD) rank is a
+        no-op — concurrent recovery paths may both decide to fence, and the
+        second SIGKILL against a dead pid must not double-count or re-emit.
+        """
+        rec = self.records[rank]
+        if rec.fenced or rec.state == DEAD:
+            return
+        rec.fenced = True
+        obs.event("comm.backend.fenced", rank=rank, misses=rec.misses)
 
     # -- decisions ---------------------------------------------------------
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -109,6 +110,7 @@ class Communicator:
         self.comm_stats = CommStats()
         self._seq: dict[tuple[int, int], int] = {}
         self._closed = False
+        self._close_lock = threading.Lock()
 
     def next_seq(self, src: int, dst: int) -> int:
         """Monotone per-(src, dst) envelope sequence number (starts at 0)."""
@@ -142,10 +144,16 @@ class Communicator:
             self._seq[(remap(src), remap(dst))] = seq
 
     def close(self) -> None:
-        """Shut down the execution backend (idempotent, owner-only)."""
-        if self._closed:
-            return
-        self._closed = True
+        """Shut down the execution backend (idempotent, owner-only).
+
+        Safe under concurrent callers: exactly one close wins the flag and
+        performs the backend shutdown; every other call — same thread or
+        racing threads (a drain path and a finalizer, say) — is a no-op.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         if self._owns_backend:
             self.backend.shutdown()
 

@@ -169,6 +169,7 @@ def solve_case(
     checkpoint_every: int = 1,
     restore: bool = False,
     backend: str | None = None,
+    retry_policy=None,
 ) -> SolveOutcome:
     """Run the full pipeline on ``case`` and return the measurements.
 
@@ -195,6 +196,12 @@ def solve_case(
         consults the ``REPRO_COMM_BACKEND`` environment variable.  The
         numerical results are bitwise identical across backends
         (``docs/robustness.md``).
+    retry_policy:
+        Override of the communicator's transfer
+        :class:`~repro.comm.communicator.RetryPolicy`.  The serving layer
+        passes a deadline-scaled policy here so a job's end-to-end budget
+        bounds the comm retry waits too (``docs/service.md``); ``None``
+        keeps the backend's default.
     """
     if solver not in SOLVER_NAMES:
         raise ValueError(f"unknown solver {solver!r}; pick from {SOLVER_NAMES}")
@@ -205,7 +212,7 @@ def solve_case(
         from repro.checkpoint import CheckpointManager
 
         manager = CheckpointManager(checkpoint_dir, prefix="solve")
-    comm = Communicator(nparts, backend=backend)
+    comm = Communicator(nparts, retry_policy=retry_policy, backend=backend)
     tracer = obs.get_tracer()
     tracer.bind(comm)
     obs.event(

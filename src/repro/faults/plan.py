@@ -63,6 +63,7 @@ Kind names accept ``_`` as a separator alias (``rank_dead`` == ``rank-dead``).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -166,6 +167,14 @@ class FaultPlan:
 
     Activate with :func:`repro.faults.inject`; inspect ``injected`` (a list
     of dicts, one per fired fault) afterwards to see exactly what happened.
+
+    Thread-safety: one active plan may be consulted by several solver
+    threads at once (the solve service runs a chaos plan against a whole
+    worker pool).  Scope nesting is therefore *per thread* —
+    ``scope_stack`` is thread-local, so one worker's ``faults.scope(...)``
+    never relabels another's opportunities — while the firing counters,
+    the ``injected`` log, and the RNG are shared under a single lock, so a
+    bounded spec (``count=1``) fires exactly once across all threads.
     """
 
     def __init__(self, specs: list[FaultSpec] | FaultSpec, seed: int = 0) -> None:
@@ -176,26 +185,41 @@ class FaultPlan:
         self.rng = np.random.default_rng(seed)
         self.injected: list[dict] = []
         self._states = [_SpecState(s) for s in self.specs]
-        self.scope_stack: list[str] = []
+        self._scopes = threading.local()
+        self._lock = threading.Lock()
         #: ranks confirmed dead by a fired ``rank-dead`` spec; membership is
         #: persistent until a recovery layer absorbs the subdomain and calls
         #: :meth:`mark_recovered`
         self.dead_ranks: set[int] = set()
 
     @property
+    def scope_stack(self) -> list[str]:
+        """This thread's scope-nesting stack (created on first touch)."""
+        stack = getattr(self._scopes, "stack", None)
+        if stack is None:
+            stack = self._scopes.stack = []
+        return stack
+
+    @property
     def scope(self) -> str | None:
-        return self.scope_stack[-1] if self.scope_stack else None
+        stack = self.scope_stack
+        return stack[-1] if stack else None
 
     def _fire(self, state: _SpecState, **attrs) -> None:
         record = {"kind": state.spec.kind, "scope": self.scope, **attrs}
-        self.injected.append(record)
+        with self._lock:
+            self.injected.append(record)
         obs.event("faults.injected", **record)
 
-    def _firing(self, kinds: tuple[str, ...]):
+    def _firing(self, kinds: tuple[str, ...]) -> list[_SpecState]:
+        """States whose spec fires at this opportunity (counters advance
+        atomically, so concurrent hooks never double-spend a budget)."""
         scope = self.scope
-        for state in self._states:
-            if state.spec.kind in kinds and state.should_fire(scope):
-                yield state
+        with self._lock:
+            return [
+                state for state in self._states
+                if state.spec.kind in kinds and state.should_fire(scope)
+            ]
 
     # -- hooks (called by instrumented code; must stay cheap) ----------------
 
@@ -218,7 +242,8 @@ class FaultPlan:
         for state in self._firing(_KERNEL):
             if y.size == 0:
                 continue
-            idx = int(self.rng.integers(y.size))
+            with self._lock:
+                idx = int(self.rng.integers(y.size))
             self._fire(state, kernel=name, index=idx)
             y[idx] = np.nan
 
@@ -267,30 +292,40 @@ class FaultPlan:
     def delivery_action(self, src: int, dst: int, attempt: int) -> str:
         """Fate of one envelope delivery attempt: "ok" | "drop" | "corrupt"."""
         scope = self.scope
-        for state in self._states:
-            spec = state.spec
-            if spec.kind not in _DELIVERY:
-                continue
-            if spec.rank is not None and spec.rank not in (src, dst):
-                continue
-            if state.should_fire(scope):
-                self._fire(state, src=int(src), dst=int(dst), attempt=int(attempt))
-                return "drop" if spec.kind == "message-drop" else "corrupt"
+        fired = None
+        with self._lock:
+            for state in self._states:
+                spec = state.spec
+                if spec.kind not in _DELIVERY:
+                    continue
+                if spec.rank is not None and spec.rank not in (src, dst):
+                    continue
+                if state.should_fire(scope):
+                    fired = state
+                    break
+        if fired is not None:
+            self._fire(fired, src=int(src), dst=int(dst), attempt=int(attempt))
+            return "drop" if fired.spec.kind == "message-drop" else "corrupt"
         return "ok"
 
     def straggler_delay(self, src: int, dst: int) -> float:
         """Seconds a delivered transfer arrives late (0.0 = on time)."""
         scope = self.scope
+        fired = []
+        with self._lock:
+            for state in self._states:
+                spec = state.spec
+                if spec.kind not in _STRAGGLER:
+                    continue
+                if spec.rank is not None and spec.rank != src:
+                    continue
+                if state.should_fire(scope):
+                    fired.append(state)
         total = 0.0
-        for state in self._states:
-            spec = state.spec
-            if spec.kind not in _STRAGGLER:
-                continue
-            if spec.rank is not None and spec.rank != src:
-                continue
-            if state.should_fire(scope):
-                self._fire(state, src=int(src), dst=int(dst), delay=spec.delay)
-                total += spec.delay
+        for state in fired:
+            self._fire(state, src=int(src), dst=int(dst),
+                       delay=state.spec.delay)
+            total += state.spec.delay
         return total
 
     def pivot_faults_possible(self) -> bool:
@@ -305,14 +340,15 @@ class FaultPlan:
         lets a post-fault retry skip redundant factorizations.
         """
         scope = self.scope
-        for state in self._states:
-            spec = state.spec
-            if (
-                spec.kind in _PIVOT_PRE + _PIVOT_POST
-                and spec.matches_scope(scope)
-                and (spec.count < 0 or state.fired < spec.count)
-            ):
-                return True
+        with self._lock:
+            for state in self._states:
+                spec = state.spec
+                if (
+                    spec.kind in _PIVOT_PRE + _PIVOT_POST
+                    and spec.matches_scope(scope)
+                    and (spec.count < 0 or state.fired < spec.count)
+                ):
+                    return True
         return False
 
     def mark_recovered(self, rank: int) -> None:

@@ -124,10 +124,16 @@ def format_phase_table(
     columns are *exclusive*, so the TOTAL row equals the run's overall
     ledger.  With ``machine`` and ``num_ranks``, a simulated-seconds column
     prices each phase's exclusive delta on that machine.
+
+    ``wall%`` is each phase's share of the total exclusive wall time.
+    Zero-duration spans (and a zero-duration run: all spans shorter than
+    the clock tick) render as 0.0% — guarded division, so the table never
+    emits a RuntimeWarning under ``-W error`` CI runs.
     """
     stats = aggregate_phases(spans)
     price = machine is not None and num_ranks is not None
-    header = f"{'phase':<24}{'n':>6}{'wall[s]':>10}"
+    run_wall = sum(st.wall_excl for st in stats)
+    header = f"{'phase':<24}{'n':>6}{'wall[s]':>10}{'wall%':>7}"
     if price:
         header += f"{'sim[s]':>10}"
     header += f"{'flops':>10}{'msgs':>8}{'bytes':>10}{'ardc':>6}"
@@ -140,7 +146,9 @@ def format_phase_table(
     total_wall = 0.0
     for st in stats:
         le = st.ledger_excl
-        row = f"{st.name:<24}{st.count:>6}{st.wall_excl:>10.3f}"
+        share = 100.0 * st.wall_excl / run_wall if run_wall > 0.0 else 0.0
+        row = (f"{st.name:<24}{st.count:>6}{st.wall_excl:>10.3f}"
+               f"{share:>6.1f}%")
         if price:
             sim = st.sim_time(machine, num_ranks)
             total_sim += sim
@@ -157,7 +165,9 @@ def format_phase_table(
             total[key] += value
 
     lines.append("-" * len(header))
-    row = f"{'TOTAL':<24}{sum(s.count for s in stats):>6}{total_wall:>10.3f}"
+    total_share = 100.0 if run_wall > 0.0 else 0.0
+    row = (f"{'TOTAL':<24}{sum(s.count for s in stats):>6}{total_wall:>10.3f}"
+           f"{total_share:>6.1f}%")
     if price:
         row += f"{total_sim:>10.3f}"
     row += (

@@ -1,0 +1,210 @@
+"""Per-tenant admission control: bounded queues, rate limits, fair share.
+
+Admission is the service's first robustness line: a saturated tenant is
+shed with a typed :class:`~repro.service.errors.ServiceOverload` *at
+submission time* — fast, explicit, and with a stable reason slug — instead
+of letting its backlog grow until every tenant's latency collapses.
+
+Three independent gates, checked in order:
+
+1. **global queue bound** (``max_total``): the whole service's queued-job
+   ceiling — sheds with reason ``"global-queue-full"``;
+2. **per-tenant queue bound** (``TenantPolicy.max_queue``) — reason
+   ``"tenant-queue-full"``;
+3. **token bucket** (``TenantPolicy.rate`` jobs/s, ``burst`` capacity) —
+   reason ``"rate-limit"``.
+
+Dispatch is weighted round-robin over tenants with non-empty queues
+(``TenantPolicy.weight`` consecutive picks per turn), so a heavy tenant
+cannot starve a light one: each gets queue slots *and* scheduler turns in
+proportion to policy, never demand.  All waits are bounded (RPR009).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.service.errors import ServiceOverload
+from repro.service.job import JobRecord
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """One tenant's admission knobs (also the service-wide default)."""
+
+    max_queue: int = 16
+    rate: float | None = None  # sustained jobs/second; None = unlimited
+    burst: int = 8             # token-bucket capacity
+    weight: int = 1            # consecutive dispatch picks per RR turn
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be > 0 when given")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.weight < 1:
+            raise ValueError("weight must be >= 1")
+
+
+class TokenBucket:
+    """Deterministic token bucket on an injectable monotonic clock."""
+
+    def __init__(self, rate: float, burst: int, now: float) -> None:
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = now
+
+    def try_take(self, now: float) -> bool:
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Bounded per-tenant FIFO queues with weighted fair-share dispatch."""
+
+    def __init__(
+        self,
+        default_policy: TenantPolicy | None = None,
+        policies: dict[str, TenantPolicy] | None = None,
+        max_total: int = 64,
+        clock=time.monotonic,
+    ) -> None:
+        if max_total < 1:
+            raise ValueError("max_total must be >= 1")
+        self.default_policy = default_policy or TenantPolicy()
+        self.policies = dict(policies or {})
+        self.max_total = max_total
+        self.clock = clock
+        self._cond = threading.Condition()
+        self._queues: dict[str, deque[JobRecord]] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self._order: list[str] = []   # tenant registration order (stable RR)
+        self._cursor = 0              # round-robin position into _order
+        self._credits: dict[str, int] = {}
+        self.admitted = 0
+        self.shed: dict[str, int] = {}
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        return self.policies.get(tenant, self.default_policy)
+
+    def _ensure_tenant(self, tenant: str) -> deque:
+        queue = self._queues.get(tenant, None)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+            self._order.append(tenant)
+            self._credits[tenant] = self.policy_for(tenant).weight
+        return queue
+
+    def _shed(self, reason: str, message: str, record: JobRecord, **ctx) -> None:
+        self.shed[reason] = self.shed.get(reason, 0) + 1
+        raise ServiceOverload(message, reason=reason, record=record, **ctx)
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, record: JobRecord) -> None:
+        """Enqueue or raise :class:`ServiceOverload` (caller marks the shed)."""
+        tenant = record.spec.tenant
+        policy = self.policy_for(tenant)
+        with self._cond:
+            total = sum(len(q) for q in self._queues.values())
+            if total >= self.max_total:
+                self._shed(
+                    "global-queue-full",
+                    f"service queue is full ({total}/{self.max_total})",
+                    record, tenant=tenant,
+                )
+            queue = self._ensure_tenant(tenant)
+            if len(queue) >= policy.max_queue:
+                self._shed(
+                    "tenant-queue-full",
+                    f"tenant {tenant!r} queue is full "
+                    f"({len(queue)}/{policy.max_queue})",
+                    record, tenant=tenant,
+                )
+            if policy.rate is not None:
+                bucket = self._buckets.get(tenant, None)
+                if bucket is None:
+                    bucket = self._buckets[tenant] = TokenBucket(
+                        policy.rate, policy.burst, self.clock()
+                    )
+                if not bucket.try_take(self.clock()):
+                    self._shed(
+                        "rate-limit",
+                        f"tenant {tenant!r} exceeded {policy.rate}/s "
+                        f"(burst {policy.burst})",
+                        record, tenant=tenant,
+                    )
+            queue.append(record)
+            self.admitted += 1
+            self._cond.notify()
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _pick(self) -> JobRecord | None:
+        """Weighted round-robin pick; caller holds the lock."""
+        n = len(self._order)
+        for i in range(n):
+            pos = (self._cursor + i) % n
+            tenant = self._order[pos]
+            queue = self._queues[tenant]
+            if not queue:
+                continue
+            record = queue.popleft()
+            self._credits[tenant] -= 1
+            if self._credits[tenant] <= 0:
+                # turn spent: refill and hand the cursor to the next tenant
+                self._credits[tenant] = self.policy_for(tenant).weight
+                self._cursor = (pos + 1) % n
+            else:
+                self._cursor = pos
+            return record
+        return None
+
+    def next_job(self, timeout: float) -> JobRecord | None:
+        """Dequeue the next fair-share job, waiting at most ``timeout``."""
+        with self._cond:
+            record = self._pick()
+            if record is None:
+                self._cond.wait(timeout=timeout)
+                record = self._pick()
+            return record
+
+    # -- introspection / drain --------------------------------------------
+
+    def depth(self, tenant: str | None = None) -> int:
+        with self._cond:
+            if tenant is not None:
+                queue = self._queues.get(tenant, None)
+                return 0 if queue is None else len(queue)
+            return sum(len(q) for q in self._queues.values())
+
+    def flush(self) -> list[JobRecord]:
+        """Empty every queue (the drain path); returns the evicted records."""
+        with self._cond:
+            evicted: list[JobRecord] = []
+            for tenant in self._order:
+                queue = self._queues[tenant]
+                evicted.extend(queue)
+                queue.clear()
+            self._cond.notify_all()
+            return evicted
+
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "admitted": self.admitted,
+                "queued": sum(len(q) for q in self._queues.values()),
+                "tenants": {t: len(self._queues[t]) for t in self._order},
+                "shed": dict(self.shed),
+            }

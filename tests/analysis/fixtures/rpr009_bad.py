@@ -1,0 +1,11 @@
+"""RPR009 positive fixture: unbounded blocking calls in the service layer."""
+
+import queue
+import threading
+
+
+def worker_loop(jobs: queue.Queue, drained: threading.Event, t: threading.Thread):
+    record = jobs.get()
+    drained.wait()
+    t.join()
+    return record

@@ -1,0 +1,13 @@
+"""RPR009 negative fixture: every block is bounded (or is not a block)."""
+
+import queue
+import threading
+
+
+def worker_loop(jobs: queue.Queue, drained: threading.Event, t: threading.Thread):
+    record = jobs.get(timeout=0.05)
+    drained.wait(timeout=0.25)
+    t.join(5.0)
+    labels = {"tenant": "a"}
+    tenant = labels.get("tenant")
+    return record, tenant, ",".join(sorted(labels))

@@ -24,6 +24,7 @@ CASES = {
     "rpr006": ("krylov/cg.py", "RPR006"),
     "rpr007": ("sparse/mutate.py", "RPR007"),
     "rpr008": ("core/marcher.py", "RPR008"),
+    "rpr009": ("service/queueing.py", "RPR009"),
 }
 
 
@@ -91,6 +92,29 @@ class TestScoping:
         source = (FIXTURES / "rpr006_bad.py").read_text()
         violations, _ = lint_source(source, "krylov/helpers.py")
         assert not [v for v in violations if v.code == "RPR006"]
+
+    def test_rpr009_silent_outside_the_service_layer(self):
+        # the same unbounded q.get() is legal in, say, a test helper or the
+        # backend layer — only repro.service carries the bounded-wait contract
+        source = (FIXTURES / "rpr009_bad.py").read_text()
+        violations, _ = lint_source(source, "comm/backends/pool.py")
+        assert not [v for v in violations if v.code == "RPR009"]
+
+    def test_rpr009_accepts_positional_and_keyword_bounds(self):
+        source = (
+            "def f(q, e, t, d, parts):\n"
+            "    a = q.get(timeout=1.0)\n"
+            "    b = e.wait(0.5)\n"
+            "    t.join(2.0)\n"
+            "    return a, b, d.get('k'), ','.join(parts)\n"
+        )
+        violations, _ = lint_source(source, "service/helpers.py")
+        assert not [v for v in violations if v.code == "RPR009"]
+
+    def test_rpr009_flags_each_unbounded_call(self):
+        source = "def f(q, e):\n    return q.get(), e.wait()\n"
+        violations, _ = lint_source(source, "service/helpers.py")
+        assert len([v for v in violations if v.code == "RPR009"]) == 2
 
 
 class TestMultipleHitsPerLine:

@@ -136,3 +136,85 @@ class TestCheckpointManager:
     def test_bad_prefix_rejected(self, tmp_path):
         with pytest.raises(ValueError, match="filename-safe"):
             CheckpointManager(tmp_path, prefix="a/b")
+
+
+class TestConcurrentWriterRace:
+    """Restore racing a live writer must land on a complete CRC-valid
+    snapshot — the drain/resume handoff depends on this."""
+
+    def test_restore_during_concurrent_saves(self, tmp_path):
+        import threading
+
+        writer = CheckpointManager(tmp_path, keep=2)
+        reader = CheckpointManager(tmp_path, keep=2)
+        writer.save(0, {"u": np.full(4, 0.0)}, meta={"tag": "race"})
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def write_loop():
+            step = 1
+            while not stop.is_set() and step < 400:
+                writer.save(step, {"u": np.full(4, float(step))})
+                step += 1
+
+        t = threading.Thread(target=write_loop)
+        t.start()
+        try:
+            for _ in range(200):
+                ckpt = reader.load_latest()
+                # the writer prunes old steps mid-walk, so individual reads
+                # may skip vanished files — but some intact snapshot must
+                # always be found, and its payload must match its step
+                if ckpt is None:
+                    failures.append("no intact snapshot found")
+                    break
+                if ckpt["u"][0] != float(ckpt.meta["step"]):
+                    failures.append(
+                        f"torn read: step {ckpt.meta['step']} "
+                        f"payload {ckpt['u'][0]}"
+                    )
+                    break
+        finally:
+            stop.set()
+            t.join(30.0)
+        assert not failures, failures[0]
+
+    def test_reader_falls_back_past_corrupt_newest_to_last_valid(self, tmp_path):
+        mgr = CheckpointManager(tmp_path, keep=0)
+        for step in range(3):
+            mgr.save(step, {"u": np.full(2, float(step))})
+        # a writer crash mid-rename cannot happen (atomic), but a bad disk
+        # can corrupt the newest file after the fact: flip one byte
+        raw = bytearray(mgr.path_for(2).read_bytes())
+        raw[len(raw) // 2] ^= 0x01
+        mgr.path_for(2).write_bytes(bytes(raw))
+        ckpt = mgr.load_latest()
+        assert ckpt.meta["step"] == 1 and ckpt["u"][0] == 1.0
+
+    def test_tmp_files_of_inflight_saves_invisible(self, tmp_path):
+        mgr = CheckpointManager(tmp_path)
+        mgr.save(1, {"u": np.zeros(1)})
+        # a concurrent save's half-written temp file must not be listed as
+        # a restorable step
+        (tmp_path / f"{mgr.prefix}_00000002.ckpt.tmp").write_bytes(b"partial")
+        assert mgr.steps() == [1]
+        assert mgr.load_latest().meta["step"] == 1
+
+    def test_snapshot_vanishing_mid_walk_is_skipped(self, tmp_path, monkeypatch):
+        from repro.checkpoint import manager as manager_mod
+
+        mgr = CheckpointManager(tmp_path, keep=0)
+        mgr.save(1, {"u": np.full(1, 1.0)})
+        mgr.save(2, {"u": np.full(1, 2.0)})
+        real_read = manager_mod.read_checkpoint
+
+        def read_with_prune(path):
+            # simulate the writer's retention pruning deleting the newest
+            # file between the directory listing and the read
+            if path.name.endswith("00000002.ckpt"):
+                path.unlink(missing_ok=True)
+            return real_read(path)
+
+        monkeypatch.setattr(manager_mod, "read_checkpoint", read_with_prune)
+        ckpt = mgr.load_latest()
+        assert ckpt is not None and ckpt.meta["step"] == 1

@@ -80,6 +80,26 @@ class TestCommunicatorOwnership:
         comm.close()
         comm.close()
 
+    def test_concurrent_close_shuts_down_once(self):
+        import threading
+
+        comm = Communicator(2)
+        calls = []
+        orig_shutdown = comm.backend.shutdown
+        comm.backend.shutdown = lambda: (calls.append(1), orig_shutdown())
+        barrier = threading.Barrier(4)
+
+        def race():
+            barrier.wait(timeout=5.0)
+            comm.close()
+
+        threads = [threading.Thread(target=race) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10.0)
+        assert len(calls) == 1  # exactly one close performed the shutdown
+
     def test_borrowed_backend_survives_close(self):
         mine = InProcessBackend(2)
         comm = Communicator(2, backend=mine)
@@ -220,6 +240,39 @@ class TestMultiprocessLifecycle:
         mp_backend.ensure_started()
         mp_backend.shutdown()
         mp_backend.shutdown()
+
+    def test_double_kill_is_a_noop(self, mp_backend):
+        mp_backend.ensure_started()
+        mp_backend.kill_rank(1)
+        mp_backend.kill_rank(1)  # second SIGKILL on a DEAD rank: no-op
+        assert mp_backend.supervisor.is_dead(1)
+        assert isinstance(mp_backend.classify(1), RankDeadError)
+
+    def test_kill_after_shutdown_does_not_respawn(self, mp_backend):
+        # injecting proc-kill into a world that was already shut down must
+        # not restart the ranks just to kill one of them
+        mp_backend.ensure_started()
+        mp_backend.shutdown()
+        mp_backend.kill_rank(1)
+        mp_backend.hang_rank(1)
+        assert all(mp_backend.rank_pid(r) is None for r in range(3))
+        assert not mp_backend._started
+
+    def test_kill_before_start_does_not_spawn(self):
+        b = MultiprocessBackend(2)
+        b.kill_rank(0)
+        assert b.rank_pid(0) is None and not b._started
+
+    def test_double_fence_no_second_kill(self, mp_backend):
+        mp_backend.ensure_started()
+        mp_backend.hang_rank(2)
+        for _ in range(2):
+            mp_backend.handle_timeout(2)  # exhausts the miss budget, fences
+        assert mp_backend.supervisor.records[2].fenced
+        exitcode = mp_backend.supervisor.records[2].exitcode
+        mp_backend._fence(2)  # concurrent path losing the race: no-op
+        assert mp_backend.supervisor.records[2].exitcode == exitcode
+        assert isinstance(mp_backend.classify(2), RankDeadError)
 
 
 class TestExchangeOverBackend:

@@ -116,6 +116,30 @@ class TestFencing:
         sup.record_ready(0)
         assert not sup.should_fence(0)
 
+    def test_double_fence_is_a_noop(self):
+        # two recovery paths may both decide to fence; the second SIGKILL
+        # against an already-fenced rank must not re-emit or re-count
+        sup = RankSupervisor(1, HeartbeatPolicy(fence_after=1))
+        sup.record_ready(0)
+        sup.record_miss(0)
+        with obs.tracing() as tracer:
+            sup.record_fenced(0)
+            sup.record_fenced(0)
+        assert len(_events(tracer, "comm.backend.fenced")) == 1
+        assert sup.records[0].fenced
+
+    def test_fencing_an_already_dead_rank_is_a_noop(self):
+        # the rank crashed (exit recorded) before the fence advice landed:
+        # it died on its own, so it must not be reported as fenced
+        sup = RankSupervisor(1, HeartbeatPolicy(fence_after=1))
+        sup.record_ready(0)
+        sup.record_exit(0, exitcode=-9)
+        with obs.tracing() as tracer:
+            sup.record_fenced(0)
+        assert _events(tracer, "comm.backend.fenced") == []
+        assert not sup.records[0].fenced
+        assert sup.state(0) == DEAD
+
 
 class TestClassification:
     def test_dead_rank_classifies_as_rank_dead(self):

@@ -1,0 +1,166 @@
+"""Admission control: queue bounds, rate limits, weighted fair share."""
+
+import pytest
+
+from repro.service.admission import AdmissionController, TenantPolicy, TokenBucket
+from repro.service.errors import ServiceOverload
+from repro.service.job import JobRecord, JobSpec
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_record(tenant: str = "a", n: int = 0) -> JobRecord:
+    return JobRecord(f"job-{tenant}-{n}", JobSpec(tenant=tenant))
+
+
+class TestTenantPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        {"max_queue": 0}, {"rate": 0.0}, {"burst": 0}, {"weight": 0},
+    ])
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TenantPolicy(**kwargs)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, now=clock())
+        assert bucket.try_take(clock())
+        assert bucket.try_take(clock())
+        assert not bucket.try_take(clock())   # burst spent, no time passed
+        clock.advance(1.0)
+        assert bucket.try_take(clock())       # 1 token/s refilled
+        assert not bucket.try_take(clock())
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=3, now=clock())
+        clock.advance(60.0)
+        taken = sum(bucket.try_take(clock()) for _ in range(10))
+        assert taken == 3
+
+
+class TestGates:
+    def test_global_queue_bound_sheds_with_reason(self):
+        adm = AdmissionController(max_total=2, clock=FakeClock())
+        adm.submit(make_record("a", 0))
+        adm.submit(make_record("b", 0))
+        with pytest.raises(ServiceOverload) as err:
+            adm.submit(make_record("c", 0))
+        assert err.value.reason == "global-queue-full"
+        assert adm.stats()["shed"] == {"global-queue-full": 1}
+
+    def test_tenant_queue_bound_sheds_only_that_tenant(self):
+        adm = AdmissionController(
+            default_policy=TenantPolicy(max_queue=1), max_total=100,
+            clock=FakeClock(),
+        )
+        adm.submit(make_record("a", 0))
+        with pytest.raises(ServiceOverload) as err:
+            adm.submit(make_record("a", 1))
+        assert err.value.reason == "tenant-queue-full"
+        adm.submit(make_record("b", 0))  # other tenants unaffected
+
+    def test_rate_limit_sheds_after_burst(self):
+        clock = FakeClock()
+        adm = AdmissionController(
+            default_policy=TenantPolicy(max_queue=100, rate=1.0, burst=2),
+            max_total=100, clock=clock,
+        )
+        adm.submit(make_record("a", 0))
+        adm.submit(make_record("a", 1))
+        with pytest.raises(ServiceOverload) as err:
+            adm.submit(make_record("a", 2))
+        assert err.value.reason == "rate-limit"
+        clock.advance(1.5)
+        adm.submit(make_record("a", 3))  # refilled
+
+    def test_shed_record_rides_on_the_exception(self):
+        adm = AdmissionController(max_total=1, clock=FakeClock())
+        adm.submit(make_record("a", 0))
+        victim = make_record("b", 0)
+        with pytest.raises(ServiceOverload) as err:
+            adm.submit(victim)
+        assert err.value.record is victim
+
+    def test_per_tenant_policy_overrides_default(self):
+        adm = AdmissionController(
+            default_policy=TenantPolicy(max_queue=1),
+            policies={"vip": TenantPolicy(max_queue=5)},
+            max_total=100, clock=FakeClock(),
+        )
+        for n in range(5):
+            adm.submit(make_record("vip", n))
+        assert adm.depth("vip") == 5
+
+
+class TestFairShare:
+    def test_round_robin_alternates_tenants(self):
+        adm = AdmissionController(max_total=100, clock=FakeClock())
+        for n in range(3):
+            adm.submit(make_record("a", n))
+        for n in range(3):
+            adm.submit(make_record("b", n))
+        order = [adm.next_job(timeout=0.01).spec.tenant for _ in range(6)]
+        assert order == ["a", "b", "a", "b", "a", "b"]
+
+    def test_weight_grants_consecutive_picks(self):
+        adm = AdmissionController(
+            policies={"heavy": TenantPolicy(weight=2)},
+            max_total=100, clock=FakeClock(),
+        )
+        for n in range(4):
+            adm.submit(make_record("heavy", n))
+        for n in range(2):
+            adm.submit(make_record("light", n))
+        order = [adm.next_job(timeout=0.01).spec.tenant for _ in range(6)]
+        assert order == ["heavy", "heavy", "light",
+                         "heavy", "heavy", "light"]
+
+    def test_empty_tenant_skipped_without_losing_turns(self):
+        adm = AdmissionController(max_total=100, clock=FakeClock())
+        adm.submit(make_record("a", 0))
+        assert adm.next_job(timeout=0.01).spec.tenant == "a"
+        adm.submit(make_record("b", 0))
+        assert adm.next_job(timeout=0.01).spec.tenant == "b"
+
+    def test_fifo_within_a_tenant(self):
+        adm = AdmissionController(max_total=100, clock=FakeClock())
+        for n in range(3):
+            adm.submit(make_record("a", n))
+        ids = [adm.next_job(timeout=0.01).job_id for _ in range(3)]
+        assert ids == ["job-a-0", "job-a-1", "job-a-2"]
+
+
+class TestDequeueAndDrain:
+    def test_next_job_times_out_empty(self):
+        adm = AdmissionController(clock=FakeClock())
+        assert adm.next_job(timeout=0.01) is None
+
+    def test_flush_empties_every_queue(self):
+        adm = AdmissionController(max_total=100, clock=FakeClock())
+        records = [make_record("a", 0), make_record("b", 0),
+                   make_record("b", 1)]
+        for r in records:
+            adm.submit(r)
+        evicted = adm.flush()
+        assert set(evicted) == set(records)
+        assert adm.depth() == 0
+        assert adm.next_job(timeout=0.01) is None
+
+    def test_stats_shape(self):
+        adm = AdmissionController(max_total=100, clock=FakeClock())
+        adm.submit(make_record("a", 0))
+        stats = adm.stats()
+        assert stats["admitted"] == 1 and stats["queued"] == 1
+        assert stats["tenants"] == {"a": 1} and stats["shed"] == {}

@@ -1,0 +1,106 @@
+"""Circuit breakers: trip, cooldown, half-open probe, unbreakable rungs."""
+
+from repro import obs
+from repro.service.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    BreakerPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def board(clock, threshold=3, cooldown=5.0):
+    return BreakerBoard(
+        BreakerPolicy(fail_threshold=threshold, cooldown_s=cooldown),
+        clock=clock,
+    )
+
+
+def _events(tracer, name):
+    evs = [e for e in tracer.orphan_events if e["name"] == name]
+    for s in tracer.spans:
+        evs.extend(e for e in s.events if e["name"] == name)
+    return evs
+
+
+class TestTrip:
+    def test_closed_until_threshold_consecutive_failures(self):
+        b = board(FakeClock(), threshold=3)
+        b.record_failure("schur1")
+        b.record_failure("schur1")
+        assert b.state("schur1") == CLOSED and b.allow("schur1")
+        b.record_failure("schur1")
+        assert b.state("schur1") == OPEN and not b.allow("schur1")
+
+    def test_success_resets_the_consecutive_count(self):
+        b = board(FakeClock(), threshold=2)
+        b.record_failure("schur1")
+        b.record_success("schur1")
+        b.record_failure("schur1")
+        assert b.state("schur1") == CLOSED
+
+    def test_trip_emits_breaker_open_event(self):
+        b = board(FakeClock(), threshold=1)
+        with obs.tracing() as tracer:
+            b.record_failure("schur2")
+        (ev,) = _events(tracer, "service.breaker.open")
+        assert ev["attrs"]["precond"] == "schur2"
+
+    def test_circuits_are_independent(self):
+        b = board(FakeClock(), threshold=1)
+        b.record_failure("schur1")
+        assert not b.allow("schur1") and b.allow("schur2")
+
+
+class TestCooldownAndProbe:
+    def test_open_holds_until_cooldown_then_half_open_probe(self):
+        clock = FakeClock()
+        b = board(clock, threshold=1, cooldown=5.0)
+        b.record_failure("schur1")
+        clock.advance(4.9)
+        assert not b.allow("schur1")
+        clock.advance(0.2)
+        assert b.allow("schur1")                 # the single probe
+        assert b.state("schur1") == HALF_OPEN
+        assert not b.allow("schur1")             # everyone else held back
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        b = board(clock, threshold=1, cooldown=1.0)
+        b.record_failure("schur1")
+        clock.advance(1.1)
+        assert b.allow("schur1")
+        b.record_success("schur1")
+        assert b.state("schur1") == CLOSED and b.allow("schur1")
+
+    def test_probe_failure_reopens_for_another_cooldown(self):
+        clock = FakeClock()
+        b = board(clock, threshold=3, cooldown=1.0)
+        for _ in range(3):
+            b.record_failure("schur1")
+        clock.advance(1.1)
+        assert b.allow("schur1")
+        b.record_failure("schur1")  # one probe failure re-trips immediately
+        assert b.state("schur1") == OPEN and not b.allow("schur1")
+        assert b.stats()["schur1"]["trips"] == 2
+
+
+class TestUnbreakable:
+    def test_jacobi_is_never_tripped(self):
+        b = board(FakeClock(), threshold=1)
+        for _ in range(10):
+            b.record_failure("jacobi")
+        assert b.allow("jacobi") and b.state("jacobi") == CLOSED
+        assert "jacobi" not in b.stats()
