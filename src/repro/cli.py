@@ -392,6 +392,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
               f"{out.iterations} iterations")
         print(obs.format_phase_table(tracer.spans, machine, args.nparts))
 
+        worker_table = obs.format_worker_table(tracer)
+        if worker_table:
+            # per-rank merge of the rank processes' self-measured command
+            # spans (comm.worker.round events): where worker-resident
+            # compute actually spent its CPU time, rank by rank
+            print(worker_table)
+
         cs = out.comm_stats
         print(f"comm [{out.backend}]: {cs['messages']} messages, "
               f"{cs['retries']} retries, {cs['straggler_waits']} straggler "

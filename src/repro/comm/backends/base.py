@@ -99,6 +99,22 @@ class ExecutionBackend(ABC):
         rank's process is confirmed gone.
         """
 
+    def request_many(self, messages, timeout: float):
+        """Round-trip a batch ``{rank: raw}``; per-rank results or errors.
+
+        Returns ``{rank: bytes | Exception}`` — transport failures are
+        *values*, not raises, so one broken rank cannot mask the others.
+        The default is a sequential loop; real transports override this
+        with send-all-then-collect so rank processes overlap their work.
+        """
+        results: dict[int, bytes | Exception] = {}
+        for rank in sorted(messages):
+            try:
+                results[rank] = self.request(rank, messages[rank], timeout)
+            except (TransportTimeout, TransportBroken) as exc:
+                results[rank] = exc
+        return results
+
     # -- liveness / supervision -------------------------------------------
 
     def check_alive(self, rank: int) -> bool:

@@ -37,7 +37,7 @@ from multiprocessing.connection import Connection
 from time import monotonic
 
 from repro import obs
-from repro.comm.backends import framing
+from repro.comm.backends import framing, worker
 from repro.comm.backends.base import (
     ExecutionBackend,
     TransportBroken,
@@ -50,10 +50,18 @@ from repro.resilience.errors import CommFault, MessageCorruption
 
 def _worker_main(rank: int, size: int, conn: Connection,
                  poll_interval: float) -> None:
-    """The rank process: validate, ack, and heartbeat until shutdown."""
+    """The rank process: validate, ack, compute, heartbeat until shutdown."""
     # the driver owns interrupt handling; workers die by SHUTDOWN frame,
     # pipe EOF, or the supervisor's fencing SIGKILL
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    # fork inherits driver state the child must not act on: an attached
+    # tracer would emit spans into a buffer nobody drains, and an active
+    # fault plan would double-fire injections (the driver already fires
+    # them at its own hook sites).  Neutralize both before serving.
+    obs.set_tracer(obs.NULL_TRACER)
+    from repro import faults as _faults
+    _faults._ACTIVE = None
+    store = worker.SubdomainStore()
     try:
         conn.send_bytes(framing.encode_frame(framing.HELLO, rank, rank, 0))
         last_seq: dict[tuple[int, int], int] = {}
@@ -98,6 +106,15 @@ def _worker_main(rank: int, size: int, conn: Connection,
                 conn.send_bytes(framing.encode_frame(
                     framing.ACK, frame.src, frame.dst, frame.seq,
                     frame.payload,
+                ))
+                continue
+            if frame.kind == framing.CMD:
+                # worker-resident compute; every op is idempotent, so a
+                # retransmitted CMD (same seq) simply re-executes and
+                # returns a bitwise-identical result
+                conn.send_bytes(framing.encode_frame(
+                    framing.RESULT, frame.src, frame.dst, frame.seq,
+                    worker.execute(store, frame.payload),
                 ))
                 continue
             conn.send_bytes(framing.encode_frame(
@@ -216,6 +233,40 @@ class MultiprocessBackend(ExecutionBackend):
         """Round-trip ``raw`` through ``rank``; deadline-matched response."""
         self._check_rank(rank)
         self.ensure_started()
+        want = self._send(rank, raw)
+        return self._collect(rank, want, monotonic() + timeout, timeout)
+
+    def request_many(self, messages, timeout: float):
+        """Send to every addressed rank, *then* collect the responses.
+
+        This is the overlap primitive worker-resident compute depends on:
+        all CMD frames hit the pipes before the driver blocks on the first
+        response, so the rank processes execute their subdomain work
+        concurrently while the driver waits.  Per-rank failures come back
+        as exception values, never raised — one dead rank must not hide
+        the other ranks' finished results from the caller's retry loop.
+        """
+        self.ensure_started()
+        results: dict[int, bytes | Exception] = {}
+        sent: dict[int, tuple[int, int, int, int]] = {}
+        for rank in sorted(messages):
+            self._check_rank(rank)
+            try:
+                sent[rank] = self._send(rank, messages[rank])
+            except (TransportTimeout, TransportBroken) as exc:
+                results[rank] = exc
+        deadline = monotonic() + timeout
+        for rank in sorted(sent):
+            try:
+                results[rank] = self._collect(
+                    rank, sent[rank], deadline, timeout
+                )
+            except (TransportTimeout, TransportBroken) as exc:
+                results[rank] = exc
+        return results
+
+    def _send(self, rank: int, raw: bytes) -> tuple[int, int, int, int]:
+        """Push one frame down ``rank``'s pipe; returns its matching keys."""
         if self._record_exit_if_dead(rank):
             raise TransportBroken(rank, "process exited")
         conn = self._conns[rank]
@@ -223,13 +274,26 @@ class MultiprocessBackend(ExecutionBackend):
             raise TransportBroken(rank, "transport closed")
         # header-only peek: the outgoing frame may be deliberately garbled
         # (corruption injection), and the matching keys live in the header
-        want_kind, want_src, want_dst, want_seq = framing.peek_header(raw)
+        want = framing.peek_header(raw)
         try:
             conn.send_bytes(raw)
         except (BrokenPipeError, OSError) as exc:
             self._record_exit_if_dead(rank, force=True)
             raise TransportBroken(rank, str(exc)) from exc
-        deadline = monotonic() + timeout
+        return want
+
+    def _collect(
+        self,
+        rank: int,
+        want: tuple[int, int, int, int],
+        deadline: float,
+        timeout: float,
+    ) -> bytes:
+        """Wait for the response matching ``want`` until ``deadline``."""
+        want_kind, want_src, want_dst, want_seq = want
+        conn = self._conns[rank]
+        if conn is None:
+            raise TransportBroken(rank, "transport closed")
         while True:
             remaining = deadline - monotonic()
             if remaining <= 0 or not conn.poll(remaining):
@@ -249,6 +313,10 @@ class MultiprocessBackend(ExecutionBackend):
                 continue
             if want_kind == framing.DATA and resp.kind not in (
                 framing.ACK, framing.NAK
+            ):
+                continue
+            if want_kind == framing.CMD and resp.kind not in (
+                framing.RESULT, framing.NAK
             ):
                 continue
             return framing.encode_frame(

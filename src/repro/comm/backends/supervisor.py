@@ -25,8 +25,13 @@ and classifies the terminal states into the existing
 
 Probing is pull-based: liveness is checked on demand (at startup, and
 whenever a transfer times out), never from a background thread, so runs
-stay deterministic.  Every transition emits a ``comm.backend.*`` trace
-event (``docs/observability.md``).
+stay deterministic.  Worker command rounds (:mod:`repro.comm.compute`)
+feed the same accounting without extra probes: every successful command
+response calls :meth:`RankSupervisor.record_ready` (a free heartbeat —
+with worker-resident compute the ranks answer many times per iteration),
+and a round that times out classifies through the supervisor exactly
+like a stalled transfer.  Every transition emits a ``comm.backend.*``
+trace event (``docs/observability.md``).
 """
 
 from __future__ import annotations

@@ -16,6 +16,14 @@ trace event.  Exhausting the budget raises a typed
 :class:`~repro.resilience.errors.CommFault` (``docs/robustness.md``).
 Without an active fault plan nothing can be lost or corrupted in a simulated
 exchange, so the checksum computation is elided from the clean hot path.
+
+With worker-resident compute active (multiprocess backend,
+:mod:`repro.comm.compute`), the values an exchange delivers are exactly
+what the next ``MATVEC_GHOSTS`` worker round ships back out: the driver
+gathers interface ghosts here, then forwards only those ghosts — never
+whole vectors — to the rank processes.  Worker command rounds share this
+module's failure model: the same fault-plan hook, the same retry
+classification, the same typed faults (``docs/algorithms.md`` §8).
 """
 
 from __future__ import annotations

@@ -14,13 +14,41 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from dataclasses import dataclass
+
 from repro import faults, obs
+from repro.comm import compute as worker_compute
 from repro.comm.communicator import Communicator
+from repro.factor.cache import FactorCache
 from repro.kernels import apply as apply_kernels
 from repro.distributed.partition_map import PartitionMap
 from repro.resilience.errors import NumericalFault
 from repro.sparse.blocksplit import BlockSplit, split_2x2
 from repro.utils.validation import ensure_csr
+
+
+@dataclass(frozen=True)
+class RankBlock:
+    """One rank's column-compacted row block of the fused operator.
+
+    ``a`` keeps every row's entries in the *same storage order* as the
+    fused matrix (the compaction map is monotone), so ``a @ xsub`` runs
+    each row's accumulation in the identical order — the worker-side
+    product is bitwise equal to the matching slice of the fused product.
+    ``cols`` are the distributed-global indices backing ``xsub``;
+    ``own_pos``/``own_sel`` scatter the rank's own values (the worker's
+    z-register) into ``xsub``, ``ghost_pos``/``ghost_cols`` place the
+    shipped interface values.  ``key`` is the content digest the shipping
+    protocol dedupes on.
+    """
+
+    key: str
+    a: sp.csr_matrix
+    cols: np.ndarray
+    own_pos: np.ndarray
+    own_sel: np.ndarray
+    ghost_pos: np.ndarray
+    ghost_cols: np.ndarray
 
 
 class DistributedMatrix:
@@ -62,6 +90,8 @@ class DistributedMatrix:
         self._fused = self._build_fused()
         # static per-rank matvec flop counts (2 flops per stored entry)
         self.matvec_flops = np.asarray([2.0 * a.nnz for a in self.local])
+        # lazily built worker-shipping blocks (rank -> RankBlock)
+        self._rank_blocks: dict[int, RankBlock] = {}
 
     # -- construction of the fused operator --------------------------------
 
@@ -85,6 +115,40 @@ class DistributedMatrix:
         cols = np.concatenate([p[1] for p in parts])
         data = np.concatenate([p[2] for p in parts])
         return ensure_csr(sp.coo_matrix((data, (rows, cols)), shape=(n, n)).tocsr())
+
+    def rank_block(self, r: int) -> RankBlock:
+        """Rank ``r``'s shippable :class:`RankBlock` (built once, cached).
+
+        A CSR row slice preserves each row's entry order, and the column
+        compaction (``searchsorted`` into the sorted used-column set) is a
+        monotone relabeling — together they guarantee the block product is
+        bitwise equal to the fused product's row slice.
+        """
+        blk = self._rank_blocks.get(r)
+        if blk is not None:
+            return blk
+        lo = int(self.pm.layout.rank_ptr[r])
+        hi = int(self.pm.layout.rank_ptr[r + 1])
+        rows = self._fused[lo:hi].tocsr()
+        cols = np.unique(rows.indices) if rows.nnz else np.empty(0, dtype=rows.indices.dtype)
+        a = sp.csr_matrix(
+            (rows.data, np.searchsorted(cols, rows.indices), rows.indptr),
+            shape=(hi - lo, len(cols)),
+        )
+        own = (cols >= lo) & (cols < hi)
+        own_pos = np.nonzero(own)[0]
+        ghost_pos = np.nonzero(~own)[0]
+        blk = RankBlock(
+            key=FactorCache.key("matvec-block", a, (lo, hi), family="worker-ship"),
+            a=a,
+            cols=cols,
+            own_pos=own_pos,
+            own_sel=cols[own_pos] - lo,
+            ghost_pos=ghost_pos,
+            ghost_cols=cols[ghost_pos],
+        )
+        self._rank_blocks[r] = blk
+        return blk
 
     # -- operator application ----------------------------------------------
 
@@ -111,8 +175,15 @@ class DistributedMatrix:
         )
         # tier-dispatched product (repro.kernels.apply): scipy's compiled CSR
         # matvec on the numpy tier, the scalar spec loop on reference/numba —
-        # all bit-compatible, so forcing a tier pins the whole solve
-        y = apply_kernels.csr_matvec(self._fused, x)
+        # all bit-compatible, so forcing a tier pins the whole solve.  On a
+        # real backend the product runs *in the rank processes* over
+        # column-compacted row blocks (bitwise equal by construction); the
+        # guard and fault hooks below see the assembled result either way.
+        wc = worker_compute.session(comm)
+        if wc is not None:
+            y = wc.matvec(self, x)
+        else:
+            y = apply_kernels.csr_matvec(self._fused, x)
         plan = faults.active()
         if plan is not None:
             plan.kernel_output("dist.matvec", y)

@@ -13,8 +13,10 @@ from __future__ import annotations
 import numpy as np
 
 from repro import obs
+from repro.comm import compute as worker_compute
 from repro.comm.communicator import Communicator
 from repro.distributed.layout import Layout
+from repro.krylov.ops import fixed_tree_sum
 
 
 class DistributedOps:
@@ -27,11 +29,34 @@ class DistributedOps:
         self.layout = layout
 
     def dot(self, x: np.ndarray, y: np.ndarray) -> float:
-        """Global inner product (charges per-rank flops + one allreduce)."""
+        """Global inner product (charges per-rank flops + one allreduce).
+
+        Evaluated as per-rank partials combined by the fixed-order pairwise
+        tree (:func:`~repro.krylov.ops.fixed_tree_sum`) — the reduction
+        order is a function of the rank count alone, so the result is
+        bitwise identical whether the partials come from driver-local
+        slices (the default) or from worker processes
+        (``REPRO_WORKER_DOT=1``), on any backend.  One rank short-circuits
+        to the historical whole-vector product.
+        """
         self.comm.ledger.add_phase(2.0 * self.layout.sizes)
         self.comm.ledger.add_allreduce(nbytes=8)
         obs.event("comm.allreduce", bytes=8)
-        return float(np.dot(x, y))
+        if self.layout.num_ranks == 1:
+            return float(np.dot(x, y))
+        wc = (
+            worker_compute.session(self.comm)
+            if worker_compute.dot_enabled() else None
+        )
+        if wc is not None:
+            parts = wc.dot_partials(self.layout, x, y)
+        else:
+            parts = [
+                float(np.dot(x[self.layout.local_slice(r)],
+                             y[self.layout.local_slice(r)]))
+                for r in range(self.layout.num_ranks)
+            ]
+        return fixed_tree_sum(parts)
 
     def norm(self, x: np.ndarray) -> float:
         return float(np.sqrt(max(self.dot(x, x), 0.0)))

@@ -262,10 +262,15 @@ class FaultPlan:
     # -- communication-level hooks (the integrity envelope consults these) ---
 
     def exchange_begin(self, backend=None) -> None:
-        """Called once at the start of every ghost exchange.
+        """Called once at the start of every delivery opportunity.
 
-        The opportunity counter of a ``rank-dead`` spec counts *exchanges*,
-        so ``start=k`` kills the rank at the k-th exchange of the run.
+        Two sites fire this hook: every ghost exchange
+        (:mod:`repro.comm.pattern`) and every worker command round
+        (:mod:`repro.comm.compute`) — with worker-resident compute on the
+        multiprocess backend, a ``MATVEC`` or ``APPLY`` round is as real a
+        chance to lose a rank as an exchange is.  The opportunity counter
+        of a ``rank-dead`` spec counts these calls, so ``start=k`` kills
+        the rank at the k-th opportunity of the run.
 
         ``backend`` is the communicator's execution backend; the process
         kinds (``proc-kill`` / ``proc-hang``) act on it when its ranks are

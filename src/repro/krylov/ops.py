@@ -7,6 +7,30 @@ from typing import Protocol
 import numpy as np
 
 
+def fixed_tree_sum(parts) -> float:
+    """Fixed-order pairwise tree reduction of per-rank partial sums.
+
+    The deterministic-reduction contract of the distributed inner product
+    (docs/algorithms.md, "Fixed-order tree reductions"): partials are
+    combined pairwise by ascending rank — ``(p0+p1) + (p2+p3)`` — level by
+    level, an odd tail passing through unchanged.  The combination order is
+    a pure function of the rank count, never of timing or transport, which
+    is what keeps inprocess and multiprocess results bitwise equal whether
+    the partials were computed in the driver or shipped back from worker
+    processes.  A single partial returns unchanged, so ``p = 1`` reproduces
+    the historical whole-vector ``np.dot`` bit for bit.
+    """
+    vals = [float(v) for v in parts]
+    if not vals:
+        return 0.0
+    while len(vals) > 1:
+        nxt = [vals[i] + vals[i + 1] for i in range(0, len(vals) - 1, 2)]
+        if len(vals) % 2:
+            nxt.append(vals[-1])
+        vals = nxt
+    return vals[0]
+
+
 class KernelOps(Protocol):
     """The three kernels a Krylov method needs (paper Sec. 1)."""
 

@@ -23,13 +23,17 @@ from repro.obs.export import (
 )
 from repro.obs.metrics import (
     PhaseStat,
+    WorkerOpStat,
     aggregate_phases,
+    aggregate_worker_rounds,
     conservation_error,
     exclusive_deltas,
     exclusive_walls,
     format_phase_table,
+    format_worker_table,
     ledger_from_delta,
     sum_exclusive,
+    worker_round_events,
 )
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -62,6 +66,10 @@ __all__ = [
     "sum_exclusive",
     "ledger_from_delta",
     "format_phase_table",
+    "WorkerOpStat",
+    "aggregate_worker_rounds",
+    "format_worker_table",
+    "worker_round_events",
     "conservation_error",
     "TRACE_SCHEMA",
     "trace_to_dict",

@@ -180,6 +180,89 @@ def format_phase_table(
     return "\n".join(lines)
 
 
+def worker_round_events(tracer) -> list[dict]:
+    """All ``comm.worker.round`` events of a trace, span-nested or orphan."""
+    evs = [e for e in tracer.orphan_events if e["name"] == "comm.worker.round"]
+    for s in tracer.spans:
+        evs.extend(e for e in s.events if e["name"] == "comm.worker.round")
+    return evs
+
+
+@dataclass
+class WorkerOpStat:
+    """Aggregated worker-side attribution for one command op.
+
+    ``rank_seconds`` / ``rank_cpu_seconds`` are the per-rank sums of the
+    worker-measured wall and CPU time (``process_time`` — preemption on an
+    oversubscribed host is excluded, so the numbers attribute *compute*, not
+    scheduling luck).  ``critical_seconds`` sums each round's slowest rank:
+    the wall this op would cost if every rank had its own core.
+    """
+
+    op: str
+    rounds: int = 0
+    driver_seconds: float = 0.0
+    critical_seconds: float = 0.0
+    bytes: int = 0
+    rank_seconds: dict[int, float] = field(default_factory=dict)
+    rank_cpu_seconds: dict[int, float] = field(default_factory=dict)
+
+
+def aggregate_worker_rounds(tracer) -> list[WorkerOpStat]:
+    """Merge per-round ``comm.worker.round`` events into per-op, per-rank
+    statistics (first-seen op order) — the ``repro trace`` worker table."""
+    stats: dict[str, WorkerOpStat] = {}
+    order: list[str] = []
+    for event in worker_round_events(tracer):
+        attrs = event["attrs"]
+        op = attrs["op"]
+        if op not in stats:
+            stats[op] = WorkerOpStat(op=op)
+            order.append(op)
+        st = stats[op]
+        st.rounds += 1
+        st.driver_seconds += float(attrs.get("driver_seconds", 0.0))
+        st.bytes += int(attrs.get("bytes", 0))
+        cpu = [float(v) for v in attrs.get("cpu_seconds", [])]
+        if cpu:
+            st.critical_seconds += max(cpu)
+        for rank, sec, cpu_sec in zip(
+            attrs.get("ranks", []), attrs.get("seconds", []), cpu
+        ):
+            rank = int(rank)
+            st.rank_seconds[rank] = st.rank_seconds.get(rank, 0.0) + float(sec)
+            st.rank_cpu_seconds[rank] = (
+                st.rank_cpu_seconds.get(rank, 0.0) + cpu_sec
+            )
+    return [stats[op] for op in order]
+
+
+def format_worker_table(tracer) -> str:
+    """Render per-rank worker-side attribution, or '' when no rounds fired.
+
+    One row per command op: round count, driver-observed wall, critical
+    path (sum of each round's slowest rank), shipped bytes, then the
+    per-rank worker CPU seconds — the merge of every rank process's
+    self-measured spans into one driver-side view.
+    """
+    stats = aggregate_worker_rounds(tracer)
+    if not stats:
+        return ""
+    ranks = sorted({r for st in stats for r in st.rank_cpu_seconds})
+    header = f"{'worker op':<16}{'rounds':>7}{'drv[s]':>8}{'crit[s]':>8}" \
+             f"{'bytes':>10}" + "".join(f"{f'r{r}[s]':>8}" for r in ranks)
+    lines = [header, "-" * len(header)]
+    for st in stats:
+        lines.append(
+            f"{st.op:<16}{st.rounds:>7}{st.driver_seconds:>8.3f}"
+            f"{st.critical_seconds:>8.3f}{_fmt_qty(st.bytes):>10}"
+            + "".join(
+                f"{st.rank_cpu_seconds.get(r, 0.0):>8.3f}" for r in ranks
+            )
+        )
+    return "\n".join(lines)
+
+
 def conservation_error(spans: list[Span], totals: dict[str, float]) -> float:
     """Largest relative mismatch between span-attributed and run totals.
 

@@ -24,6 +24,12 @@ Robustness composition per chunk:
 
 Non-FGMRES solvers cannot checkpoint mid-solve (see ``solve_case``), so
 they run as one chunk with the deadline clamped up front.
+
+With ``backend="multiprocess"`` a job's subdomain arithmetic executes in
+the supervised rank processes (worker-resident compute,
+``docs/algorithms.md`` §8) — the service's worker threads drive the
+protocol rounds while the rank processes do the flops, so one service
+worker no longer serializes its job's per-rank compute on the GIL.
 """
 
 from __future__ import annotations

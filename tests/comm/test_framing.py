@@ -91,6 +91,143 @@ def test_single_flipped_bit_always_detected(kind, seq, payload, data):
     assert frame.payload == payload
 
 
+class TestPeekHeaderTruncation:
+    """``peek_header`` must reject short input, never crash on it.
+
+    Regression: the original implementation fed whatever arrived straight
+    into ``struct.unpack_from``, so a frame shorter than the fixed header
+    escaped the :class:`MessageCorruption` taxonomy as a bare
+    ``struct.error`` out of the retry loop.
+    """
+
+    def test_empty_input_is_corruption(self):
+        with pytest.raises(MessageCorruption):
+            framing.peek_header(b"")
+
+    @pytest.mark.parametrize("cut", range(framing.HEADER_SIZE))
+    def test_every_short_prefix_of_a_real_frame_is_corruption(self, cut):
+        raw = framing.encode_frame(framing.DATA, 3, 1, 9, b"xyz")
+        with pytest.raises(MessageCorruption) as exc:
+            framing.peek_header(raw[:cut])
+        # every short prefix of a real frame starts with (a prefix of) the
+        # magic, so the taxonomy reports truncation, not bad-magic
+        assert exc.value.context["reason"] == "truncated"
+        assert exc.value.context["nbytes"] == cut
+
+    def test_short_foreign_bytes_report_bad_magic(self):
+        with pytest.raises(MessageCorruption) as exc:
+            framing.peek_header(b"zz")
+        assert exc.value.context["reason"] == "bad-magic"
+
+    @given(junk=st.binary(max_size=framing.HEADER_SIZE - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_any_short_input_raises_only_corruption(self, junk):
+        with pytest.raises(MessageCorruption):
+            framing.peek_header(junk)
+
+    def test_full_header_still_peeks(self):
+        raw = framing.encode_frame(framing.PING, 2, 2, 17)
+        assert framing.peek_header(raw) == (framing.PING, 2, 2, 17)
+
+
+ARRAY_DTYPES = st.sampled_from(sorted(framing.ARRAY_DTYPES.values()))
+
+
+@st.composite
+def wire_arrays(draw):
+    dtype = np.dtype(draw(ARRAY_DTYPES))
+    n = draw(st.integers(min_value=0, max_value=64))
+    if dtype.kind == "f":
+        values = draw(st.lists(
+            st.floats(allow_nan=False, width=64), min_size=n, max_size=n,
+        ))
+    else:
+        info = np.iinfo(dtype)
+        values = draw(st.lists(
+            st.integers(min_value=int(info.min), max_value=int(info.max)),
+            min_size=n, max_size=n,
+        ))
+    return np.asarray(values, dtype=dtype)
+
+
+class TestArrayCodec:
+    """Zero-copy array payloads: raw little-endian buffers, no pickle."""
+
+    @given(a=wire_arrays())
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_is_bitwise(self, a):
+        out, end = framing.decode_array(framing.encode_array(a))
+        assert out.dtype == np.dtype(a.dtype).newbyteorder("<")
+        assert out.tobytes() == a.tobytes()
+        assert end == framing.ARRAY_HEADER_SIZE + a.nbytes
+
+    @given(a=wire_arrays())
+    @settings(max_examples=60, deadline=None)
+    def test_decoded_view_is_zero_copy_and_readonly(self, a):
+        buf = framing.encode_array(a)
+        out, _ = framing.decode_array(buf)
+        assert not out.flags.writeable
+        if a.size:
+            assert out.base is not None  # a view over the buffer, not a copy
+
+    def test_nan_payload_survives_bitwise(self):
+        a = np.array([np.nan, -np.nan, np.inf, -0.0])
+        out, _ = framing.decode_array(framing.encode_array(a))
+        assert out.tobytes() == a.tobytes()
+
+    @given(arrays=st.lists(wire_arrays(), max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_concatenated_blocks_round_trip(self, arrays):
+        buf = framing.encode_arrays(arrays)
+        out, end = framing.decode_arrays(buf)
+        assert end == len(buf)
+        assert len(out) == len(arrays)
+        for got, want in zip(out, arrays):
+            assert got.tobytes() == want.tobytes()
+
+    def test_2d_arrays_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            framing.encode_array(np.zeros((2, 2)))
+
+    def test_object_dtype_rejected(self):
+        with pytest.raises(ValueError, match="not shippable"):
+            framing.encode_array(np.array(["a", "b"], dtype=object))
+
+    @given(a=wire_arrays(), data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_truncation_always_detected(self, a, data):
+        buf = framing.encode_array(a)
+        cut = data.draw(st.integers(min_value=0, max_value=len(buf) - 1))
+        with pytest.raises(MessageCorruption):
+            framing.decode_array(buf[:cut])
+
+    @given(data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_header_bit_flips_detected_or_content_preserving(self, data):
+        """Any single-bit flip in an array-block *header* is detected.
+
+        Magic flips report bad-magic, dtype-code flips either leave the
+        table (bad-dtype) or change the element width (truncated body),
+        count flips break the length bookkeeping.  Flips that happen to
+        keep the header consistent (e.g. shrinking the count) may decode —
+        but then the decoded bytes must be a prefix of the original body,
+        never garbage.  Body integrity end-to-end is the *frame* CRC's
+        job, tested above.
+        """
+        a = data.draw(wire_arrays())
+        buf = bytearray(framing.encode_array(a))
+        pos = data.draw(st.integers(
+            min_value=0, max_value=framing.ARRAY_HEADER_SIZE - 1,
+        ))
+        bit = data.draw(st.integers(min_value=0, max_value=7))
+        buf[pos] ^= 1 << bit
+        try:
+            out, _ = framing.decode_array(bytes(buf))
+        except MessageCorruption:
+            return
+        assert a.tobytes().startswith(out.tobytes())
+
+
 class TestPipeTransport:
     """The codec over a real OS pipe — what the multiprocess backend ships."""
 

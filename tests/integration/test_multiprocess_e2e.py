@@ -105,6 +105,102 @@ class TestKillAndRecover:
         assert fenced and fenced[0]["attrs"]["rank"] == 1
 
 
+class TestWorkerResidentState:
+    """Worker-resident subdomain compute: parity, shipping, and recovery."""
+
+    def test_block2_bitwise_identical_across_backends(self, case):
+        # block2's hot path (ILU sweeps + matvec) runs *in the workers* on
+        # the multiprocess backend; the answers must still be bitwise equal
+        ref = solve_case(case, precond="block2", nparts=3)
+        out = solve_case(case, precond="block2", nparts=3,
+                         backend="multiprocess")
+        assert out.status == ref.status == "converged"
+        assert out.iterations == ref.iterations
+        assert out.x_global.tobytes() == ref.x_global.tobytes()
+        assert out.residuals == ref.residuals
+
+    def test_worker_rounds_carry_the_hot_path(self, case):
+        with obs.tracing() as tracer:
+            out = solve_case(case, precond="block2", nparts=2,
+                             backend="multiprocess")
+        assert out.status == "converged"
+        rounds = _events(tracer, "comm.worker.round")
+        ops = {e["attrs"]["op"] for e in rounds}
+        # sweeps and ghost-only matvecs run worker-side every iteration;
+        # state ships via load/factor rounds
+        assert "apply" in ops
+        assert "matvec-ghosts" in ops
+        assert ops & {"load-factor", "factor"}
+        # per-rank attribution present on every round
+        for e in rounds:
+            assert len(e["attrs"]["seconds"]) == len(e["attrs"]["ranks"])
+            assert len(e["attrs"]["cpu_seconds"]) == len(e["attrs"]["ranks"])
+        # content addressing: factors ship once, not once per iteration
+        napply = sum(1 for e in rounds if e["attrs"]["op"] == "apply")
+        nload = sum(1 for e in rounds
+                    if e["attrs"]["op"] in ("load-factor", "load-matrix",
+                                            "factor"))
+        assert napply > 2 * nload
+
+    def test_kill_mid_solve_reships_worker_state_and_recovers(self, case):
+        """SIGKILL a rank mid-iteration: the recovered solve must re-ship
+        subdomain state to a fresh worker fleet and still hit the original
+        convergence target (satellite: worker-resident state across
+        ``absorb_rank``)."""
+        baseline = solve_case(case, precond="block2", nparts=3)
+        assert baseline.status == "converged"
+        atol = 1e-6 * np.linalg.norm(case.rhs)
+
+        plan = faults.FaultPlan(
+            faults.FaultSpec("proc-kill", rank=2, start=6)
+        )
+        with obs.tracing() as tracer, faults.inject(plan):
+            res = ResilientSolver().solve(
+                case, precond="block2", nparts=3, backend="multiprocess",
+            )
+        (rec,) = plan.injected
+        assert rec["kind"] == "proc-kill"
+        assert res.recovered
+        out = res.outcome
+        assert out.status == "converged"
+        resid = np.linalg.norm(case.rhs - case.matrix @ out.x_global)
+        assert resid <= atol
+
+        # worker state moved twice: once in the primary attempt, and again
+        # after recovery built a fresh backend (empty shipped-key set)
+        rounds = _events(tracer, "comm.worker.round")
+        ship_rounds = [e for e in rounds
+                       if e["attrs"]["op"] in ("load-factor", "load-matrix")]
+        assert len(ship_rounds) >= 2
+
+    def test_reshipped_keys_match_content_identity(self, partitioned_poisson):
+        """A fresh session (what recovery creates) re-ships under the *same*
+        content digests — the reloaded subdomain hash matches what the
+        original session shipped."""
+        from repro.comm import compute
+        from repro.comm.communicator import Communicator
+        from repro.precond.block_jacobi import block2
+
+        pm, dmat, rhs, _ = partitioned_poisson
+        comm = Communicator(pm.num_ranks, backend="multiprocess")
+        try:
+            M = block2(dmat, comm)
+            z = M.apply(pm.to_distributed(rhs))
+            assert np.isfinite(z).all()
+            wc = compute.session(comm)
+            assert wc is not None
+            keys = dict(M._ship_keys)
+            assert all(wc.is_shipped(r, keys[r]) for r in keys)
+            # recovery semantics: a brand-new session starts empty and must
+            # re-ship every factor under the identical content key
+            wc2 = compute.WorkerCompute(comm)
+            assert M._ensure_worker_factors(wc2) == pm.num_ranks
+            assert all(wc2.is_shipped(r, keys[r]) for r in keys)
+            assert M._ship_keys == keys
+        finally:
+            comm.close()
+
+
 class TestBackendDeterminismCheck:
     def test_check_backend_reports_identical(self, case):
         from repro.analysis.determinism import check_determinism

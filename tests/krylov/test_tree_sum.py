@@ -1,0 +1,49 @@
+"""Fixed-order pairwise tree reduction: the deterministic-dot contract."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.krylov.ops import fixed_tree_sum
+
+FLOATS = st.floats(allow_nan=False, allow_infinity=False,
+                   min_value=-1e12, max_value=1e12)
+
+
+class TestFixedTreeSum:
+    def test_empty_is_zero(self):
+        assert fixed_tree_sum([]) == 0.0
+
+    def test_single_partial_passes_through_bitwise(self):
+        # p = 1 must reproduce the historical whole-vector dot bit for bit
+        v = 0.1 + 0.2
+        assert fixed_tree_sum([v]) == v
+
+    def test_combination_order_is_ascending_pairwise(self):
+        # ((p0+p1) + (p2+p3)) — not left-to-right accumulation
+        p = [1e16, 1.0, -1e16, 1.0]
+        assert fixed_tree_sum(p) == (p[0] + p[1]) + (p[2] + p[3])
+
+    def test_odd_tail_passes_through_each_level(self):
+        p = [1.0, 2.0, 3.0]
+        assert fixed_tree_sum(p) == (p[0] + p[1]) + p[2]
+        p5 = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert fixed_tree_sum(p5) == ((p5[0] + p5[1]) + (p5[2] + p5[3])) + p5[4]
+
+    @given(parts=st.lists(FLOATS, max_size=16))
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic_function_of_the_partials(self, parts):
+        a = fixed_tree_sum(parts)
+        b = fixed_tree_sum(list(parts))
+        assert a == b or (np.isnan(a) and np.isnan(b))
+
+    @given(parts=st.lists(FLOATS, min_size=1, max_size=16))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_explicit_tree(self, parts):
+        vals = list(parts)
+        while len(vals) > 1:
+            nxt = [vals[i] + vals[i + 1] for i in range(0, len(vals) - 1, 2)]
+            if len(vals) % 2:
+                nxt.append(vals[-1])
+            vals = nxt
+        assert fixed_tree_sum(parts) == vals[0]

@@ -3,11 +3,14 @@ import pytest
 from repro.comm.communicator import Communicator
 from repro.obs.metrics import (
     aggregate_phases,
+    aggregate_worker_rounds,
     conservation_error,
     exclusive_deltas,
     format_phase_table,
+    format_worker_table,
     ledger_from_delta,
     sum_exclusive,
+    worker_round_events,
 )
 from repro.obs.tracer import Tracer
 from repro.perfmodel.machine import LINUX_CLUSTER
@@ -113,3 +116,52 @@ class TestPhaseTable:
         table = format_phase_table(t.spans)
         assert "sim[s]" not in table
         assert "wall[s]" in table
+
+
+def _worker_traced_run():
+    """A tracer holding worker rounds both span-nested and orphaned."""
+    comm = Communicator(2)
+    t = Tracer(comm)
+    with t.span("krylov.solve"):
+        t.event("comm.worker.round", op="apply", backend="multiprocess",
+                ranks=[0, 1], seconds=[0.4, 0.1], cpu_seconds=[0.3, 0.1],
+                driver_seconds=0.6, bytes=100)
+        t.event("comm.worker.round", op="apply", backend="multiprocess",
+                ranks=[0, 1], seconds=[0.1, 0.5], cpu_seconds=[0.1, 0.4],
+                driver_seconds=0.7, bytes=150)
+    t.event("comm.worker.round", op="factor", backend="multiprocess",
+            ranks=[1], seconds=[2.0], cpu_seconds=[1.5],
+            driver_seconds=2.1, bytes=50)
+    return t
+
+
+class TestWorkerRoundMerge:
+    def test_events_found_in_spans_and_orphans(self):
+        t = _worker_traced_run()
+        assert len(worker_round_events(t)) == 3
+
+    def test_per_op_per_rank_attribution(self):
+        t = _worker_traced_run()
+        stats = {s.op: s for s in aggregate_worker_rounds(t)}
+        assert sorted(stats) == ["apply", "factor"]
+        a = stats["apply"]
+        assert a.rounds == 2
+        assert a.bytes == 250
+        assert a.rank_cpu_seconds == {0: pytest.approx(0.4),
+                                      1: pytest.approx(0.5)}
+        assert a.rank_seconds == {0: pytest.approx(0.5),
+                                  1: pytest.approx(0.6)}
+        # critical path sums each round's slowest rank, not the rank sums
+        assert a.critical_seconds == pytest.approx(0.3 + 0.4)
+        assert stats["factor"].rank_cpu_seconds == {1: pytest.approx(1.5)}
+
+    def test_table_lists_every_rank_column(self):
+        t = _worker_traced_run()
+        table = format_worker_table(t)
+        assert "r0[s]" in table and "r1[s]" in table
+        assert any(line.startswith("apply") for line in table.splitlines())
+        assert any(line.startswith("factor") for line in table.splitlines())
+
+    def test_empty_trace_renders_nothing(self):
+        comm = Communicator(2)
+        assert format_worker_table(Tracer(comm)) == ""
