@@ -15,7 +15,12 @@ the system grows:
 * :mod:`repro.analysis.determinism` — the determinism checker (``python -m
   repro check-determinism``): run a case twice per kernel tier and across
   serial/parallel setup, bitwise-compare iterates, residual histories and
-  factors, and emit a ``repro.determinism.v1`` report.
+  factors, and emit a ``repro.determinism.v1`` report;
+* :mod:`repro.analysis.proto` — protocol/concurrency analysis (``python -m
+  repro verify-protocol``): wire-contract coverage over the comm backends
+  (RPR010), state-machine model checking of the supervisor/job/breaker
+  lifecycles (RPR011), and interprocedural lock-order / blocking-under-lock
+  detection (RPR012), reported as ``repro.proto.v1``.
 
 Each rule, trap and check is documented in ``docs/static-analysis.md``.
 
@@ -35,6 +40,10 @@ __all__ = [
     "lint_source",
     "DeterminismReport",
     "check_determinism",
+    "MachineSpec",
+    "MACHINE_SPECS",
+    "ProtoReport",
+    "verify_protocol",
 ]
 
 _LAZY = {
@@ -44,6 +53,10 @@ _LAZY = {
     "lint_source": ("repro.analysis.lint", "lint_source"),
     "DeterminismReport": ("repro.analysis.determinism", "DeterminismReport"),
     "check_determinism": ("repro.analysis.determinism", "check_determinism"),
+    "MachineSpec": ("repro.analysis.proto", "MachineSpec"),
+    "MACHINE_SPECS": ("repro.analysis.proto", "MACHINE_SPECS"),
+    "ProtoReport": ("repro.analysis.proto", "ProtoReport"),
+    "verify_protocol": ("repro.analysis.proto", "verify_protocol"),
 }
 
 

@@ -18,7 +18,10 @@ from repro.analysis.lint.engine import (
     LintReport,
     lint_paths,
     lint_source,
+    lint_source_full,
     module_of,
+    noqa_map,
+    stale_noqa_entries,
     write_json_report,
 )
 from repro.analysis.lint.rules import RULES, RULES_BY_CODE, Rule, Violation
@@ -31,7 +34,10 @@ __all__ = [
     "LintReport",
     "lint_paths",
     "lint_source",
+    "lint_source_full",
     "module_of",
+    "noqa_map",
+    "stale_noqa_entries",
     "write_json_report",
     "LINT_SCHEMA",
     "BASELINE_SCHEMA",

@@ -14,15 +14,25 @@ Suppression syntax, on the offending line::
 A trailing free-text rationale is encouraged — the lint-clean test keeps
 ``src/repro`` at zero unsuppressed, unbaselined violations, so every noqa
 is a reviewed, documented decision.
+
+Noqa comments are found by tokenizing, not by regex over raw lines, so a
+noqa example inside a docstring (like the ones above) is inert.  A noqa
+that names a code which no longer fires on its line is **stale** and fails
+the run — suppressions must be deleted when the violation they excused is
+fixed.  Staleness is judged per code and only against the codes active in
+the current run (a ``noqa(RPR012)`` is the verify-protocol pass's to
+audit, not the linter's); a bare ``# repro: noqa`` is exempt.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.analysis.lint.baseline import (
     BaselineMatch,
@@ -50,6 +60,8 @@ class LintReport:
     suppressed: list[Violation]
     parse_errors: list[str] = field(default_factory=list)
     baseline: BaselineMatch | None = None
+    #: noqa comments naming an active code that no longer fires on their line
+    stale_noqas: list[dict] = field(default_factory=list)
 
     @property
     def new_violations(self) -> list[Violation]:
@@ -59,7 +71,11 @@ class LintReport:
 
     @property
     def clean(self) -> bool:
-        return not self.new_violations and not self.parse_errors
+        return (
+            not self.new_violations
+            and not self.parse_errors
+            and not self.stale_noqas
+        )
 
     def counts(self) -> dict[str, int]:
         out: dict[str, int] = {}
@@ -78,6 +94,7 @@ class LintReport:
                 for v in self.violations
             ],
             "suppressed": [v.to_dict() for v in self.suppressed],
+            "stale_noqas": list(self.stale_noqas),
             "parse_errors": list(self.parse_errors),
         }
         if self.baseline is not None:
@@ -89,30 +106,74 @@ class LintReport:
         return doc
 
 
-def _noqa_codes(line: str) -> set[str] | None:
-    """Codes suppressed on ``line`` — empty set means 'all codes'."""
-    m = _NOQA_RE.search(line)
-    if m is None:
-        return None
-    codes = m.group("codes")
-    if codes is None:
-        return set()
-    return {c.strip() for c in codes.split(",") if c.strip()}
+def noqa_map(source: str) -> dict[int, set[str]]:
+    """Line → codes suppressed there; empty set means 'all codes'.
+
+    Only real COMMENT tokens count — the regex never sees string bodies,
+    so noqa examples inside docstrings (including this module's own) are
+    inert.  On tokenize failure the file simply has no suppressions; the
+    parse error is reported through the normal path.
+    """
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        m = _NOQA_RE.search(tok.string)
+        if m is None:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[tok.start[0]] = set()
+        else:
+            out[tok.start[0]] = {
+                c.strip() for c in codes.split(",") if c.strip()
+            }
+    return out
 
 
 def _split_suppressed(
-    ctx: FileContext, violations: list[Violation]
+    noqas: Mapping[int, set[str]], violations: list[Violation]
 ) -> tuple[list[Violation], list[Violation]]:
     kept: list[Violation] = []
     suppressed: list[Violation] = []
     for v in violations:
-        line = ctx.lines[v.line - 1] if 1 <= v.line <= len(ctx.lines) else ""
-        codes = _noqa_codes(line)
+        codes = noqas.get(v.line)
         if codes is not None and (not codes or v.code in codes):
             suppressed.append(v)
         else:
             kept.append(v)
     return kept, suppressed
+
+
+def stale_noqa_entries(
+    path: str,
+    noqas: Mapping[int, set[str]],
+    suppressed: list[Violation],
+    active_codes: Iterable[str],
+) -> list[dict]:
+    """Noqas naming an active code that suppressed nothing on their line.
+
+    Judged per code: ``noqa(RPR001,RPR005)`` with only an RPR001 hit on
+    the line is stale for RPR005.  Codes outside ``active_codes`` (owned
+    by a different pass, or a rule subset run) are never judged, and a
+    bare ``# repro: noqa`` is exempt — it states intent for every pass.
+    """
+    active = set(active_codes)
+    hit: dict[int, set[str]] = {}
+    for v in suppressed:
+        hit.setdefault(v.line, set()).add(v.code)
+    stale: list[dict] = []
+    for line, codes in sorted(noqas.items()):
+        if not codes:
+            continue
+        for code in sorted(codes & active):
+            if code not in hit.get(line, set()):
+                stale.append({"path": path, "line": line, "code": code})
+    return stale
 
 
 def module_of(path: Path) -> str:
@@ -136,13 +197,32 @@ def lint_source(
     ``"comm/pattern.py"`` — the unit tests use this to exercise scoped
     rules on fixture snippets.
     """
+    kept, suppressed, _stale = lint_source_full(
+        source, module, path=path, rules=rules
+    )
+    return kept, suppressed
+
+
+def lint_source_full(
+    source: str,
+    module: str,
+    path: str = "<string>",
+    rules: Iterable[Rule] = RULES,
+) -> tuple[list[Violation], list[Violation], list[dict]]:
+    """Like :func:`lint_source` plus the stale-noqa entries for the file."""
+    rules = tuple(rules)
     ctx = FileContext(path=path, module=module, source=source)
     found: list[Violation] = []
     for rule in rules:
         if ctx.in_scope(rule.scope):
             found.extend(rule.check(ctx))
     found.sort(key=lambda v: (v.path, v.line, v.col, v.code))
-    return _split_suppressed(ctx, found)
+    noqas = noqa_map(source)
+    kept, suppressed = _split_suppressed(noqas, found)
+    stale = stale_noqa_entries(
+        path, noqas, suppressed, (r.code for r in rules)
+    )
+    return kept, suppressed, stale
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterable[Path]:
@@ -163,13 +243,14 @@ def lint_paths(
     rules = tuple(rules)
     violations: list[Violation] = []
     suppressed: list[Violation] = []
+    stale_noqas: list[dict] = []
     errors: list[str] = []
     n_files = 0
     for path in iter_python_files(paths):
         n_files += 1
         try:
             source = path.read_text()
-            kept, supp = lint_source(
+            kept, supp, stale = lint_source_full(
                 source, module_of(path), path=path.as_posix(), rules=rules
             )
         except (SyntaxError, UnicodeDecodeError) as exc:
@@ -177,6 +258,7 @@ def lint_paths(
             continue
         violations.extend(kept)
         suppressed.extend(supp)
+        stale_noqas.extend(stale)
 
     match = None
     if baseline_path is not None and Path(baseline_path).exists():
@@ -187,6 +269,7 @@ def lint_paths(
         suppressed=suppressed,
         parse_errors=errors,
         baseline=match,
+        stale_noqas=stale_noqas,
     )
 
 

@@ -18,6 +18,14 @@ on the offending line).  The full rationale per rule lives in
 | RPR007 | in-place CSR ``data``/``indices``/``indptr`` mutation without invariant re-check |
 | RPR008 | bare ``time.sleep`` / raw ``multiprocessing`` primitives outside ``repro.comm.backends`` |
 | RPR009 | blocking ``get``/``wait``/``join``/``recv`` without an explicit ``timeout`` in ``repro.service`` |
+| RPR010 | wire-contract violation: opcode/frame-kind/dtype outside the closed tables |
+| RPR011 | state-machine divergence from the declared supervisor/job/breaker specs |
+| RPR012 | lock-order cycle or blocking call reachable while a lock is held |
+
+RPR001–009 run per file under ``python -m repro lint``.  RPR010–012 are
+whole-program analyses implemented by :mod:`repro.analysis.proto` and run
+under ``python -m repro verify-protocol``; they share this violation type
+and the noqa/baseline ergonomics but are not in :data:`RULES`.
 """
 
 from __future__ import annotations

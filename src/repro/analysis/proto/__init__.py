@@ -1,0 +1,54 @@
+"""Protocol and concurrency static analysis (``python -m repro verify-protocol``).
+
+Three cooperating AST analyses over the parallel layer that PRs 7–9 built:
+
+* :mod:`.wire` — RPR010, closed-world wire-contract checker for the opcode
+  table, frame kinds, and ``ARRAY_DTYPES`` in ``repro.comm.backends``;
+* :mod:`.machines` — RPR011, explicit transition specs for the rank
+  supervisor, job record, and breaker, model-checked exhaustively and
+  cross-checked against the implementing code;
+* :mod:`.locks` — RPR012, interprocedural lock-order cycles and
+  blocking-calls-under-lock over ``repro.service`` / ``repro.comm`` /
+  the factor cache / checkpointing.
+
+Findings ship in a ``repro.proto.v1`` report (:mod:`.report`) with the same
+noqa + baseline ergonomics as the linter.  See docs/static-analysis.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "MACHINE_SPECS",
+    "MachineSpec",
+    "ProtoReport",
+    "check_locks",
+    "check_machines",
+    "check_wire",
+    "model_check",
+    "verify_protocol",
+    "write_proto_report",
+]
+
+_LAZY = {
+    "MACHINE_SPECS": ("repro.analysis.proto.machines", "MACHINE_SPECS"),
+    "MachineSpec": ("repro.analysis.proto.machines", "MachineSpec"),
+    "ProtoReport": ("repro.analysis.proto.report", "ProtoReport"),
+    "check_locks": ("repro.analysis.proto.locks", "check_locks"),
+    "check_machines": ("repro.analysis.proto.machines", "check_machines"),
+    "check_wire": ("repro.analysis.proto.wire", "check_wire"),
+    "model_check": ("repro.analysis.proto.machines", "model_check"),
+    "verify_protocol": ("repro.analysis.proto.report", "verify_protocol"),
+    "write_proto_report": ("repro.analysis.proto.report", "write_proto_report"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

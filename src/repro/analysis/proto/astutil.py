@@ -1,0 +1,149 @@
+"""Shared AST extraction helpers for the protocol/concurrency analyses.
+
+Everything in :mod:`repro.analysis.proto` works on source text, never on
+imported modules — the contract tables (opcodes, frame kinds, dtype codes,
+transition dicts) are read straight out of the defining files' ASTs, so the
+checks cannot be fooled by import-time monkeypatching and they run on any
+tree, not just the installed package.  The helpers here are the small
+vocabulary the three analyses share: dotted-name chains, module-level
+literal tables, and positioned lookups into a parsed file.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.analysis.lint.rules import FileContext
+
+
+def load_context(path: Path, module: str) -> FileContext:
+    """Parse ``path`` into the lint :class:`FileContext` (shared indexes)."""
+    return FileContext(
+        path=path.as_posix(), module=module, source=path.read_text()
+    )
+
+
+def name_chain(node: ast.AST) -> tuple[str, ...]:
+    """Dotted parts of a Name/Attribute chain, outermost first.
+
+    ``framing.CMD`` → ``("framing", "CMD")``; anything that is not a pure
+    Name/Attribute chain (subscripts, calls, literals) yields ``()``.
+    """
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def tail_name(node: ast.AST) -> str | None:
+    """Last segment of a Name/Attribute chain (``framing.CMD`` → ``CMD``)."""
+    chain = name_chain(node)
+    return chain[-1] if chain else None
+
+
+def module_assign(tree: ast.Module, name: str) -> ast.expr | None:
+    """The value of the module-level assignment ``name = <expr>``, if any."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+        ):
+            return node.value
+    return None
+
+
+def int_constants(tree: ast.Module) -> dict[str, tuple[int, ast.Assign]]:
+    """Module-level ``NAME = <int literal>`` assignments."""
+    out: dict[str, tuple[int, ast.Assign]] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and type(node.value.value) is int
+        ):
+            out[node.targets[0].id] = (node.value.value, node)
+    return out
+
+
+def str_constants(tree: ast.Module) -> dict[str, tuple[str, ast.Assign]]:
+    """Module-level ``NAME = "literal"`` assignments."""
+    out: dict[str, tuple[str, ast.Assign]] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            out[node.targets[0].id] = (node.value.value, node)
+    return out
+
+
+def name_keyed_dict(node: ast.expr | None) -> dict[str, ast.expr] | None:
+    """A ``{NAME: <expr>, ...}`` dict literal as ``{name: value-node}``.
+
+    Returns None when ``node`` is not a dict literal whose keys are all
+    plain names (the shape of ``OP_NAMES`` / ``_HANDLERS`` / ``KIND_NAMES``).
+    """
+    if not isinstance(node, ast.Dict):
+        return None
+    out: dict[str, ast.expr] = {}
+    for key, value in zip(node.keys, node.values):
+        if not isinstance(key, ast.Name):
+            return None
+        out[key.id] = value
+    return out
+
+
+def literal_dict(node: ast.expr | None) -> dict[object, object] | None:
+    """Evaluate a pure-literal dict node (``ARRAY_DTYPES``-shaped tables)."""
+    if not isinstance(node, ast.Dict):
+        return None
+    try:
+        value = ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return None
+    return value if isinstance(value, dict) else None
+
+
+def name_tuple(node: ast.expr | None) -> tuple[str, ...] | None:
+    """A ``(NAME, NAME, ...)`` tuple literal as its member names."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    names: list[str] = []
+    for elt in node.elts:
+        if not isinstance(elt, ast.Name):
+            return None
+        names.append(elt.id)
+    return tuple(names)
+
+
+def function_defs(tree: ast.Module) -> dict[str, ast.FunctionDef]:
+    """Module-level (top-level only) function definitions by name."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, ast.FunctionDef)
+    }
+
+
+def call_chains(tree: ast.AST) -> list[tuple[tuple[str, ...], ast.Call]]:
+    """Every call in ``tree`` paired with its dotted callee chain."""
+    out: list[tuple[tuple[str, ...], ast.Call]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            chain = name_chain(node.func)
+            if chain:
+                out.append((chain, node))
+    return out

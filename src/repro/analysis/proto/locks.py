@@ -1,0 +1,462 @@
+"""RPR012 — interprocedural lock-order and blocking-under-lock analysis.
+
+RPR008/RPR009 are per-line lints: they flag a bare ``sleep`` or an
+unbounded ``.get()`` where it is written.  This module generalizes them to
+whole-program checks over ``repro.service`` + ``repro.comm`` + the factor
+cache + checkpointing:
+
+* a **call graph** is built over every function/method in the scan roots,
+  with deliberately conservative resolution (``self.m()`` to the enclosing
+  class, bare names to the same module, ``ClassName()`` to ``__init__``,
+  and ``obj.m()`` only when exactly one scanned class defines ``m`` and
+  the name is not a generic container/IO verb — resolving ``dict.get`` to
+  ``JobTable.get`` would fabricate deadlocks);
+* every ``with self.<lock>:`` / ``.acquire()`` site contributes to a
+  **lock-acquisition-order graph** whose nodes are ``module:Class.attr``
+  lock identities; edges follow both lexical nesting and (transitively)
+  calls made while a lock is held;
+* **cycles** in that graph are potential deadlocks (RPR012), as is
+  re-acquiring a lock already held (``threading.Lock`` is non-reentrant);
+* **blocking calls** — ``time.sleep`` and unbounded ``.get()/.wait()/
+  .join()/.recv()/.poll()/.acquire()`` — reachable while a lock is held
+  are RPR012 findings too; ``cond.wait()`` on the held condition itself is
+  exempt (it releases the lock while waiting).
+
+Unresolved calls are silently ignored (an under-approximation: the
+analysis can miss deadlocks through dynamic dispatch, but it does not
+invent them).  Nested function bodies are not traversed — they run on
+other threads or later, outside the enclosing lock scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint.rules import FileContext, Violation
+from repro.analysis.proto.astutil import load_context, name_chain, tail_name
+
+CODE = "RPR012"
+
+SCAN_ROOTS: tuple[str, ...] = ("service", "comm", "factor", "checkpoint")
+
+_LOCK_FACTORIES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "TrackedLock",
+})
+
+# Methods never resolved through the one-class-defines-it heuristic: these
+# names collide with dict/list/queue/thread/pipe verbs, so a match would be
+# noise, not signal.
+_GENERIC_METHODS = frozenset({
+    "get", "put", "pop", "append", "add", "remove", "items", "keys",
+    "values", "update", "copy", "clear", "close", "start", "stop", "run",
+    "join", "wait", "poll", "recv", "send", "acquire", "release",
+    "notify", "notify_all", "read", "write", "flush", "open", "submit",
+    "result", "cancel", "encode", "decode", "format", "split", "strip",
+    "stats", "snapshot", "reset", "describe",
+})
+
+_BLOCKING_METHODS = frozenset({
+    "get", "wait", "join", "recv", "poll", "acquire",
+})
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One lock attribute owned by a scanned class."""
+
+    key: str        # "service/job.py:JobTable._lock"
+    module: str
+    cls: str
+    attr: str
+    line: int
+    factory: str    # Lock / Condition / TrackedLock / ...
+
+
+@dataclass
+class FunctionInfo:
+    """One scanned function/method with its local lock behaviour."""
+
+    key: str        # "service/job.py:JobTable.get" or "comm/compute.py:f"
+    module: str
+    ctx: FileContext
+    node: ast.FunctionDef
+    cls: str | None
+    # (callee-key, call-node, locks-held-at-site)
+    calls: list[tuple[str, ast.Call, tuple[str, ...]]] = field(
+        default_factory=list
+    )
+    local_acquires: set[str] = field(default_factory=set)
+    # (description, node, locks-held-at-site)
+    local_blocking: list[tuple[str, ast.expr, tuple[str, ...]]] = field(
+        default_factory=list
+    )
+
+
+@dataclass
+class LockGraph:
+    """The assembled model: locks, functions, and acquisition-order edges."""
+
+    locks: dict[str, LockSite] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    # (held, acquired) -> [(function-key, node)]
+    order_edges: dict[tuple[str, str], list[tuple[str, ast.AST]]] = field(
+        default_factory=dict
+    )
+
+    def add_edge(self, held: str, acquired: str, fn: str, node: ast.AST) -> None:
+        self.order_edges.setdefault((held, acquired), []).append((fn, node))
+
+
+def _iter_modules(root: Path) -> list[tuple[Path, str]]:
+    out: list[tuple[Path, str]] = []
+    for sub in SCAN_ROOTS:
+        base = root / sub
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            out.append((path, path.relative_to(root).as_posix()))
+    return out
+
+
+def _class_locks(
+    module: str, cls: ast.ClassDef
+) -> dict[str, LockSite]:
+    """``self.<attr> = threading.Lock()``-style assignments anywhere in cls."""
+    out: dict[str, LockSite] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            continue
+        if not isinstance(node.value, ast.Call):
+            continue
+        factory = tail_name(node.value.func)
+        if factory not in _LOCK_FACTORIES:
+            continue
+        key = f"{module}:{cls.name}.{target.attr}"
+        out[target.attr] = LockSite(
+            key=key, module=module, cls=cls.name, attr=target.attr,
+            line=node.lineno, factory=factory,
+        )
+    return out
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    """``self.X`` → ``"X"``; anything else → None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_unbounded(call: ast.Call) -> bool:
+    """No positional args and no timeout/block bound → may block forever."""
+    if call.args:
+        return False
+    for kw in call.keywords:
+        if kw.arg in ("timeout", "block", "blocking"):
+            return False
+    return True
+
+
+class _FunctionScanner:
+    """Collects calls, acquisitions, and blocking sites for one function."""
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        class_locks: dict[str, LockSite],
+        graph: LockGraph,
+        resolver: "_CallResolver",
+    ) -> None:
+        self.info = info
+        self.class_locks = class_locks
+        self.graph = graph
+        self.resolver = resolver
+
+    def scan(self) -> None:
+        for stmt in self.info.node.body:
+            self._visit(stmt, held=())
+
+    def _lock_for_expr(self, expr: ast.expr) -> LockSite | None:
+        attr = _self_attr(expr)
+        if attr is None:
+            return None
+        return self.class_locks.get(attr)
+
+    def _visit(self, node: ast.AST, held: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return  # deferred execution: not under the current lock scope
+        if isinstance(node, ast.With):
+            inner = held
+            for item in node.items:
+                lock = self._lock_for_expr(item.context_expr)
+                if lock is None:
+                    continue
+                self.info.local_acquires.add(lock.key)
+                for h in inner:
+                    self.graph.add_edge(h, lock.key, self.info.key, node)
+                inner = inner + (lock.key,)
+            for stmt in node.body:
+                self._visit(stmt, inner)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, held)
+            # still recurse into arguments (nested calls)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, held)
+
+    def _visit_call(self, call: ast.Call, held: tuple[str, ...]) -> None:
+        chain = name_chain(call.func)
+        if not chain:
+            return
+        method = chain[-1]
+        # explicit .acquire() on a known lock attribute
+        if method == "acquire" and len(chain) == 3 and chain[0] == "self":
+            lock = self.class_locks.get(chain[1])
+            if lock is not None:
+                self.info.local_acquires.add(lock.key)
+                for h in held:
+                    self.graph.add_edge(h, lock.key, self.info.key, call)
+                return
+        # blocking-call detection
+        if chain[:2] == ("time", "sleep") or chain == ("sleep",):
+            self.info.local_blocking.append(
+                (f"{'.'.join(chain)}()", call, held)
+            )
+        elif method in _BLOCKING_METHODS and _is_unbounded(call):
+            # cond.wait() on the held condition releases it while waiting
+            cond_wait = (
+                method == "wait"
+                and len(chain) == 3
+                and chain[0] == "self"
+                and chain[1] in self.class_locks
+                and self.class_locks[chain[1]].key in held
+            )
+            if not cond_wait:
+                self.info.local_blocking.append(
+                    (f"{'.'.join(chain)}() with no timeout", call, held)
+                )
+        # call-graph edge
+        callee = self.resolver.resolve(self.info, chain)
+        if callee is not None:
+            self.info.calls.append((callee, call, held))
+
+
+class _CallResolver:
+    """Conservative callee resolution over the scanned modules."""
+
+    def __init__(self) -> None:
+        self.module_functions: dict[str, dict[str, str]] = {}
+        self.class_methods: dict[str, dict[str, str]] = {}  # cls -> m -> key
+        self.method_owners: dict[str, list[str]] = {}       # m -> [keys]
+        self.class_init: dict[str, str] = {}
+
+    def register(self, info: FunctionInfo) -> None:
+        name = info.node.name
+        if info.cls is None:
+            self.module_functions.setdefault(info.module, {})[name] = info.key
+            return
+        cls_key = f"{info.module}:{info.cls}"
+        self.class_methods.setdefault(cls_key, {})[name] = info.key
+        self.method_owners.setdefault(name, []).append(info.key)
+        if name == "__init__":
+            self.class_init[info.cls] = info.key
+
+    def resolve(
+        self, caller: FunctionInfo, chain: tuple[str, ...]
+    ) -> str | None:
+        name = chain[-1]
+        if len(chain) == 1:
+            # bare name: same-module function, or a scanned class constructor
+            fn = self.module_functions.get(caller.module, {}).get(name)
+            if fn is not None:
+                return fn
+            return self.class_init.get(name)
+        if chain[0] == "self" and len(chain) == 2 and caller.cls is not None:
+            cls_key = f"{caller.module}:{caller.cls}"
+            return self.class_methods.get(cls_key, {}).get(name)
+        # obj.m(): only when unambiguous and not a generic verb
+        if name in _GENERIC_METHODS:
+            return None
+        owners = self.method_owners.get(name, [])
+        if len(owners) == 1:
+            return owners[0]
+        return None
+
+
+def _build_graph(root: Path) -> LockGraph:
+    graph = LockGraph()
+    resolver = _CallResolver()
+    scanners: list[_FunctionScanner] = []
+    for path, module in _iter_modules(root):
+        ctx = load_context(path, module)
+        for node in ctx.tree.body:
+            if isinstance(node, ast.ClassDef):
+                locks = _class_locks(module, node)
+                for site in locks.values():
+                    graph.locks[site.key] = site
+                for sub in node.body:
+                    if isinstance(sub, ast.FunctionDef):
+                        info = FunctionInfo(
+                            key=f"{module}:{node.name}.{sub.name}",
+                            module=module, ctx=ctx, node=sub, cls=node.name,
+                        )
+                        graph.functions[info.key] = info
+                        resolver.register(info)
+                        scanners.append(
+                            _FunctionScanner(info, locks, graph, resolver)
+                        )
+            elif isinstance(node, ast.FunctionDef):
+                info = FunctionInfo(
+                    key=f"{module}:{node.name}", module=module,
+                    ctx=ctx, node=node, cls=None,
+                )
+                graph.functions[info.key] = info
+                resolver.register(info)
+                scanners.append(_FunctionScanner(info, {}, graph, resolver))
+    for scanner in scanners:
+        scanner.scan()
+    return graph
+
+
+def _transitive_acquires(graph: LockGraph) -> dict[str, set[str]]:
+    """Fixpoint: locks a call to each function may acquire, transitively."""
+    acquires = {
+        key: set(info.local_acquires) for key, info in graph.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key, info in graph.functions.items():
+            for callee, _node, _held in info.calls:
+                extra = acquires.get(callee, set()) - acquires[key]
+                if extra:
+                    acquires[key] |= extra
+                    changed = True
+    return acquires
+
+
+def _transitive_blocking(graph: LockGraph) -> dict[str, set[str]]:
+    """Fixpoint: blocking-site descriptions reachable from each function."""
+    blocking = {
+        key: {desc for desc, _node, _held in info.local_blocking}
+        for key, info in graph.functions.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for key, info in graph.functions.items():
+            for callee, _node, _held in info.calls:
+                extra = blocking.get(callee, set()) - blocking[key]
+                if extra:
+                    blocking[key] |= extra
+                    changed = True
+    return blocking
+
+
+def _find_cycles(
+    edges: dict[tuple[str, str], list[tuple[str, ast.AST]]]
+) -> list[tuple[str, ...]]:
+    """Every elementary cycle in the lock-order graph, canonicalized."""
+    adjacency: dict[str, list[str]] = {}
+    for (src, dst), _sites in sorted(edges.items()):
+        adjacency.setdefault(src, []).append(dst)
+    cycles: set[tuple[str, ...]] = set()
+
+    def dfs(start: str, cur: str, path: tuple[str, ...]) -> None:
+        for nxt in adjacency.get(cur, ()):
+            if nxt == start:
+                rotation = min(range(len(path)), key=lambda i: path[i])
+                cycles.add(path[rotation:] + path[:rotation])
+            elif nxt not in path and len(path) < 8:
+                dfs(start, nxt, path + (nxt,))
+
+    for node in sorted(adjacency):
+        dfs(node, node, (node,))
+    return sorted(cycles)
+
+
+def check_locks(root: Path) -> tuple[list[Violation], dict[str, object]]:
+    """Run the lock-order / blocking-under-lock analysis over ``root``."""
+    graph = _build_graph(root)
+    acquires = _transitive_acquires(graph)
+    blocking = _transitive_blocking(graph)
+    violations: list[Violation] = []
+
+    # 1. propagate call-site acquisitions into lock-order edges, and flag
+    #    re-acquisition of a held (non-reentrant) lock through a call
+    for info in graph.functions.values():
+        for callee, node, held in info.calls:
+            if not held:
+                continue
+            for lock in sorted(acquires.get(callee, set())):
+                for h in held:
+                    if h == lock:
+                        factory = graph.locks[h].factory
+                        if factory == "RLock":
+                            continue
+                        violations.append(info.ctx.violation(
+                            node, CODE,
+                            f"call to {callee} re-acquires non-reentrant "
+                            f"lock {h} already held by {info.key}",
+                        ))
+                    else:
+                        graph.add_edge(h, lock, info.key, node)
+
+    # 2. cycles in the assembled lock-order graph
+    for cycle in _find_cycles(graph.order_edges):
+        closed = cycle + (cycle[0],)
+        pretty = " -> ".join(closed)
+        edge = (closed[0], closed[1])
+        fn_key, node = graph.order_edges[edge][0]
+        ctx = graph.functions[fn_key].ctx
+        violations.append(ctx.violation(
+            node, CODE,
+            f"lock-order cycle (potential deadlock): {pretty} "
+            f"(first edge in {fn_key})",
+        ))
+
+    # 3. blocking calls while any lock is held — direct and via calls
+    for info in graph.functions.values():
+        for desc, node, held in info.local_blocking:
+            if held:
+                violations.append(info.ctx.violation(
+                    node, CODE,
+                    f"blocking call {desc} while holding {', '.join(held)}",
+                ))
+        for callee, node, held in info.calls:
+            if not held:
+                continue
+            reachable = sorted(blocking.get(callee, set()))
+            if reachable:
+                violations.append(info.ctx.violation(
+                    node, CODE,
+                    f"call to {callee} may block ({reachable[0]}) while "
+                    f"holding {', '.join(held)}",
+                ))
+
+    summary: dict[str, object] = {
+        "locks": sorted(graph.locks),
+        "functions_scanned": len(graph.functions),
+        "call_edges": sum(len(i.calls) for i in graph.functions.values()),
+        "order_edges": sorted(
+            [list(edge) for edge in graph.order_edges],
+        ),
+        "cycles": [list(c) for c in _find_cycles(graph.order_edges)],
+        "blocking_sites": sum(
+            len(i.local_blocking) for i in graph.functions.values()
+        ),
+    }
+    return violations, summary

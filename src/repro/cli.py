@@ -225,6 +225,27 @@ def make_parser() -> argparse.ArgumentParser:
     lint.add_argument("--json", default=None, metavar="PATH",
                       help="write a repro.lint.v1 JSON report")
 
+    proto = sub.add_parser(
+        "verify-protocol",
+        help="protocol/concurrency static analysis: wire contracts "
+        "(RPR010), state-machine model check (RPR011), lock-order and "
+        "blocking-under-lock (RPR012)",
+    )
+    proto.add_argument("root", nargs="?", default=None,
+                       help="package root to analyse (the directory holding "
+                       "comm/, service/, ...; default: the installed "
+                       "repro package)")
+    proto.add_argument("--baseline", default=None,
+                       help="baseline JSON of grandfathered findings "
+                       "(default: proto-baseline.json when it exists)")
+    proto.add_argument("--no-baseline", action="store_true",
+                       help="report every finding, baselined or not")
+    proto.add_argument("--write-baseline", default=None, metavar="PATH",
+                       help="write the current findings as the new baseline "
+                       "and exit 0")
+    proto.add_argument("--json", default=None, metavar="PATH",
+                       help="write a repro.proto.v1 JSON report")
+
     det = sub.add_parser(
         "check-determinism",
         help="bitwise-compare solves across kernel tiers, repeats, and "
@@ -512,12 +533,79 @@ def cmd_lint(args: argparse.Namespace) -> int:
              "baselined" if baseline is not None else "")
           + (f", {len(report.suppressed)} suppressed by noqa"
              if report.suppressed else ""))
+    for entry in report.stale_noqas:
+        print(f"stale noqa: {entry['path']}:{entry['line']}: "
+              f"{entry['code']} no longer fires on this line — delete it")
     if report.baseline is not None and report.baseline.stale:
         print(f"note: {len(report.baseline.stale)} stale baseline "
               "entr(ies) no longer match — shrink the baseline")
     if args.json:
         print(f"report written to {write_json_report(args.json, report)}")
     return 0 if report.clean and not report.parse_errors else 1
+
+
+def cmd_verify_protocol(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis.lint.baseline import write_baseline
+    from repro.analysis.proto.report import (
+        DEFAULT_PROTO_BASELINE,
+        verify_protocol,
+        write_proto_report,
+    )
+
+    if args.write_baseline is not None:
+        report = verify_protocol(root=args.root)
+        path = write_baseline(args.write_baseline, report.violations)
+        print(f"proto baseline with {len(report.violations)} finding(s) "
+              f"written to {path}")
+        return 0
+
+    baseline = args.baseline
+    if baseline is None and not args.no_baseline \
+            and os.path.exists(DEFAULT_PROTO_BASELINE):
+        baseline = DEFAULT_PROTO_BASELINE
+    if args.no_baseline:
+        baseline = None
+    report = verify_protocol(root=args.root, baseline_path=baseline)
+
+    shown = report.violations if baseline is None else report.new_violations
+    for v in shown:
+        print(v.format())
+    for err in report.parse_errors:
+        print(f"parse error: {err}")
+    for entry in report.stale_noqas:
+        print(f"stale noqa: {entry['path']}:{entry['line']}: "
+              f"{entry['code']} no longer fires on this line — delete it")
+
+    wire = report.wire
+    opcodes = wire.get("opcodes", {})
+    kinds = wire.get("frame_kinds", {})
+    dtypes = wire.get("dtypes", {})
+    print(f"wire: {len(opcodes)} opcode(s), {len(kinds)} frame kind(s), "
+          f"{len(dtypes)} dtype(s) covered")
+    for m in report.machines:
+        status = "ok" if not m["violations"] else \
+            f"{len(m['violations'])} invariant violation(s)"
+        print(f"machine {m['machine']}: {m['states_explored']} state(s), "
+              f"{m['product_states_explored']} product state(s), "
+              f"{len(m['invariants_proven'])} invariant(s) proven — {status}")
+    locks = report.locks
+    print(f"locks: {len(locks.get('locks', []))} lock(s), "
+          f"{locks.get('functions_scanned', 0)} function(s), "
+          f"{len(locks.get('order_edges', []))} order edge(s), "
+          f"{len(locks.get('cycles', []))} cycle(s)")
+    print(f"{len(shown)} finding(s)"
+          + (f", {len(report.violations) - len(report.new_violations)} "
+             "baselined" if baseline is not None else "")
+          + (f", {len(report.suppressed)} suppressed by noqa"
+             if report.suppressed else ""))
+    if report.baseline is not None and report.baseline.stale:
+        print(f"note: {len(report.baseline.stale)} stale baseline "
+              "entr(ies) no longer match — shrink the baseline")
+    if args.json:
+        print(f"report written to {write_proto_report(args.json, report)}")
+    return 0 if report.clean else 1
 
 
 def cmd_check_determinism(args: argparse.Namespace) -> int:
@@ -591,6 +679,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace": cmd_trace,
         "faults": cmd_faults,
         "lint": cmd_lint,
+        "verify-protocol": cmd_verify_protocol,
         "check-determinism": cmd_check_determinism,
         "serve": cmd_serve,
         "info": cmd_info,

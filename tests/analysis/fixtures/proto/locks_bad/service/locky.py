@@ -1,0 +1,50 @@
+"""Lock usage seeded with RPR012 findings (fixture).
+
+``Alpha.crosswise`` + ``Beta.crosswise_back`` form a lock-order cycle,
+``Alpha.sleepy`` sleeps under its lock, ``Alpha.reenter`` re-acquires a
+non-reentrant lock through a call, and ``Beta.stuck`` blocks on an
+unbounded ``get()`` while holding its lock.
+"""
+
+import threading
+import time
+
+
+class Alpha:
+    def __init__(self, beta):
+        self._la = threading.Lock()
+        self.beta = beta
+
+    def crosswise(self):
+        with self._la:
+            return self.beta.grab_beta()
+
+    def grab_alpha(self):
+        with self._la:
+            return 1
+
+    def sleepy(self):
+        with self._la:
+            time.sleep(0.5)
+
+    def reenter(self):
+        with self._la:
+            return self.grab_alpha()
+
+
+class Beta:
+    def __init__(self, alpha):
+        self._lb = threading.Lock()
+        self.alpha = alpha
+
+    def crosswise_back(self):
+        with self._lb:
+            return self.alpha.grab_alpha()
+
+    def grab_beta(self):
+        with self._lb:
+            return 2
+
+    def stuck(self, q):
+        with self._lb:
+            return q.get()

@@ -1,0 +1,36 @@
+"""Rank supervisor seeded with RPR011 spec divergences (fixture).
+
+``record_ready`` drops the terminal guard (a DEAD rank can be
+resurrected), ``record_zombie`` assigns a state the spec never declared,
+and no mutator ever enters SUSPECT.
+"""
+
+SPAWNED = "spawned"
+READY = "ready"
+SUSPECT = "suspect"
+DEAD = "dead"
+ZOMBIE = "zombie"
+
+RANK_STATES = (SPAWNED, READY, SUSPECT, DEAD)
+
+
+class RankSupervisor:
+    def __init__(self):
+        self.state = SPAWNED
+        self.misses = 0
+
+    def record_spawn(self):
+        self.state = SPAWNED
+        self.misses = 0
+
+    def record_ready(self):
+        self.state = READY
+        self.misses = 0
+
+    def record_zombie(self):
+        self.state = ZOMBIE
+
+    def record_exit(self):
+        if self.state == DEAD:
+            return
+        self.state = DEAD

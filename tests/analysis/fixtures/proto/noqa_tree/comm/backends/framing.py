@@ -1,0 +1,16 @@
+# Noqa ergonomics fixture: one live suppression, one stale one.  No
+# module docstring on purpose — anchor-at-body[0] findings land on the
+# DATA line below, where the suppression sits.
+
+DATA = 1  # repro: noqa(RPR010) fixture: DATA is intentionally unconstructed
+
+FRAME_KINDS = (DATA,)
+
+KIND_NAMES = {
+    DATA: "data",
+    GHOST: "ghost",  # repro: noqa(RPR010) forward-compat alias, documented
+}
+
+ARRAY_DTYPES = {1: "<f8"}
+
+SEQ_WIDTH = 4  # repro: noqa(RPR010) stale: nothing fires on this line

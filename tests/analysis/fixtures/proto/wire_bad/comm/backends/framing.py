@@ -1,0 +1,28 @@
+"""Framing tables seeded with RPR010 contract violations (fixture)."""
+
+DATA = 1
+ACK = 2
+CMD = 3
+RESULT = 4
+GHOST = 5    # declared but never constructed: dead protocol surface
+SHADOW = 4   # duplicate wire value (collides with RESULT)
+
+FRAME_KINDS = (DATA, ACK, CMD, RESULT, GHOST, SHADOW)
+
+KIND_NAMES = {
+    DATA: "data",
+    ACK: "ack",
+    CMD: "cmd",
+    RESULT: "result",
+    SHADOW: "shadow",
+}
+
+ARRAY_DTYPES = {1: "<f8", 2: "<i8"}
+
+
+def encode_frame(kind, seq, payload):
+    return bytes([kind, seq]) + payload
+
+
+def decode_frame(buf):
+    return buf

@@ -1,0 +1,51 @@
+"""Worker opcode table seeded with RPR010 violations (fixture)."""
+
+from .framing import CMD, DATA, RESULT, encode_frame
+
+
+class RogueError(Exception):
+    """Neither a taxonomy class nor a builtin: undecodable driver-side."""
+
+
+OP_PING = 1
+OP_WORK = 2
+OP_ORPHAN = 3   # no OP_NAMES entry, no handler
+
+OP_NAMES = {
+    OP_PING: "ping",
+    OP_WORK: "work",
+}
+
+
+def pack_command(op, meta, arrays=()):
+    return bytes([op])
+
+
+def unpack_command(payload):
+    return payload[0], {}, []
+
+
+def _handle_ping(store, meta, arrays):
+    return {"pong": True}, []
+
+
+def _handle_work(store, meta, arrays):
+    if not arrays:
+        raise RogueError("no work shipped")
+    return {}, list(arrays)
+
+
+_HANDLERS = {
+    OP_PING: _handle_ping,
+    OP_WORK: _handle_work,
+}
+
+
+def serve(conn, store):
+    frame = conn.recv()
+    if frame.kind == CMD:
+        op, meta, arrays = unpack_command(frame.payload)
+        out_meta, out_arrays = _HANDLERS[op](store, meta, arrays)
+        conn.send(encode_frame(RESULT, frame.seq, pack_command(op, out_meta)))
+    elif frame.kind == DATA:
+        conn.send(encode_frame(RESULT, frame.seq, frame.payload))

@@ -1,0 +1,9 @@
+"""Minimal fault taxonomy for the wire fixture tree."""
+
+
+class WorkerComputeError(Exception):
+    pass
+
+
+class MessageCorruption(Exception):
+    pass

@@ -1,0 +1,23 @@
+"""Minimal consistent framing tables (clean RPR010 fixture)."""
+
+DATA = 1
+CMD = 2
+RESULT = 3
+
+FRAME_KINDS = (DATA, CMD, RESULT)
+
+KIND_NAMES = {
+    DATA: "data",
+    CMD: "cmd",
+    RESULT: "result",
+}
+
+ARRAY_DTYPES = {1: "<f8"}
+
+
+def encode_frame(kind, seq, payload):
+    return bytes([kind, seq]) + payload
+
+
+def decode_frame(buf):
+    return buf

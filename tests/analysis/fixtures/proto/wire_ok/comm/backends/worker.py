@@ -1,0 +1,38 @@
+"""Minimal consistent worker opcode table (clean RPR010 fixture)."""
+
+from .framing import CMD, DATA, RESULT, encode_frame
+
+OP_PING = 1
+
+OP_NAMES = {
+    OP_PING: "ping",
+}
+
+
+def pack_command(op, meta, arrays=()):
+    return bytes([op])
+
+
+def unpack_command(payload):
+    return payload[0], {}, []
+
+
+def _handle_ping(store, meta, arrays):
+    if "n" not in meta:
+        raise ValueError("ping without a payload size")
+    return {"pong": meta["n"]}, []
+
+
+_HANDLERS = {
+    OP_PING: _handle_ping,
+}
+
+
+def serve(conn, store):
+    frame = conn.recv()
+    if frame.kind == CMD:
+        op, meta, arrays = unpack_command(frame.payload)
+        out_meta, out_arrays = _HANDLERS[op](store, meta, arrays)
+        conn.send(encode_frame(RESULT, frame.seq, pack_command(op, out_meta)))
+    elif frame.kind == DATA:
+        conn.send(encode_frame(RESULT, frame.seq, frame.payload))

@@ -1,0 +1,5 @@
+"""Minimal fault taxonomy for the clean wire fixture tree."""
+
+
+class WorkerComputeError(Exception):
+    pass

@@ -138,6 +138,59 @@ class TestParseErrors:
         assert report.parse_errors and not report.violations
 
 
+class TestStaleNoqa:
+    def test_stale_coded_noqa_fails_the_run(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1  # repro: noqa(RPR001) nothing fires here\n")
+        report = lint_paths([mod])
+        assert not report.violations
+        assert [e["code"] for e in report.stale_noqas] == ["RPR001"]
+        assert not report.clean
+
+    def test_live_noqa_is_not_stale(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("y = x == 0.0  # repro: noqa(RPR001) guard\n")
+        report = lint_paths([mod])
+        assert len(report.suppressed) == 1
+        assert not report.stale_noqas and report.clean
+
+    def test_staleness_judged_per_code(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("y = x == 0.0  # repro: noqa(RPR001,RPR005) both\n")
+        report = lint_paths([mod])
+        # RPR001 fires and is suppressed; RPR005 (kernel/factor scope)
+        # never runs here, so it is stale for this line
+        assert [e["code"] for e in report.stale_noqas] == ["RPR005"]
+
+    def test_bare_noqa_exempt_from_staleness(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1  # repro: noqa\n")
+        report = lint_paths([mod])
+        assert not report.stale_noqas and report.clean
+
+    def test_foreign_pass_codes_not_judged(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1  # repro: noqa(RPR012) verify-protocol's call\n")
+        report = lint_paths([mod])
+        assert not report.stale_noqas and report.clean
+
+    def test_docstring_noqa_is_inert(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            '"""Use # repro: noqa(RPR001) to suppress."""\n'
+            "y = x == 0.0\n"
+        )
+        report = lint_paths([mod])
+        assert [v.code for v in report.violations] == ["RPR001"]
+        assert not report.stale_noqas
+
+    def test_stale_noqas_in_json_report(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("x = 1  # repro: noqa(RPR001) stale\n")
+        report = lint_paths([mod])
+        assert report.to_dict()["stale_noqas"] == report.stale_noqas
+
+
 class TestTreeIsClean:
     """The PR gate: src/repro lints clean modulo the committed baseline."""
 
@@ -147,6 +200,13 @@ class TestTreeIsClean:
         assert not report.parse_errors
         offenders = "\n".join(v.format() for v in report.new_violations)
         assert report.clean, f"new lint violations:\n{offenders}"
+
+    def test_src_has_no_stale_noqas(self):
+        report = lint_paths([SRC], baseline_path=BASELINE)
+        assert not report.stale_noqas, (
+            "noqa comments whose code no longer fires — delete them: "
+            f"{report.stale_noqas}"
+        )
 
     def test_baseline_has_no_stale_entries(self):
         report = lint_paths([SRC], baseline_path=BASELINE)

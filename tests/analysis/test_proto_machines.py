@@ -1,0 +1,88 @@
+"""RPR011 model checker: spec invariants, fixture divergences, src clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.proto.machines import (
+    BREAKER_SPEC,
+    JOB_SPEC,
+    MACHINE_SPECS,
+    SUPERVISOR_SPEC,
+    MachineSpec,
+    check_machines,
+    model_check,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "proto"
+SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+class TestSpecsAreSound:
+    @pytest.mark.parametrize("spec", MACHINE_SPECS, ids=lambda s: s.name)
+    def test_model_check_proves_invariants(self, spec):
+        check = model_check(spec)
+        assert check.ok, check.violations
+        assert "terminals-absorbing" in check.invariants
+        assert check.states_explored == len(spec.states)
+
+    def test_supervisor_product_space(self):
+        check = model_check(SUPERVISOR_SPEC)
+        assert "fence-only-from-suspect" in check.invariants
+        assert "product-space-reaches-terminal" in check.invariants
+        assert check.product_states_explored > len(SUPERVISOR_SPEC.states)
+
+    def test_job_drain_invariant(self):
+        check = model_check(JOB_SPEC)
+        assert "drain-never-strands-a-job" in check.invariants
+        assert "every-state-reaches-a-terminal" in check.invariants
+
+    def test_breaker_single_probe_and_recovery(self):
+        check = model_check(BREAKER_SPEC)
+        assert "half-open-admits-exactly-one-probe" in check.invariants
+        assert "every-state-recovers-to-initial" in check.invariants
+
+
+class TestModelCheckerCatchesBadSpecs:
+    def test_transition_out_of_terminal(self):
+        spec = MachineSpec(
+            name="bad", module="x.py", states=("a", "b"), initial="a",
+            terminals=("b",),
+            transitions=(("a", "go", "b"), ("b", "back", "a")),
+        )
+        check = model_check(spec)
+        assert any("terminal state 'b' has outgoing" in v
+                   for v in check.violations)
+
+    def test_unreachable_and_stranded_states(self):
+        spec = MachineSpec(
+            name="bad", module="x.py", states=("a", "b", "c"), initial="a",
+            terminals=("c",),
+            transitions=(("a", "go", "c"), ("b", "spin", "b")),
+        )
+        check = model_check(spec)
+        assert any("unreachable" in v for v in check.violations)
+        assert any("cannot reach any terminal" in v
+                   for v in check.violations)
+
+
+class TestImplementationCrossCheck:
+    def test_fixture_divergences_fire(self):
+        violations, _checks = check_machines(FIXTURES / "machines_bad")
+        msgs = "\n".join(v.message for v in violations)
+        assert all(v.code == "RPR011" for v in violations)
+        assert "record_ready assigns state 'ready' without guarding" in msgs
+        assert "assigns undeclared state 'zombie'" in msgs
+        assert "'suspect' is never entered" in msgs
+        assert "_TRANSITIONS['queued'] diverges" in msgs and "shed" in msgs
+        assert "_TRANSITIONS['running'] diverges" in msgs
+
+    def test_src_repro_matches_every_spec(self):
+        violations, checks = check_machines(SRC)
+        assert [v.message for v in violations] == []
+        assert len(checks) == len(MACHINE_SPECS)
+        assert all(c.ok for c in checks)
+
+    def test_missing_modules_model_check_only(self, tmp_path):
+        violations, checks = check_machines(tmp_path)
+        assert violations == [] and all(c.ok for c in checks)

@@ -1,0 +1,176 @@
+"""The transition edges the model checker formalizes, against the real code.
+
+RPR011 proves the *specs* sound and the implementations *structurally*
+faithful; these tests drive the implementations through every illegal edge
+the specs forbid and assert they refuse at runtime too — cancel after
+terminal, resurrect after DEAD, fence outside SUSPECT, a second probe
+while half-open.  Parametrization comes from the specs themselves, so
+extending a spec grows this coverage automatically.
+"""
+
+import pytest
+
+from repro.analysis.proto.machines import BREAKER_SPEC, JOB_SPEC
+from repro.comm.backends.supervisor import (
+    DEAD,
+    READY,
+    SUSPECT,
+    HeartbeatPolicy,
+    RankSupervisor,
+)
+from repro.service.breaker import BreakerBoard, BreakerPolicy
+from repro.service.job import JobRecord, JobSpec
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def _record(status: str) -> JobRecord:
+    rec = JobRecord("job-1", JobSpec())
+    if status == "running":
+        rec.transition("running")
+    elif status != "queued":
+        path = {"queued": (), "converged": ("running",),
+                "failed": ("running",), "shed": (), "cancelled": ()}[status]
+        for step in path:
+            rec.transition(step)
+        rec.transition(status)
+    return rec
+
+
+def _illegal_job_edges():
+    allowed = JOB_SPEC.adjacency()
+    for src in JOB_SPEC.states:
+        for dst in JOB_SPEC.states:
+            if dst not in allowed.get(src, ()):
+                yield src, dst
+
+
+class TestJobRecordRejectsIllegalEdges:
+    @pytest.mark.parametrize("src,dst", sorted(_illegal_job_edges()))
+    def test_illegal_transition_raises(self, src, dst):
+        rec = _record(src)
+        assert rec.status == src
+        with pytest.raises(ValueError, match="illegal transition|unknown"):
+            rec.transition(dst)
+        assert rec.status == src  # refused edges leave the state untouched
+
+    @pytest.mark.parametrize("terminal", JOB_SPEC.terminals)
+    def test_cancel_after_terminal_refused(self, terminal):
+        rec = _record(terminal)
+        with pytest.raises(ValueError, match="illegal transition"):
+            rec.transition("cancelled")
+
+    @pytest.mark.parametrize("src,dst", [
+        (src, dst) for src, dsts in JOB_SPEC.adjacency().items()
+        for dst in dsts
+    ])
+    def test_every_spec_edge_is_accepted(self, src, dst):
+        rec = _record(src)
+        rec.transition(dst)
+        assert rec.status == dst
+
+
+class TestSupervisorTerminalAndFencing:
+    def _sup(self, fence_after: int = 3) -> RankSupervisor:
+        return RankSupervisor(
+            size=1, policy=HeartbeatPolicy(fence_after=fence_after)
+        )
+
+    def test_no_resurrection_after_dead(self):
+        sup = self._sup()
+        sup.record_exit(0, exitcode=-9)
+        assert sup.state(0) == DEAD
+        sup.record_ready(0)  # late reply from a fenced rank: noise
+        assert sup.state(0) == DEAD
+        sup.record_miss(0)
+        assert sup.state(0) == DEAD and sup.records[0].misses == 0
+
+    def test_fence_requires_suspect_and_exhausted_budget(self):
+        sup = self._sup(fence_after=2)
+        assert not sup.should_fence(0)          # SPAWNED: never
+        sup.record_ready(0)
+        assert not sup.should_fence(0)          # READY: never
+        assert sup.record_miss(0) == SUSPECT
+        assert not sup.should_fence(0)          # budget not exhausted
+        sup.record_miss(0)
+        assert sup.should_fence(0)              # SUSPECT + budget: fence
+        sup.record_fenced(0)
+        assert not sup.should_fence(0)          # idempotent advice
+        sup.record_exit(0, exitcode=-9)
+        assert not sup.should_fence(0)          # DEAD: never again
+
+    def test_probe_reply_deescalates_suspect(self):
+        sup = self._sup(fence_after=2)
+        sup.record_miss(0)
+        assert sup.state(0) == SUSPECT
+        sup.record_ready(0)
+        assert sup.state(0) == READY and sup.records[0].misses == 0
+
+
+class TestBreakerSingleProbe:
+    def _board(self) -> tuple[BreakerBoard, FakeClock]:
+        clock = FakeClock()
+        board = BreakerBoard(
+            policy=BreakerPolicy(fail_threshold=2, cooldown_s=5.0),
+            clock=clock,
+        )
+        return board, clock
+
+    def _trip(self, board: BreakerBoard) -> None:
+        board.record_failure("ilu0")
+        board.record_failure("ilu0")
+        assert board.state("ilu0") == "open"
+
+    def test_open_denies_until_cooldown(self):
+        board, clock = self._board()
+        self._trip(board)
+        assert not board.allow("ilu0")
+        clock.advance(5.1)
+        assert board.allow("ilu0")  # the one probe
+
+    def test_second_probe_denied_while_half_open(self):
+        board, clock = self._board()
+        self._trip(board)
+        clock.advance(5.1)
+        assert board.allow("ilu0")
+        assert board.state("ilu0") == "half-open"
+        # spec invariant: half-open admits exactly one probe
+        assert not board.allow("ilu0")
+        assert not board.allow("ilu0")
+
+    def test_probe_failure_reopens_for_full_cooldown(self):
+        board, clock = self._board()
+        self._trip(board)
+        clock.advance(5.1)
+        assert board.allow("ilu0")
+        board.record_failure("ilu0")  # single half-open failure re-trips
+        assert board.state("ilu0") == "open"
+        assert not board.allow("ilu0")
+        clock.advance(5.1)
+        assert board.allow("ilu0")
+
+    def test_probe_success_closes_and_recovers(self):
+        board, clock = self._board()
+        self._trip(board)
+        clock.advance(5.1)
+        assert board.allow("ilu0")
+        board.record_success("ilu0")
+        assert board.state("ilu0") == "closed"
+        assert board.allow("ilu0") and board.allow("ilu0")
+
+    def test_spec_models_the_board(self):
+        # the spec's event alphabet matches what the board implements
+        events = {e for _s, e, _d in BREAKER_SPEC.transitions}
+        assert events == {
+            "failure-threshold", "cooldown-probe", "probe-success",
+            "probe-failure", "success",
+        }
