@@ -117,7 +117,7 @@ def noqa_map(source: str) -> dict[int, set[str]]:
     out: dict[int, set[str]] = {}
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
-    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+    except (tokenize.TokenError, SyntaxError, IndentationError):
         return out
     for tok in tokens:
         if tok.type != tokenize.COMMENT:

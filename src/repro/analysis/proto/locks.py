@@ -25,7 +25,9 @@ cache + checkpointing:
 Unresolved calls are silently ignored (an under-approximation: the
 analysis can miss deadlocks through dynamic dispatch, but it does not
 invent them).  Nested function bodies are not traversed — they run on
-other threads or later, outside the enclosing lock scope.
+other threads or later, outside the enclosing lock scope.  Cycle search
+is bounded to ``_MAX_CYCLE_LEN`` locks per elementary cycle; the summary's
+``cycle_search_truncated`` flag reports when that bound cut a path short.
 """
 
 from __future__ import annotations
@@ -201,6 +203,13 @@ class _FunctionScanner:
         if isinstance(node, ast.With):
             inner = held
             for item in node.items:
+                # the context-manager expression itself runs before this
+                # item's lock (if any) is acquired, but under any locks
+                # earlier items already took — visit it with that held set
+                # so calls like ``with self._table.guard(job):`` are seen
+                self._visit(item.context_expr, inner)
+                if item.optional_vars is not None:
+                    self._visit(item.optional_vars, inner)
                 lock = self._lock_for_expr(item.context_expr)
                 if lock is None:
                     continue
@@ -366,26 +375,41 @@ def _transitive_blocking(graph: LockGraph) -> dict[str, set[str]]:
     return blocking
 
 
+#: elementary-cycle search depth bound — cycles through more locks than
+#: this are not enumerated; :func:`_find_cycles` reports when it truncated
+_MAX_CYCLE_LEN = 8
+
+
 def _find_cycles(
     edges: dict[tuple[str, str], list[tuple[str, ast.AST]]]
-) -> list[tuple[str, ...]]:
-    """Every elementary cycle in the lock-order graph, canonicalized."""
+) -> tuple[list[tuple[str, ...]], bool]:
+    """Elementary cycles in the lock-order graph, canonicalized.
+
+    Returns ``(cycles, truncated)``: the search bounds paths to
+    :data:`_MAX_CYCLE_LEN` locks, and ``truncated`` is True when some path
+    hit that bound, i.e. a longer cycle could exist undetected.
+    """
     adjacency: dict[str, list[str]] = {}
     for (src, dst), _sites in sorted(edges.items()):
         adjacency.setdefault(src, []).append(dst)
     cycles: set[tuple[str, ...]] = set()
+    truncated = False
 
     def dfs(start: str, cur: str, path: tuple[str, ...]) -> None:
+        nonlocal truncated
         for nxt in adjacency.get(cur, ()):
             if nxt == start:
                 rotation = min(range(len(path)), key=lambda i: path[i])
                 cycles.add(path[rotation:] + path[:rotation])
-            elif nxt not in path and len(path) < 8:
-                dfs(start, nxt, path + (nxt,))
+            elif nxt not in path:
+                if len(path) >= _MAX_CYCLE_LEN:
+                    truncated = True
+                else:
+                    dfs(start, nxt, path + (nxt,))
 
     for node in sorted(adjacency):
         dfs(node, node, (node,))
-    return sorted(cycles)
+    return sorted(cycles), truncated
 
 
 def check_locks(root: Path) -> tuple[list[Violation], dict[str, object]]:
@@ -416,7 +440,8 @@ def check_locks(root: Path) -> tuple[list[Violation], dict[str, object]]:
                         graph.add_edge(h, lock, info.key, node)
 
     # 2. cycles in the assembled lock-order graph
-    for cycle in _find_cycles(graph.order_edges):
+    cycles, cycles_truncated = _find_cycles(graph.order_edges)
+    for cycle in cycles:
         closed = cycle + (cycle[0],)
         pretty = " -> ".join(closed)
         edge = (closed[0], closed[1])
@@ -454,7 +479,8 @@ def check_locks(root: Path) -> tuple[list[Violation], dict[str, object]]:
         "order_edges": sorted(
             [list(edge) for edge in graph.order_edges],
         ),
-        "cycles": [list(c) for c in _find_cycles(graph.order_edges)],
+        "cycles": [list(c) for c in cycles],
+        "cycle_search_truncated": cycles_truncated,
         "blocking_sites": sum(
             len(i.local_blocking) for i in graph.functions.values()
         ),

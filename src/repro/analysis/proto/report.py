@@ -128,8 +128,16 @@ def _apply_noqa(
     kept: list[Violation] = []
     suppressed: list[Violation] = []
     stale: list[dict[str, object]] = []
-    for path in _scanned_files(root):
+    # scan the statically-known file set plus wherever findings actually
+    # anchored, so a noqa is honoured even on files outside SCAN_ROOTS
+    # (e.g. a wire check anchoring in the fault-taxonomy module)
+    files = set(_scanned_files(root))
+    files.update(Path(p) for p in by_path)
+    for path in sorted(files):
         posix = path.as_posix()
+        if not path.is_file():
+            kept.extend(by_path.pop(posix, []))
+            continue
         noqas = noqa_map(path.read_text())
         file_suppressed: list[Violation] = []
         for v in by_path.pop(posix, []):

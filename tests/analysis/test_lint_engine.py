@@ -14,7 +14,7 @@ from repro.analysis.lint.baseline import (
     load_baseline,
     write_baseline,
 )
-from repro.analysis.lint.engine import LINT_SCHEMA, module_of
+from repro.analysis.lint.engine import LINT_SCHEMA, module_of, noqa_map
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SRC = REPO_ROOT / "src" / "repro"
@@ -48,6 +48,15 @@ class TestNoqa:
             "# repro: noqa(RPR001)\ny = x == 0.0\n", "mesh/foo.py"
         )
         assert [v.code for v in violations] == ["RPR001"]
+
+    def test_noqa_map_tolerates_untokenizable_source(self):
+        # unterminated bracket: tokenize raises TokenError, not SyntaxError;
+        # the file must degrade to "no suppressions", not crash
+        assert noqa_map("x = (\n") == {}
+        assert noqa_map("x = (  # repro: noqa(RPR001)\n") == {}
+
+    def test_noqa_map_tolerates_indentation_error(self):
+        assert noqa_map("def f():\npass\n  extra\n") == {}
 
 
 class TestBaseline:

@@ -40,6 +40,31 @@ class TestSrcTree:
         assert any("factor/cache.py:FactorCache._lock" in k for k in locks)
         assert summary["functions_scanned"] > 100
 
+    def test_blocking_call_in_with_context_expr_seen(self, tmp_path):
+        # the context-manager expression of a non-lock `with` runs under
+        # any locks already held — calls inside it must not be invisible
+        tree = tmp_path / "service"
+        tree.mkdir()
+        (tree / "w.py").write_text(
+            "import threading\n\n\n"
+            "class W:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n\n"
+            "    def bad(self, q):\n"
+            "        with self._lock:\n"
+            "            with q.get():\n"
+            "                pass\n"
+        )
+        violations, _ = check_locks(tmp_path)
+        msgs = [v.message for v in violations]
+        assert len(msgs) == 1
+        assert "q.get() with no timeout" in msgs[0]
+        assert "while holding" in msgs[0]
+
+    def test_cycle_search_truncation_reported(self):
+        violations, summary = check_locks(FIXTURES / "locks_bad")
+        assert summary["cycle_search_truncated"] is False
+
     def test_condition_wait_on_held_lock_exempt(self, tmp_path):
         tree = tmp_path / "service"
         tree.mkdir()

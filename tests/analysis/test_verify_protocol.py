@@ -4,8 +4,10 @@ import json
 from pathlib import Path
 
 from repro.analysis.lint.baseline import write_baseline
+from repro.analysis.lint.rules import Violation
 from repro.analysis.proto.report import (
     PROTO_SCHEMA,
+    _apply_noqa,
     verify_protocol,
     write_proto_report,
 )
@@ -51,6 +53,26 @@ class TestReport:
         assert len(report.suppressed) == 2
         assert [e["code"] for e in report.stale_noqas] == ["RPR010"]
         assert not report.clean  # the stale noqa alone fails the run
+
+    def test_noqa_honoured_outside_scan_roots(self, tmp_path):
+        # a finding anchored outside SCAN_ROOTS (e.g. in the fault-taxonomy
+        # module the wire checker reads) must still see its noqa
+        other = tmp_path / "resilience"
+        other.mkdir()
+        mod = other / "errors.py"
+        mod.write_text("X = 1  # repro: noqa(RPR010) anchored here\n")
+        v = Violation(
+            path=mod.as_posix(), line=1, col=0, code="RPR010",
+            message="synthetic", snippet="X = 1",
+        )
+        gone = Violation(
+            path=(tmp_path / "gone.py").as_posix(), line=1, col=0,
+            code="RPR010", message="synthetic", snippet="",
+        )
+        kept, suppressed, stale = _apply_noqa(tmp_path, [v, gone])
+        assert kept == [gone]
+        assert suppressed == [v]
+        assert stale == []
 
     def test_baseline_grandfathers_findings(self, tmp_path):
         dirty = verify_protocol(root=FIXTURES / "wire_bad")
